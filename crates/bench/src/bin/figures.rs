@@ -1,0 +1,62 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [EXPERIMENT ...] [--scale small|paper]
+//!
+//! EXPERIMENT: fig1 fig2 fig3 fig7 fig8 fig9 fig10 fig11
+//!             table1 table2 table3 bpki ablations all
+//! ```
+//!
+//! With no arguments, prints the experiment list. `all` runs everything
+//! in paper order; output is markdown, suitable for EXPERIMENTS.md.
+
+use slicc_bench::{Experiment, ExperimentScale};
+
+fn usage() -> ! {
+    eprintln!("usage: figures [EXPERIMENT ...] [--scale small|paper]");
+    eprintln!("experiments:");
+    for e in Experiment::ALL {
+        eprintln!("  {}", e.name());
+    }
+    eprintln!("  all");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = ExperimentScale::Paper;
+    let mut selected: Vec<Experiment> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("small") => ExperimentScale::Small,
+                    Some("paper") => ExperimentScale::Paper,
+                    _ => usage(),
+                };
+            }
+            "all" => selected.extend(Experiment::ALL),
+            name => match Experiment::parse(name) {
+                Some(e) => selected.push(e),
+                None => usage(),
+            },
+        }
+        i += 1;
+    }
+    if selected.is_empty() {
+        usage();
+    }
+
+    println!("# SLICC reproduction — experiment output");
+    println!();
+    println!("scale: {scale:?}");
+    println!();
+    for e in selected {
+        let start = std::time::Instant::now();
+        let section = e.run(scale);
+        println!("{section}");
+        eprintln!("[{}] done in {:.1}s", e.name(), start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,145 @@
+//! Markdown table rendering for experiment output.
+
+/// A simple right-aligned markdown table builder.
+///
+/// # Example
+///
+/// ```
+/// use slicc_bench::Table;
+///
+/// let mut t = Table::new(vec!["workload", "I-MPKI"]);
+/// t.row(vec!["TPC-C".into(), "43.5".into()]);
+/// let md = t.render();
+/// assert!(md.contains("TPC-C |"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        Table { headers: headers.into_iter().map(str::to_owned).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row; missing cells render empty, extras are dropped.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders github-flavoured markdown with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().take(cols).enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for i in 0..cols {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!(" {:>width$} |", cell, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{}:|", "-".repeat(w + 1)));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Renders a horizontal ASCII bar chart (one bar per label), scaled so
+/// the largest value spans `width` characters.
+///
+/// # Example
+///
+/// ```
+/// use slicc_bench::format::bar_chart;
+/// let s = bar_chart(&[("a", 1.0), ("bb", 2.0)], 10);
+/// assert!(s.contains("bb"));
+/// assert!(s.lines().count() == 2);
+/// ```
+pub fn bar_chart(items: &[(&str, f64)], width: usize) -> String {
+    let max = items.iter().map(|&(_, v)| v).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in items {
+        let n = ((value / max) * width as f64).round() as usize;
+        out.push_str(&format!("{label:>label_w$} | {} {value:.2}\n", "#".repeat(n)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let md = t.render();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[1].starts_with("|-"));
+        // All rows have equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn missing_cells_render_empty() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["x".into()]);
+        assert!(t.render().lines().count() == 3);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(f2(1.2345), "1.23");
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(pct(0.583), "58.3%");
+    }
+}

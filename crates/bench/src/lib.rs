@@ -1,0 +1,19 @@
+//! Experiment harness for the SLICC reproduction.
+//!
+//! Each public function in [`experiments`] regenerates one table or
+//! figure of the paper's evaluation (§5) and returns it as a markdown
+//! section. The `figures` binary drives them from the command line:
+//!
+//! ```text
+//! cargo run --release -p slicc-bench --bin figures -- all
+//! cargo run --release -p slicc-bench --bin figures -- fig10 fig11 --scale small
+//! ```
+//!
+//! See `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for the
+//! recorded paper-vs-measured comparison.
+
+pub mod experiments;
+pub mod format;
+
+pub use experiments::{Experiment, ExperimentScale};
+pub use format::Table;

@@ -1,0 +1,242 @@
+//! An arena-backed doubly-linked LRU list.
+//!
+//! Used by the fully-associative shadow cache of the 3C classifier
+//! ([`crate::classify`]), where capacity can reach thousands of blocks and
+//! per-access cost must stay O(1). Slots are indexed by `usize` handles into
+//! a fixed arena; the caller maps keys to handles (e.g. with a `HashMap`).
+
+/// Sentinel meaning "no slot".
+const NIL: u32 = u32::MAX;
+
+/// A fixed-capacity doubly-linked list ordering slots from most- to
+/// least-recently used.
+///
+/// All operations are O(1). The list tracks *handles* (slot indices); the
+/// caller owns the association between handles and data.
+///
+/// # Example
+///
+/// ```
+/// use slicc_cache::LruList;
+///
+/// let mut lru = LruList::new(3);
+/// lru.push_mru(0);
+/// lru.push_mru(1);
+/// lru.push_mru(2);
+/// assert_eq!(lru.lru(), Some(0));
+/// lru.touch(0); // promote to MRU
+/// assert_eq!(lru.lru(), Some(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LruList {
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    /// Whether a slot is currently linked.
+    linked: Vec<bool>,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl LruList {
+    /// Creates a list able to hold `capacity` slots, all initially
+    /// unlinked.
+    pub fn new(capacity: usize) -> Self {
+        LruList {
+            prev: vec![NIL; capacity],
+            next: vec![NIL; capacity],
+            linked: vec![false; capacity],
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of linked slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slots are linked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Capacity fixed at construction.
+    pub fn capacity(&self) -> usize {
+        self.prev.len()
+    }
+
+    /// Whether `slot` is currently linked.
+    pub fn contains(&self, slot: usize) -> bool {
+        self.linked[slot]
+    }
+
+    /// The most-recently-used slot.
+    pub fn mru(&self) -> Option<usize> {
+        (self.head != NIL).then_some(self.head as usize)
+    }
+
+    /// The least-recently-used slot.
+    pub fn lru(&self) -> Option<usize> {
+        (self.tail != NIL).then_some(self.tail as usize)
+    }
+
+    /// Links `slot` at the MRU position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is already linked or out of range.
+    pub fn push_mru(&mut self, slot: usize) {
+        assert!(!self.linked[slot], "slot {slot} is already linked");
+        let s = slot as u32;
+        self.prev[slot] = NIL;
+        self.next[slot] = self.head;
+        if self.head != NIL {
+            self.prev[self.head as usize] = s;
+        } else {
+            self.tail = s;
+        }
+        self.head = s;
+        self.linked[slot] = true;
+        self.len += 1;
+    }
+
+    /// Links `slot` at the LRU position (LIP-style insertion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is already linked or out of range.
+    pub fn push_lru(&mut self, slot: usize) {
+        assert!(!self.linked[slot], "slot {slot} is already linked");
+        let s = slot as u32;
+        self.next[slot] = NIL;
+        self.prev[slot] = self.tail;
+        if self.tail != NIL {
+            self.next[self.tail as usize] = s;
+        } else {
+            self.head = s;
+        }
+        self.tail = s;
+        self.linked[slot] = true;
+        self.len += 1;
+    }
+
+    /// Unlinks `slot`. Returns `false` if it was not linked.
+    pub fn remove(&mut self, slot: usize) -> bool {
+        if !self.linked[slot] {
+            return false;
+        }
+        let (p, n) = (self.prev[slot], self.next[slot]);
+        if p != NIL {
+            self.next[p as usize] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        } else {
+            self.tail = p;
+        }
+        self.linked[slot] = false;
+        self.len -= 1;
+        true
+    }
+
+    /// Promotes `slot` to the MRU position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not linked.
+    pub fn touch(&mut self, slot: usize) {
+        assert!(self.linked[slot], "slot {slot} is not linked");
+        if self.head == slot as u32 {
+            return;
+        }
+        self.remove(slot);
+        self.push_mru(slot);
+    }
+
+    /// Unlinks and returns the LRU slot.
+    pub fn pop_lru(&mut self) -> Option<usize> {
+        let victim = self.lru()?;
+        self.remove(victim);
+        Some(victim)
+    }
+
+    /// Iterates slots from MRU to LRU. O(len); intended for tests and
+    /// debugging, not hot paths.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        std::iter::successors((self.head != NIL).then_some(self.head as usize), move |&s| {
+            let n = self.next[s];
+            (n != NIL).then_some(n as usize)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_touch_pop_ordering() {
+        let mut l = LruList::new(4);
+        l.push_mru(0);
+        l.push_mru(1);
+        l.push_mru(2);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![2, 1, 0]);
+        l.touch(0);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![0, 2, 1]);
+        assert_eq!(l.pop_lru(), Some(1));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn push_lru_inserts_at_tail() {
+        let mut l = LruList::new(3);
+        l.push_mru(0);
+        l.push_lru(1);
+        assert_eq!(l.lru(), Some(1));
+        assert_eq!(l.mru(), Some(0));
+    }
+
+    #[test]
+    fn remove_middle_keeps_links() {
+        let mut l = LruList::new(3);
+        l.push_mru(0);
+        l.push_mru(1);
+        l.push_mru(2);
+        assert!(l.remove(1));
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![2, 0]);
+        assert!(!l.remove(1));
+    }
+
+    #[test]
+    fn singleton_list_edges() {
+        let mut l = LruList::new(2);
+        l.push_mru(1);
+        assert_eq!(l.mru(), l.lru());
+        l.touch(1);
+        assert_eq!(l.pop_lru(), Some(1));
+        assert!(l.is_empty());
+        assert_eq!(l.pop_lru(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already linked")]
+    fn double_push_panics() {
+        let mut l = LruList::new(2);
+        l.push_mru(0);
+        l.push_mru(0);
+    }
+
+    #[test]
+    fn relink_after_remove() {
+        let mut l = LruList::new(2);
+        l.push_mru(0);
+        l.remove(0);
+        l.push_lru(0);
+        assert!(l.contains(0));
+        assert_eq!(l.len(), 1);
+    }
+}

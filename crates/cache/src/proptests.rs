@@ -1,0 +1,144 @@
+//! Property-based tests over the cache structures.
+
+use crate::bloom::BloomSignature;
+use crate::cache::{AccessKind, Cache};
+use crate::classify::ThreeCClassifier;
+use crate::policy::PolicyKind;
+use proptest::prelude::*;
+use slicc_common::{BlockAddr, CacheGeometry};
+
+fn arb_policy() -> impl Strategy<Value = PolicyKind> {
+    prop::sample::select(PolicyKind::ALL.to_vec())
+}
+
+fn arb_geometry() -> impl Strategy<Value = CacheGeometry> {
+    (0u32..4, 0u32..3).prop_map(|(sets_pow, assoc_pow)| {
+        let sets = 1u64 << (sets_pow + 1); // 2..16 sets
+        let assoc = 1u32 << assoc_pow; // 1..4 ways
+        CacheGeometry::new(sets * assoc as u64 * 64, assoc, 64)
+    })
+}
+
+proptest! {
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(
+        geom in arb_geometry(),
+        policy in arb_policy(),
+        blocks in prop::collection::vec(0u64..512, 1..400),
+    ) {
+        let mut cache = Cache::new(geom, policy, 42);
+        for &b in &blocks {
+            cache.access(BlockAddr::new(b), AccessKind::Read);
+            prop_assert!(cache.occupancy() as u64 <= geom.num_blocks());
+        }
+        // Per-set bound too.
+        for set in 0..geom.num_sets() as usize {
+            prop_assert!(cache.blocks_in_set(set).count() <= geom.associativity() as usize);
+        }
+    }
+
+    #[test]
+    fn access_after_miss_always_hits(
+        geom in arb_geometry(),
+        policy in arb_policy(),
+        block in 0u64..1_000_000,
+    ) {
+        let mut cache = Cache::new(geom, policy, 1);
+        cache.access(BlockAddr::new(block), AccessKind::Read);
+        prop_assert!(cache.access(BlockAddr::new(block), AccessKind::Read).is_hit());
+    }
+
+    #[test]
+    fn stats_balance(
+        geom in arb_geometry(),
+        policy in arb_policy(),
+        blocks in prop::collection::vec((0u64..256, any::<bool>()), 1..300),
+    ) {
+        let mut cache = Cache::new(geom, policy, 7);
+        for &(b, w) in &blocks {
+            let kind = if w { AccessKind::Write } else { AccessKind::Read };
+            cache.access(BlockAddr::new(b), kind);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert!(s.write_misses <= s.misses);
+        prop_assert!(s.dirty_evictions <= s.evictions);
+        // Everything resident arrived through a miss.
+        prop_assert!(cache.occupancy() as u64 <= s.misses);
+    }
+
+    #[test]
+    fn blocks_live_in_their_set(
+        geom in arb_geometry(),
+        blocks in prop::collection::vec(0u64..4096, 1..200),
+    ) {
+        let mut cache = Cache::new(geom, PolicyKind::Lru, 3);
+        for &b in &blocks {
+            cache.access(BlockAddr::new(b), AccessKind::Read);
+        }
+        for set in 0..geom.num_sets() as usize {
+            for b in cache.blocks_in_set(set) {
+                prop_assert_eq!(geom.set_index(b), set);
+            }
+        }
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives(
+        blocks in prop::collection::vec(0u64..2048, 1..400),
+    ) {
+        let geom = CacheGeometry::new(4096, 4, 64);
+        let mut cache = Cache::new(geom, PolicyKind::Lru, 1);
+        let mut sig = BloomSignature::new(256, geom);
+        for &raw in &blocks {
+            let b = BlockAddr::new(raw);
+            let res = cache.access(b, AccessKind::Read);
+            if let Some(ev) = res.evicted() {
+                sig.remove(ev.block, cache.blocks_in_set(geom.set_index(ev.block)));
+            }
+            if res.is_miss() {
+                sig.insert(b);
+            }
+        }
+        for cached in cache.blocks() {
+            prop_assert!(sig.maybe_contains(cached), "false negative for {:?}", cached);
+        }
+    }
+
+    #[test]
+    fn classifier_counts_partition_misses(
+        blocks in prop::collection::vec(0u64..128, 1..500),
+        capacity in 1usize..64,
+    ) {
+        let mut cls = ThreeCClassifier::new(capacity);
+        for &b in &blocks {
+            cls.observe_miss(BlockAddr::new(b));
+        }
+        let bd = cls.breakdown();
+        prop_assert_eq!(bd.total(), blocks.len() as u64);
+        // Compulsory count equals the number of distinct blocks.
+        let distinct: std::collections::HashSet<_> = blocks.iter().collect();
+        prop_assert_eq!(bd.compulsory as usize, distinct.len());
+    }
+
+    #[test]
+    fn fully_associative_lru_never_has_conflict_misses(
+        blocks in prop::collection::vec(0u64..96, 1..500),
+    ) {
+        // A fully-associative LRU cache the same size as the shadow sees
+        // identical evictions, so nothing can be classified conflict.
+        let geom = CacheGeometry::new(32 * 64, 32, 64); // 1 set x 32 ways
+        let mut cache = Cache::new(geom, PolicyKind::Lru, 1);
+        let mut cls = ThreeCClassifier::new(32);
+        for &raw in &blocks {
+            let b = BlockAddr::new(raw);
+            let res = cache.access(b, AccessKind::Read);
+            if res.is_miss() {
+                cls.observe_miss(b);
+            } else {
+                cls.observe(b);
+            }
+        }
+        prop_assert_eq!(cls.breakdown().conflict, 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Byte addresses and cache-block addresses.
+//!
+//! The simulator traces accesses at byte granularity but the caches, bloom
+//! filters, and coherence directory all operate on 64-byte blocks (Table 2).
+//! [`Addr`] and [`BlockAddr`] keep those two spaces statically distinct.
+
+use std::fmt;
+
+/// Cache block size in bytes used throughout the workspace (Table 2: 64 B).
+pub const BLOCK_SIZE: u64 = 64;
+
+/// A byte address in the simulated physical address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte value.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache block containing this byte, for the given block
+    /// size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `block_size` is not a power of two.
+    pub fn block(self, block_size: u64) -> BlockAddr {
+        debug_assert!(block_size.is_power_of_two());
+        BlockAddr(self.0 / block_size)
+    }
+
+    /// Returns the cache block containing this byte at the workspace-wide
+    /// [`BLOCK_SIZE`].
+    pub const fn block_default(self) -> BlockAddr {
+        BlockAddr(self.0 / BLOCK_SIZE)
+    }
+
+    /// Returns the address advanced by `bytes`.
+    pub const fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+/// A cache-block address: a byte address divided by the block size.
+///
+/// Block addresses are what tags, bloom-filter signatures, the missed-tag
+/// queue, and the coherence directory store. Two bytes in the same block
+/// map to the same `BlockAddr`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address from a raw block number.
+    pub const fn new(raw: u64) -> Self {
+        BlockAddr(raw)
+    }
+
+    /// Returns the raw block number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the first byte address of this block, for the given block
+    /// size in bytes.
+    pub const fn base_addr(self, block_size: u64) -> Addr {
+        Addr(self.0 * block_size)
+    }
+
+    /// Returns the block advanced by `n` blocks (the "next line" for a
+    /// next-line prefetcher when `n == 1`).
+    pub const fn offset(self, n: u64) -> BlockAddr {
+        BlockAddr(self.0 + n)
+    }
+}
+
+impl fmt::Debug for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Block({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block {:#x}", self.0)
+    }
+}
+
+impl From<u64> for BlockAddr {
+    fn from(v: u64) -> Self {
+        BlockAddr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_in_same_block_share_block_addr() {
+        let a = Addr::new(0x1000);
+        let b = Addr::new(0x103f);
+        let c = Addr::new(0x1040);
+        assert_eq!(a.block(64), b.block(64));
+        assert_ne!(a.block(64), c.block(64));
+    }
+
+    #[test]
+    fn block_default_matches_explicit_block_size() {
+        let a = Addr::new(0xdead_beef);
+        assert_eq!(a.block(BLOCK_SIZE), a.block_default());
+    }
+
+    #[test]
+    fn block_base_addr_roundtrip() {
+        let b = BlockAddr::new(42);
+        assert_eq!(b.base_addr(64).block(64), b);
+        assert_eq!(b.base_addr(64).raw(), 42 * 64);
+    }
+
+    #[test]
+    fn offsets_advance() {
+        assert_eq!(Addr::new(10).offset(6).raw(), 16);
+        assert_eq!(BlockAddr::new(10).offset(1).raw(), 11);
+    }
+
+    #[test]
+    fn formatting_is_hexadecimal() {
+        assert_eq!(format!("{}", Addr::new(255)), "0xff");
+        assert_eq!(format!("{:x}", Addr::new(255)), "ff");
+        assert_eq!(format!("{:?}", BlockAddr::new(16)), "Block(0x10)");
+    }
+}

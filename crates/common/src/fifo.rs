@@ -1,0 +1,210 @@
+//! A fixed-capacity ring-buffer FIFO.
+//!
+//! SLICC's hardware structures are small fixed-size queues: the Missed Tag
+//! Queue holds `matched_t` entries, the per-core thread queue holds 30
+//! entries (Table 3). [`RingFifo`] models them with O(1) push/pop and no
+//! allocation after construction.
+
+use std::collections::VecDeque;
+
+/// A first-in-first-out queue with a hard capacity bound.
+///
+/// # Example
+///
+/// ```
+/// use slicc_common::RingFifo;
+///
+/// let mut q = RingFifo::new(2);
+/// assert!(q.push(1).is_none());
+/// assert!(q.push(2).is_none());
+/// // Pushing into a full FIFO evicts and returns the oldest entry,
+/// // exactly like a hardware shift queue.
+/// assert_eq!(q.push(3), Some(1));
+/// assert_eq!(q.pop(), Some(2));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RingFifo<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> RingFifo<T> {
+    /// Creates an empty FIFO with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        RingFifo { buf: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Appends `item`; if the FIFO is full the oldest entry is evicted and
+    /// returned (hardware shift-queue semantics).
+    pub fn push(&mut self, item: T) -> Option<T> {
+        let evicted = if self.buf.len() == self.capacity { self.buf.pop_front() } else { None };
+        self.buf.push_back(item);
+        evicted
+    }
+
+    /// Removes and returns the oldest entry.
+    pub fn pop(&mut self) -> Option<T> {
+        self.buf.pop_front()
+    }
+
+    /// Removes and returns the newest entry (used by work stealing, which
+    /// takes the least-committed waiter).
+    pub fn pop_back(&mut self) -> Option<T> {
+        self.buf.pop_back()
+    }
+
+    /// Returns the oldest entry without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.buf.front()
+    }
+
+    /// Returns the newest entry without removing it.
+    pub fn back(&self) -> Option<&T> {
+        self.buf.back()
+    }
+
+    /// Number of entries currently queued.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the FIFO holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the FIFO is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// The capacity bound set at construction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Iterates from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Removes and returns the first entry matching `pred`, preserving the
+    /// order of the rest. Models a CAM-style removal (used when a queued
+    /// thread is cancelled or re-routed).
+    pub fn remove_first_where(&mut self, mut pred: impl FnMut(&T) -> bool) -> Option<T> {
+        let idx = self.buf.iter().position(|x| pred(x))?;
+        self.buf.remove(idx)
+    }
+
+    /// Moves the front entry to the back (the §5.7 rule: a thread blocked
+    /// on I/O "is moved to the end of the queue"). No-op on queues with
+    /// fewer than two entries.
+    pub fn rotate(&mut self) {
+        if self.buf.len() >= 2 {
+            let front = self.buf.pop_front().expect("len >= 2");
+            self.buf.push_back(front);
+        }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a RingFifo<T> {
+    type Item = &'a T;
+    type IntoIter = std::collections::vec_deque::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_fifo_order() {
+        let mut q = RingFifo::new(4);
+        for i in 0..4 {
+            q.push(i);
+        }
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn full_push_evicts_oldest() {
+        let mut q = RingFifo::new(3);
+        q.push('a');
+        q.push('b');
+        q.push('c');
+        assert!(q.is_full());
+        assert_eq!(q.push('d'), Some('a'));
+        assert_eq!(q.iter().copied().collect::<String>(), "bcd");
+    }
+
+    #[test]
+    fn front_back_peek() {
+        let mut q = RingFifo::new(3);
+        assert!(q.front().is_none());
+        q.push(10);
+        q.push(20);
+        assert_eq!(q.front(), Some(&10));
+        assert_eq!(q.back(), Some(&20));
+    }
+
+    #[test]
+    fn rotate_moves_front_to_back() {
+        let mut q = RingFifo::new(3);
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        q.rotate();
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn rotate_on_small_queues_is_noop() {
+        let mut q: RingFifo<i32> = RingFifo::new(3);
+        q.rotate();
+        assert!(q.is_empty());
+        q.push(1);
+        q.rotate();
+        assert_eq!(q.front(), Some(&1));
+    }
+
+    #[test]
+    fn remove_first_where_preserves_order() {
+        let mut q = RingFifo::new(5);
+        for i in 0..5 {
+            q.push(i);
+        }
+        assert_eq!(q.remove_first_where(|&x| x == 2), Some(2));
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![0, 1, 3, 4]);
+        assert_eq!(q.remove_first_where(|&x| x == 99), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = RingFifo::new(2);
+        q.push(1);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(!q.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: RingFifo<u8> = RingFifo::new(0);
+    }
+}

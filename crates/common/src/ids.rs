@@ -1,0 +1,193 @@
+//! Strongly-typed identifiers for cores, threads, and transaction types.
+//!
+//! Newtypes keep the simulator honest: a [`CoreId`] can never be confused
+//! with a [`ThreadId`] even though both are small integers (C-NEWTYPE).
+
+use std::fmt;
+
+/// Identifies one core (and its private L1 caches) in the simulated CMP.
+///
+/// Cores are numbered `0..n` in row-major order over the on-chip torus,
+/// so the same id indexes per-core state everywhere in the workspace.
+///
+/// # Example
+///
+/// ```
+/// use slicc_common::CoreId;
+/// let c = CoreId::new(5);
+/// assert_eq!(c.index(), 5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(u16);
+
+impl CoreId {
+    /// Creates a core id from its index.
+    pub const fn new(index: u16) -> Self {
+        CoreId(index)
+    }
+
+    /// Returns the zero-based index, usable to index per-core arrays.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw id value.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Iterates over all core ids `0..count`.
+    pub fn all(count: usize) -> impl Iterator<Item = CoreId> {
+        (0..count as u16).map(CoreId)
+    }
+}
+
+impl fmt::Debug for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl From<u16> for CoreId {
+    fn from(v: u16) -> Self {
+        CoreId(v)
+    }
+}
+
+/// Identifies one worker thread (one transaction instance).
+///
+/// In the paper's execution model every transaction is bound to a worker
+/// thread for its lifetime (§2.1), so thread ids double as transaction
+/// instance ids.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(u32);
+
+impl ThreadId {
+    /// Creates a thread id from its index.
+    pub const fn new(index: u32) -> Self {
+        ThreadId(index)
+    }
+
+    /// Returns the zero-based index, usable to index per-thread arrays.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw id value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u32> for ThreadId {
+    fn from(v: u32) -> Self {
+        ThreadId(v)
+    }
+}
+
+/// Identifies a transaction *type* (e.g. TPC-C `NewOrder`).
+///
+/// SLICC-SW receives this from the software layer; SLICC-Pp infers an
+/// equivalent label by hashing the first instructions a thread executes
+/// (§4.3.1). Both end up as a `TxnTypeId`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TxnTypeId(u16);
+
+impl TxnTypeId {
+    /// Creates a transaction-type id from its index.
+    pub const fn new(index: u16) -> Self {
+        TxnTypeId(index)
+    }
+
+    /// Returns the zero-based index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw id value.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Debug for TxnTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type{}", self.0)
+    }
+}
+
+impl From<u16> for TxnTypeId {
+    fn from(v: u16) -> Self {
+        TxnTypeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn core_id_roundtrip() {
+        let c = CoreId::new(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(c.raw(), 7);
+        assert_eq!(CoreId::from(7u16), c);
+    }
+
+    #[test]
+    fn core_id_all_enumerates_in_order() {
+        let ids: Vec<_> = CoreId::all(4).collect();
+        assert_eq!(ids, vec![CoreId::new(0), CoreId::new(1), CoreId::new(2), CoreId::new(3)]);
+    }
+
+    #[test]
+    fn thread_id_ordering_follows_index() {
+        assert!(ThreadId::new(3) < ThreadId::new(10));
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let set: HashSet<_> = (0..100).map(ThreadId::new).collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty_and_informative() {
+        assert_eq!(format!("{:?}", CoreId::new(3)), "core3");
+        assert_eq!(format!("{:?}", ThreadId::new(9)), "T9");
+        assert_eq!(format!("{:?}", TxnTypeId::new(1)), "type1");
+        assert_eq!(format!("{}", CoreId::new(3)), "core3");
+    }
+
+    #[test]
+    fn default_ids_are_zero() {
+        assert_eq!(CoreId::default().index(), 0);
+        assert_eq!(ThreadId::default().index(), 0);
+        assert_eq!(TxnTypeId::default().index(), 0);
+    }
+}

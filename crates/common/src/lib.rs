@@ -1,0 +1,50 @@
+//! Shared vocabulary types for the SLICC chip-multiprocessor simulator.
+//!
+//! This crate defines the small, ubiquitous building blocks used by every
+//! other crate in the workspace:
+//!
+//! - strongly-typed identifiers ([`CoreId`], [`ThreadId`], [`TxnTypeId`]) —
+//!   see [`ids`];
+//! - byte and cache-block addresses ([`Addr`], [`BlockAddr`]) — see [`addr`];
+//! - cache shape arithmetic ([`CacheGeometry`]) — see [`geometry`];
+//! - the CACTI-substitute access-latency table — see [`latency`];
+//! - a tiny, fast, deterministic RNG ([`SplitMix64`]) — see [`rng`];
+//! - a fixed-capacity ring-buffer FIFO ([`RingFifo`]) — see [`fifo`].
+//!
+//! # Example
+//!
+//! ```
+//! use slicc_common::{Addr, CacheGeometry};
+//!
+//! // The paper's baseline L1: 32 KiB, 8-way, 64 B blocks (Table 2).
+//! let geom = CacheGeometry::new(32 * 1024, 8, 64);
+//! assert_eq!(geom.num_sets(), 64);
+//! assert_eq!(geom.num_blocks(), 512);
+//!
+//! let addr = Addr::new(0xdead_beef);
+//! let block = addr.block(64);
+//! assert_eq!(geom.set_index(block), geom.set_index(block));
+//! ```
+
+pub mod addr;
+pub mod fifo;
+pub mod geometry;
+pub mod ids;
+pub mod latency;
+#[cfg(test)]
+mod proptests;
+pub mod rng;
+
+pub use addr::{Addr, BlockAddr, BLOCK_SIZE};
+pub use fifo::RingFifo;
+pub use geometry::CacheGeometry;
+pub use ids::{CoreId, ThreadId, TxnTypeId};
+pub use latency::{l1_latency_for_size, LatencyTable};
+pub use rng::SplitMix64;
+
+/// Simulated clock cycles.
+///
+/// Kept as a plain `u64` alias rather than a newtype: cycle arithmetic
+/// saturates every hot path of the timing model and the alias keeps that
+/// code legible. All public APIs name the unit in the parameter.
+pub type Cycle = u64;

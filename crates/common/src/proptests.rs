@@ -1,0 +1,91 @@
+//! Property-based tests over the shared vocabulary types.
+
+use crate::{Addr, BlockAddr, CacheGeometry, LatencyTable, RingFifo, SplitMix64};
+use proptest::prelude::*;
+
+fn arb_geometry() -> impl Strategy<Value = CacheGeometry> {
+    (0u32..6, 0u32..4).prop_map(|(sets_pow, assoc_pow)| {
+        let sets = 1u64 << sets_pow;
+        let assoc = 1u32 << assoc_pow;
+        CacheGeometry::new(sets * assoc as u64 * 64, assoc, 64)
+    })
+}
+
+proptest! {
+    #[test]
+    fn geometry_set_tag_roundtrip(geom in arb_geometry(), raw in any::<u64>()) {
+        let b = BlockAddr::new(raw >> 8);
+        let set = geom.set_index(b);
+        let tag = geom.tag(b);
+        prop_assert!(set < geom.num_sets() as usize);
+        prop_assert_eq!(geom.block_from_parts(set, tag), b);
+    }
+
+    #[test]
+    fn addr_block_consistency(raw in any::<u64>()) {
+        let a = Addr::new(raw >> 1);
+        prop_assert_eq!(a.block(64), a.block_default());
+        prop_assert!(a.block(64).base_addr(64).raw() <= a.raw());
+        prop_assert!(a.raw() - a.block(64).base_addr(64).raw() < 64);
+    }
+
+    #[test]
+    fn splitmix_streams_are_reproducible(seed in any::<u64>(), salt in any::<u64>()) {
+        let root = SplitMix64::new(seed);
+        let mut a = root.split(salt);
+        let mut b = root.split(salt);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn next_below_is_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn latency_tables_are_monotone(entries in prop::collection::vec((1u64..1_000_000, 1u64..100), 1..6)) {
+        let mut sorted = entries;
+        sorted.sort_unstable();
+        sorted.dedup_by_key(|e| e.0);
+        // Make latencies non-decreasing.
+        let mut lat = 0;
+        for e in &mut sorted {
+            lat = lat.max(e.1);
+            e.1 = lat;
+        }
+        let table = LatencyTable::from_entries(sorted.clone());
+        let mut last = 0;
+        for cap in [1u64, 10, 1000, 100_000, 10_000_000] {
+            let l = table.l1_latency(cap);
+            prop_assert!(l >= last, "latency decreased at {cap}");
+            last = l;
+        }
+    }
+
+    #[test]
+    fn fifo_preserves_order_and_capacity(
+        capacity in 1usize..16,
+        items in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let mut fifo = RingFifo::new(capacity);
+        let mut evicted = Vec::new();
+        for &x in &items {
+            if let Some(e) = fifo.push(x) {
+                evicted.push(e);
+            }
+            prop_assert!(fifo.len() <= capacity);
+        }
+        let mut drained = Vec::new();
+        while let Some(x) = fifo.pop() {
+            drained.push(x);
+        }
+        // Evicted ++ drained must equal the input sequence.
+        evicted.extend(drained);
+        prop_assert_eq!(evicted, items);
+    }
+}

@@ -1,0 +1,327 @@
+//! The per-core SLICC agent: the Figure-5 migration decision.
+//!
+//! "A SLICC agent at each core continuously monitors execution locally in
+//! order to determine whether (Q.1) the local cache is filled-up with
+//! useful instruction blocks, if so, (Q.2) whether these blocks are
+//! useful to the current thread and for how long, and (Q.3) where to
+//! migrate to if needed." (§4.1)
+//!
+//! The agent is a pure decision structure: the simulator feeds it fetch
+//! outcomes (and, when requested, the remote-search sharing vector) and
+//! reads back advice. All timing, bloom-filter queries, and broadcast
+//! accounting stay in the simulator.
+
+use crate::mask::CoreMask;
+use crate::mc::MissCounter;
+use crate::msv::MissShiftVector;
+use crate::mtq::MissedTagQueue;
+use crate::params::SliccParams;
+use slicc_common::CoreId;
+
+/// What the agent recommends for its running thread (§4.1 Q.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MigrationAdvice {
+    /// Keep executing here.
+    Stay,
+    /// Migrate to one of these cores — they hold all `matched_t` recently
+    /// missed blocks (the simulator picks the nearest).
+    Migrate(CoreMask),
+    /// No remote cache holds the next segment; migrate to an idle core if
+    /// one exists, else stay (§4.1: options (2) and (3)).
+    SeekIdle,
+}
+
+/// One core's SLICC hardware: MC + MSV + MTQ and the decision logic.
+///
+/// # Example
+///
+/// ```
+/// use slicc_core::{CoreMask, MigrationAdvice, SliccAgent, SliccParams};
+/// use slicc_common::CoreId;
+///
+/// let params = SliccParams::paper_default().with_fill_up(1).with_dilution(0).with_matched(1);
+/// let mut agent = SliccAgent::new(CoreId::new(0), params);
+/// // One miss fills the (tiny) cache; the next miss is cached at core 3.
+/// agent.on_fetch(false, None);
+/// let mut sharers = CoreMask::empty();
+/// sharers.insert(CoreId::new(3));
+/// agent.on_fetch(false, Some(sharers));
+/// assert_eq!(agent.advice(), MigrationAdvice::Migrate(sharers));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SliccAgent {
+    core: CoreId,
+    params: SliccParams,
+    mc: MissCounter,
+    msv: MissShiftVector,
+    mtq: MissedTagQueue,
+}
+
+impl SliccAgent {
+    /// Creates the agent for `core`.
+    pub fn new(core: CoreId, params: SliccParams) -> Self {
+        SliccAgent {
+            core,
+            params,
+            mc: MissCounter::new(params.fill_up_t),
+            msv: MissShiftVector::new(params.msv_window),
+            mtq: MissedTagQueue::new(params.matched_t),
+        }
+    }
+
+    /// The core this agent monitors.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// The thresholds in use.
+    pub fn params(&self) -> &SliccParams {
+        &self.params
+    }
+
+    /// Whether the local cache is considered full (Q.1). While false the
+    /// thread is warming the cache and never migrates.
+    pub fn cache_full(&self) -> bool {
+        self.mc.is_full()
+    }
+
+    /// Whether the simulator should perform (and pay for) a remote cache
+    /// segment search for the miss it is about to report. Searches are
+    /// issued by "a thread that wants to migrate" (§5.8): the cache must
+    /// be (about to be) full and the miss stream diluted enough that the
+    /// upcoming misses look like a new segment's preamble. This is what
+    /// keeps BPKI low.
+    pub fn wants_remote_search(&self) -> bool {
+        // The miss about to be reported will itself saturate the MC at
+        // count+1, so search one miss early to keep the MTQ warm. The
+        // miss also shifts into the MSV, so dilution is tested one short.
+        self.mc.count() + 1 >= self.params.fill_up_t
+            && self.msv.miss_count() + 1 >= self.params.dilution_t
+    }
+
+    /// Feeds one L1-I access outcome of the running thread. For misses,
+    /// `remote_sharers` is the sharing vector from the remote search, or
+    /// `None` when no search was performed (the miss still trains the MC
+    /// and MSV, but only *searched* misses enter the MTQ — an unsearched
+    /// miss carries no location information and would poison the AND).
+    pub fn on_fetch(&mut self, hit: bool, remote_sharers: Option<CoreMask>) {
+        if !hit {
+            self.mc.record_miss();
+        }
+        if self.mc.is_full() {
+            self.msv.record(!hit);
+            if !hit {
+                if let Some(sharers) = remote_sharers {
+                    self.mtq.push(sharers.without(self.core));
+                }
+            }
+        }
+    }
+
+    /// The Figure-5 decision for the running thread, combining Q.1
+    /// (cache full), Q.2 (miss dilution), and Q.3 (remote segment
+    /// search).
+    pub fn advice(&self) -> MigrationAdvice {
+        if !self.mc.is_full() {
+            return MigrationAdvice::Stay;
+        }
+        if !self.msv.is_diluted(self.params.dilution_t) {
+            return MigrationAdvice::Stay;
+        }
+        if !self.mtq.is_full() {
+            return MigrationAdvice::Stay;
+        }
+        let candidates = self.mtq.common_cores().without(self.core);
+        if candidates.is_empty() {
+            MigrationAdvice::SeekIdle
+        } else {
+            MigrationAdvice::Migrate(candidates)
+        }
+    }
+
+    /// Whether the running thread appears to have crossed a working
+    /// segment boundary: the cache is full and recent misses are diluted.
+    /// This is the Q.1+Q.2 signal without Q.3's remote search — what a
+    /// STEPS-style time-multiplexer switches threads on.
+    pub fn chunk_boundary(&self) -> bool {
+        self.mc.is_full() && self.msv.is_diluted(self.params.dilution_t)
+    }
+
+    /// The running thread left this core (migrated or completed): per
+    /// §4.2.2 the MSV resets with every migration, and the MTQ tracks the
+    /// *current* thread's misses so it resets too.
+    pub fn on_thread_departed(&mut self) {
+        self.msv.reset();
+        self.mtq.reset();
+    }
+
+    /// The core's thread queue became empty: reset the MC so a future
+    /// thread may load a new segment (§4.2.1). Cached blocks are not
+    /// flushed.
+    pub fn on_queue_empty(&mut self) {
+        self.mc.reset();
+    }
+
+    /// Team completed (SLICC-SW/Pp): "SLICC resets all MCs, MTQs and
+    /// MSVs" (§4.3.2).
+    pub fn reset_all(&mut self) {
+        self.mc.reset();
+        self.msv.reset();
+        self.mtq.reset();
+    }
+
+    /// Diagnostic access to the miss counter.
+    pub fn miss_counter(&self) -> &MissCounter {
+        &self.mc
+    }
+
+    /// Diagnostic access to the miss shift vector.
+    pub fn miss_shift_vector(&self) -> &MissShiftVector {
+        &self.msv
+    }
+
+    /// Diagnostic access to the missed tag queue.
+    pub fn missed_tag_queue(&self) -> &MissedTagQueue {
+        &self.mtq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask(cores: &[u16]) -> CoreMask {
+        cores.iter().map(|&c| CoreId::new(c)).collect()
+    }
+
+    fn quick_params() -> SliccParams {
+        SliccParams::paper_default().with_fill_up(2).with_matched(2).with_dilution(1)
+    }
+
+    #[test]
+    fn never_migrates_while_filling_up() {
+        let mut a = SliccAgent::new(CoreId::new(0), SliccParams::paper_default());
+        for _ in 0..255 {
+            a.on_fetch(false, Some(mask(&[1])));
+            assert_eq!(a.advice(), MigrationAdvice::Stay);
+        }
+        assert!(!a.cache_full());
+    }
+
+    #[test]
+    fn migrates_to_core_holding_all_recent_misses() {
+        let mut a = SliccAgent::new(CoreId::new(0), quick_params());
+        a.on_fetch(false, Some(mask(&[])));
+        a.on_fetch(false, Some(mask(&[]))); // MC full now
+        assert!(a.cache_full());
+        a.on_fetch(false, Some(mask(&[3, 5])));
+        a.on_fetch(false, Some(mask(&[3])));
+        assert_eq!(a.advice(), MigrationAdvice::Migrate(mask(&[3])));
+    }
+
+    #[test]
+    fn seeks_idle_when_no_common_core() {
+        let mut a = SliccAgent::new(CoreId::new(0), quick_params());
+        a.on_fetch(false, Some(mask(&[])));
+        a.on_fetch(false, Some(mask(&[])));
+        a.on_fetch(false, Some(mask(&[3])));
+        a.on_fetch(false, Some(mask(&[5])));
+        assert_eq!(a.advice(), MigrationAdvice::SeekIdle);
+    }
+
+    #[test]
+    fn own_core_never_counts_as_remote_match() {
+        let mut a = SliccAgent::new(CoreId::new(2), quick_params());
+        a.on_fetch(false, Some(mask(&[])));
+        a.on_fetch(false, Some(mask(&[])));
+        // Both misses "found" only on core 2 itself.
+        a.on_fetch(false, Some(mask(&[2])));
+        a.on_fetch(false, Some(mask(&[2])));
+        assert_eq!(a.advice(), MigrationAdvice::SeekIdle);
+    }
+
+    #[test]
+    fn dilution_gate_blocks_migration_on_low_miss_frequency() {
+        let params = SliccParams::paper_default().with_fill_up(2).with_matched(2).with_dilution(10);
+        let mut a = SliccAgent::new(CoreId::new(0), params);
+        a.on_fetch(false, Some(mask(&[])));
+        a.on_fetch(false, Some(mask(&[])));
+        // Two misses among many hits: dilution (10) not reached.
+        a.on_fetch(false, Some(mask(&[3])));
+        a.on_fetch(false, Some(mask(&[3])));
+        for _ in 0..50 {
+            a.on_fetch(true, None);
+        }
+        assert_eq!(a.advice(), MigrationAdvice::Stay);
+        // A burst of misses tips the dilution over the threshold.
+        for _ in 0..10 {
+            a.on_fetch(false, Some(mask(&[3])));
+        }
+        assert_eq!(a.advice(), MigrationAdvice::Migrate(mask(&[3])));
+    }
+
+    #[test]
+    fn departure_resets_msv_and_mtq_but_not_mc() {
+        let mut a = SliccAgent::new(CoreId::new(0), quick_params());
+        for _ in 0..4 {
+            a.on_fetch(false, Some(mask(&[3])));
+        }
+        assert_ne!(a.advice(), MigrationAdvice::Stay);
+        a.on_thread_departed();
+        assert!(a.cache_full(), "MC survives thread departure");
+        assert_eq!(a.advice(), MigrationAdvice::Stay, "MSV/MTQ reset");
+    }
+
+    #[test]
+    fn queue_empty_resets_only_mc() {
+        let mut a = SliccAgent::new(CoreId::new(0), quick_params());
+        for _ in 0..4 {
+            a.on_fetch(false, Some(mask(&[3])));
+        }
+        a.on_queue_empty();
+        assert!(!a.cache_full());
+        // Not full => Stay regardless of MTQ contents.
+        assert_eq!(a.advice(), MigrationAdvice::Stay);
+    }
+
+    #[test]
+    fn reset_all_clears_everything() {
+        let mut a = SliccAgent::new(CoreId::new(0), quick_params());
+        for _ in 0..4 {
+            a.on_fetch(false, Some(mask(&[3])));
+        }
+        a.reset_all();
+        assert!(!a.cache_full());
+        assert!(a.missed_tag_queue().is_empty());
+        assert_eq!(a.miss_shift_vector().miss_count(), 0);
+    }
+
+    #[test]
+    fn wants_remote_search_requires_fill_and_dilution() {
+        let params = SliccParams::paper_default().with_fill_up(3).with_dilution(2);
+        let mut a = SliccAgent::new(CoreId::new(0), params);
+        assert!(!a.wants_remote_search());
+        a.on_fetch(false, None);
+        assert!(!a.wants_remote_search(), "cache not yet full");
+        a.on_fetch(false, None);
+        // MC will saturate on the next miss, but the MSV (enabled only
+        // once full) has seen just that one saturating miss... none yet.
+        a.on_fetch(false, None);
+        // Now full; one miss in the MSV; dilution 2 tested one short.
+        assert!(a.wants_remote_search(), "full and dilution within one miss");
+        // A long run of hits clears the dilution: no more searching.
+        for _ in 0..200 {
+            a.on_fetch(true, None);
+        }
+        assert!(!a.wants_remote_search());
+    }
+
+    #[test]
+    fn hits_do_not_fill_the_mc() {
+        let mut a = SliccAgent::new(CoreId::new(0), quick_params());
+        for _ in 0..100 {
+            a.on_fetch(true, None);
+        }
+        assert!(!a.cache_full());
+    }
+}

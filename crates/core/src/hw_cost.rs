@@ -1,0 +1,149 @@
+//! SLICC's hardware storage budget (Table 3).
+//!
+//! The paper itemizes SLICC's per-core storage: the cache monitor unit
+//! (MTQ + MSV + bloom signature = 2208 bits), the thread scheduler
+//! (30-entry thread queue = 1920 bits), and the team-formation table for
+//! SLICC-SW/Pp (60 entries = 3600 bits) — a grand total of 7728 bits =
+//! 966 bytes, i.e. **2.4% of PIF's ~40 KB** prefetcher storage.
+
+/// Configuration determining the storage cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HwCostConfig {
+    /// Number of cores (MTQ entries are `cores - 1` bits: one bit per
+    /// possible remote holder).
+    pub cores: u32,
+    /// MTQ depth (`matched_t`).
+    pub matched_t: u32,
+    /// MSV window length in bits.
+    pub msv_bits: u32,
+    /// Bloom-filter signature size in bits.
+    pub bloom_bits: u32,
+    /// Thread-queue entries (Table 3: 30).
+    pub thread_queue_entries: u32,
+    /// Bits per thread-queue entry: 12-bit numerical id + 48-bit context
+    /// pointer + 4-bit core id.
+    pub thread_queue_entry_bits: u32,
+    /// Team-management table entries (Table 3: 60).
+    pub team_table_entries: u32,
+    /// Bits per team-table entry: 12-bit id + 32-bit timestamp + 4-bit
+    /// type id + 4-bit team id + 8-bit team index.
+    pub team_table_entry_bits: u32,
+}
+
+impl HwCostConfig {
+    /// Table 3's configuration: 16 cores, matched_t = 4, 100-bit MSV,
+    /// 2K-bit bloom filter, 30-entry thread queue, 60-entry team table.
+    pub fn paper_table3() -> Self {
+        HwCostConfig {
+            cores: 16,
+            matched_t: 4,
+            msv_bits: 100,
+            bloom_bits: 2048,
+            thread_queue_entries: 30,
+            thread_queue_entry_bits: 12 + 48 + 4,
+            team_table_entries: 60,
+            team_table_entry_bits: 12 + 32 + 4 + 4 + 8,
+        }
+    }
+
+    /// Computes the itemized budget.
+    pub fn breakdown(&self) -> HwCostBreakdown {
+        let mtq_bits = self.matched_t * (self.cores - 1);
+        let monitor_bits = mtq_bits + self.msv_bits + self.bloom_bits;
+        let thread_queue_bits = self.thread_queue_entries * self.thread_queue_entry_bits;
+        let team_table_bits = self.team_table_entries * self.team_table_entry_bits;
+        HwCostBreakdown {
+            mtq_bits,
+            msv_bits: self.msv_bits,
+            bloom_bits: self.bloom_bits,
+            monitor_bits,
+            thread_queue_bits,
+            team_table_bits,
+            total_bits: monitor_bits + thread_queue_bits + team_table_bits,
+        }
+    }
+}
+
+impl Default for HwCostConfig {
+    fn default() -> Self {
+        HwCostConfig::paper_table3()
+    }
+}
+
+/// Itemized storage bits (Table 3 rows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HwCostBreakdown {
+    /// Missed tag queue bits.
+    pub mtq_bits: u32,
+    /// Miss shift vector bits.
+    pub msv_bits: u32,
+    /// Bloom-filter signature bits.
+    pub bloom_bits: u32,
+    /// Cache monitor unit subtotal.
+    pub monitor_bits: u32,
+    /// Thread scheduler (queue) subtotal.
+    pub thread_queue_bits: u32,
+    /// Team-formation table subtotal (SLICC-SW/Pp only).
+    pub team_table_bits: u32,
+    /// Grand total.
+    pub total_bits: u32,
+}
+
+impl HwCostBreakdown {
+    /// Grand total in bytes (rounded up).
+    pub fn total_bytes(&self) -> u32 {
+        self.total_bits.div_ceil(8)
+    }
+
+    /// Storage relative to a prefetcher budget of `other_bytes` per core
+    /// (PIF: ~40 KB ⇒ SLICC is ~2.4%).
+    pub fn relative_to(&self, other_bytes: u32) -> f64 {
+        self.total_bytes() as f64 / other_bytes as f64
+    }
+}
+
+/// PIF's per-core storage requirement (§5.6: "PIF's storage requirements
+/// are ∼40 KB per core").
+pub const PIF_STORAGE_BYTES: u32 = 40 * 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table_3_exactly() {
+        let b = HwCostConfig::paper_table3().breakdown();
+        assert_eq!(b.mtq_bits, 60);
+        assert_eq!(b.msv_bits, 100);
+        assert_eq!(b.bloom_bits, 2048);
+        assert_eq!(b.monitor_bits, 2208);
+        assert_eq!(b.thread_queue_bits, 1920);
+        assert_eq!(b.team_table_bits, 3600);
+        assert_eq!(b.total_bits, 7728);
+        assert_eq!(b.total_bytes(), 966);
+    }
+
+    #[test]
+    fn monitor_subtotal_matches_paper_bytes() {
+        let b = HwCostConfig::paper_table3().breakdown();
+        assert_eq!(b.monitor_bits.div_ceil(8), 276);
+        assert_eq!(b.thread_queue_bits / 8, 240);
+        assert_eq!(b.team_table_bits / 8, 450);
+    }
+
+    #[test]
+    fn relative_to_pif_is_about_2_4_percent() {
+        let b = HwCostConfig::paper_table3().breakdown();
+        let rel = b.relative_to(PIF_STORAGE_BYTES);
+        assert!((rel - 0.024).abs() < 0.001, "relative cost {rel}");
+    }
+
+    #[test]
+    fn cost_scales_with_configuration() {
+        let mut cfg = HwCostConfig::paper_table3();
+        cfg.matched_t = 8;
+        assert!(cfg.breakdown().mtq_bits > 60);
+        cfg.bloom_bits = 8192;
+        assert!(cfg.breakdown().total_bits > 7728);
+    }
+}

@@ -1,0 +1,111 @@
+//! The cache-full detector: a resettable, saturating miss counter.
+//!
+//! §4.2.1: "A log2(L1I cache blocks) wide saturating miss counter (MC)
+//! continuously counts the number of misses. When MC saturates at a value
+//! of fill-up_t SLICC assumes that the cache has now captured a full
+//! segment and may trigger migrations accordingly." The counter resets
+//! when the core's thread queue becomes empty — giving new segments a
+//! chance to be cached — but the cached blocks themselves are never
+//! flushed.
+
+/// A saturating miss counter with a fill-up threshold.
+///
+/// # Example
+///
+/// ```
+/// use slicc_core::MissCounter;
+///
+/// let mut mc = MissCounter::new(3);
+/// assert!(!mc.is_full());
+/// mc.record_miss();
+/// mc.record_miss();
+/// mc.record_miss();
+/// assert!(mc.is_full());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MissCounter {
+    count: u32,
+    fill_up_t: u32,
+}
+
+impl MissCounter {
+    /// Creates a counter that saturates at `fill_up_t` misses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill_up_t` is zero (the cache would always be "full").
+    pub fn new(fill_up_t: u32) -> Self {
+        assert!(fill_up_t > 0, "fill-up threshold must be positive");
+        MissCounter { count: 0, fill_up_t }
+    }
+
+    /// Records one L1-I miss; saturates at the threshold.
+    pub fn record_miss(&mut self) {
+        if self.count < self.fill_up_t {
+            self.count += 1;
+        }
+    }
+
+    /// Whether the cache is considered full of useful blocks (Q.1).
+    pub fn is_full(&self) -> bool {
+        self.count >= self.fill_up_t
+    }
+
+    /// Current count (saturated).
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// The threshold.
+    pub fn fill_up_t(&self) -> u32 {
+        self.fill_up_t
+    }
+
+    /// Resets the counter (triggered when the core's thread queue
+    /// empties, or when a team completes under SLICC-SW/Pp).
+    pub fn reset(&mut self) {
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_at_threshold() {
+        let mut mc = MissCounter::new(4);
+        for i in 0..4 {
+            assert!(!mc.is_full(), "full after only {i} misses");
+            mc.record_miss();
+        }
+        assert!(mc.is_full());
+    }
+
+    #[test]
+    fn saturates_without_overflow() {
+        let mut mc = MissCounter::new(2);
+        for _ in 0..1000 {
+            mc.record_miss();
+        }
+        assert_eq!(mc.count(), 2);
+        assert!(mc.is_full());
+    }
+
+    #[test]
+    fn reset_empties_but_keeps_threshold() {
+        let mut mc = MissCounter::new(2);
+        mc.record_miss();
+        mc.record_miss();
+        mc.reset();
+        assert!(!mc.is_full());
+        assert_eq!(mc.count(), 0);
+        assert_eq!(mc.fill_up_t(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_panics() {
+        let _ = MissCounter::new(0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests over the SLICC hardware structures.
+
+use crate::mask::CoreMask;
+use crate::msv::MissShiftVector;
+use crate::mtq::MissedTagQueue;
+use crate::team::{TeamFormer, TeamKind};
+use proptest::prelude::*;
+use slicc_common::{ThreadId, TxnTypeId};
+
+proptest! {
+    #[test]
+    fn msv_count_matches_window_contents(
+        window in 1u32..64,
+        outcomes in prop::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let mut msv = MissShiftVector::new(window);
+        for &miss in &outcomes {
+            msv.record(miss);
+        }
+        let expected = outcomes
+            .iter()
+            .rev()
+            .take(window as usize)
+            .filter(|&&m| m)
+            .count() as u32;
+        prop_assert_eq!(msv.miss_count(), expected);
+        prop_assert!(msv.recorded() <= window);
+    }
+
+    #[test]
+    fn mtq_common_cores_is_intersection(
+        depth in 1u32..8,
+        entries in prop::collection::vec(any::<u16>(), 0..24),
+    ) {
+        let mut mtq = MissedTagQueue::new(depth);
+        for &bits in &entries {
+            mtq.push(CoreMask::from_bits(bits as u32));
+        }
+        let common = mtq.common_cores();
+        if entries.len() < depth as usize {
+            prop_assert!(common.is_empty(), "partial queue must report nothing");
+        } else {
+            let expected = entries
+                .iter()
+                .rev()
+                .take(depth as usize)
+                .fold(u32::MAX, |acc, &b| acc & b as u32);
+            prop_assert_eq!(common.bits(), expected & 0xffff);
+        }
+    }
+
+    #[test]
+    fn core_mask_set_semantics(bits_a in any::<u16>(), bits_b in any::<u16>()) {
+        let a = CoreMask::from_bits(bits_a as u32);
+        let b = CoreMask::from_bits(bits_b as u32);
+        prop_assert_eq!((a & b).bits(), (bits_a & bits_b) as u32);
+        prop_assert_eq!((a | b).bits(), (bits_a | bits_b) as u32);
+        prop_assert_eq!(a.len(), bits_a.count_ones());
+        let rebuilt: CoreMask = a.iter().collect();
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn teams_partition_threads(
+        n_cores in 1usize..32,
+        types in prop::collection::vec(0u16..5, 0..120),
+    ) {
+        let former = TeamFormer::new(n_cores);
+        let threads: Vec<(ThreadId, TxnTypeId)> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (ThreadId::new(i as u32), TxnTypeId::new(t)))
+            .collect();
+        let teams = former.form_teams(&threads);
+        // Every thread appears exactly once.
+        let mut seen: Vec<u32> = teams.iter().flat_map(|p| p.members.iter().map(|m| m.raw())).collect();
+        seen.sort_unstable();
+        let mut expected: Vec<u32> = (0..types.len() as u32).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(seen, expected);
+        for plan in &teams {
+            // Homogeneous type, bounded size, consistent classification.
+            prop_assert!(plan.members.len() <= former.max_team_size());
+            prop_assert!(!plan.members.is_empty());
+            prop_assert_eq!(former.classify(plan.members.len()), plan.kind);
+            for w in plan.members.windows(2) {
+                prop_assert!(w[0] < w[1], "members stay in arrival order");
+            }
+        }
+        // Teams come out oldest-first.
+        for w in teams.windows(2) {
+            prop_assert!(w[0].arrival <= w[1].arrival);
+        }
+        // Strays are genuinely small teams.
+        for plan in &teams {
+            if plan.kind == TeamKind::Stray {
+                prop_assert!(2 * plan.members.len() < n_cores);
+            }
+        }
+    }
+}

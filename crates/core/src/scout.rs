@@ -1,0 +1,171 @@
+//! SLICC-Pp's scout-core type detection.
+//!
+//! §4.3.1: "SLICC-Pp uses a hardware preprocessing phase to assign types
+//! to threads as they launch. [...] A middle-ware layer assigns threads
+//! in groups to a core devoted for this purpose (scout core). There, each
+//! thread executes a few tens of instructions, while the instruction
+//! addresses are hashed. The resulting values are used as thread type
+//! identifiers. Experiments show that SLICC-Pp is 100% accurate when
+//! executing a small number of instructions."
+
+use slicc_common::{BlockAddr, TxnTypeId};
+use std::collections::HashMap;
+
+/// Hashes the first `budget` instruction fetches of a thread into a type
+/// signature.
+///
+/// # Example
+///
+/// ```
+/// use slicc_core::ScoutHasher;
+/// use slicc_common::BlockAddr;
+///
+/// let mut h = ScoutHasher::new(2);
+/// assert_eq!(h.observe(BlockAddr::new(10)), None);
+/// let sig = h.observe(BlockAddr::new(11)).expect("budget reached");
+/// assert!(h.is_done());
+/// # let _ = sig;
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScoutHasher {
+    budget: u32,
+    seen: u32,
+    state: u64,
+}
+
+impl ScoutHasher {
+    /// Default preprocessing length: "a few tens of instructions".
+    pub const DEFAULT_INSTRUCTIONS: u32 = 48;
+
+    /// Creates a hasher over the first `budget` instruction fetches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    pub fn new(budget: u32) -> Self {
+        assert!(budget > 0, "scout budget must be positive");
+        ScoutHasher { budget, seen: 0, state: 0xcbf2_9ce4_8422_2325 }
+    }
+
+    /// Feeds one fetched instruction block; returns the signature once the
+    /// budget is reached (then keeps returning it).
+    pub fn observe(&mut self, block: BlockAddr) -> Option<u64> {
+        if self.seen < self.budget {
+            // FNV-1a over the block address bytes.
+            let mut x = block.raw();
+            for _ in 0..8 {
+                self.state ^= x & 0xff;
+                self.state = self.state.wrapping_mul(0x1000_0000_01b3);
+                x >>= 8;
+            }
+            self.seen += 1;
+        }
+        self.is_done().then_some(self.state)
+    }
+
+    /// Whether the budget has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.seen >= self.budget
+    }
+
+    /// Instructions observed so far.
+    pub fn observed(&self) -> u32 {
+        self.seen
+    }
+}
+
+/// Maps scout signatures to dense detected-type identifiers.
+///
+/// The hardware does not know the software's type names; it only needs
+/// *equal signatures ⇒ same type id*. Ids are assigned in first-seen
+/// order.
+#[derive(Clone, Debug, Default)]
+pub struct TypeRegistry {
+    map: HashMap<u64, TxnTypeId>,
+}
+
+impl TypeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        TypeRegistry::default()
+    }
+
+    /// Returns the type id for `signature`, allocating the next dense id
+    /// on first sight.
+    pub fn type_for(&mut self, signature: u64) -> TxnTypeId {
+        let next = TxnTypeId::new(self.map.len() as u16);
+        *self.map.entry(signature).or_insert(next)
+    }
+
+    /// Distinct signatures seen.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no signatures have been registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_prefix_same_signature() {
+        let blocks: Vec<_> = (100..148).map(BlockAddr::new).collect();
+        let run = |blocks: &[BlockAddr]| {
+            let mut h = ScoutHasher::new(48);
+            let mut sig = None;
+            for &b in blocks {
+                sig = h.observe(b);
+            }
+            sig.expect("budget consumed")
+        };
+        assert_eq!(run(&blocks), run(&blocks));
+    }
+
+    #[test]
+    fn different_prefixes_differ() {
+        let a: Vec<_> = (100..148).map(BlockAddr::new).collect();
+        let b: Vec<_> = (200..248).map(BlockAddr::new).collect();
+        let mut ha = ScoutHasher::new(48);
+        let mut hb = ScoutHasher::new(48);
+        let (mut sa, mut sb) = (None, None);
+        for i in 0..48 {
+            sa = ha.observe(a[i]);
+            sb = hb.observe(b[i]);
+        }
+        assert_ne!(sa.unwrap(), sb.unwrap());
+    }
+
+    #[test]
+    fn extra_observations_do_not_change_signature() {
+        let mut h = ScoutHasher::new(2);
+        h.observe(BlockAddr::new(1));
+        let sig = h.observe(BlockAddr::new(2)).unwrap();
+        let same = h.observe(BlockAddr::new(999)).unwrap();
+        assert_eq!(sig, same);
+        assert_eq!(h.observed(), 2);
+    }
+
+    #[test]
+    fn registry_assigns_dense_first_seen_ids() {
+        let mut r = TypeRegistry::new();
+        assert!(r.is_empty());
+        let a = r.type_for(111);
+        let b = r.type_for(222);
+        let a2 = r.type_for(111);
+        assert_eq!(a, TxnTypeId::new(0));
+        assert_eq!(b, TxnTypeId::new(1));
+        assert_eq!(a, a2);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_budget_panics() {
+        let _ = ScoutHasher::new(0);
+    }
+}

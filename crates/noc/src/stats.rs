@@ -1,0 +1,115 @@
+//! Interconnect message accounting.
+//!
+//! §5.8 reports SLICC's remote-cache search traffic as **BPKI** —
+//! broadcasts per kilo-instruction — and finds it very low (0.28–2.2
+//! depending on variant and workload). These counters feed that metric.
+
+/// Message counters for one simulated interconnect.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NocStats {
+    /// Point-to-point messages (L1 miss requests/responses, write-backs,
+    /// invalidations, context transfers).
+    pub unicasts: u64,
+    /// Broadcast messages (SLICC remote segment searches and idle-core
+    /// queries).
+    pub broadcasts: u64,
+    /// Total hop-traversals by unicast messages (for utilization
+    /// estimates).
+    pub unicast_hops: u64,
+}
+
+impl NocStats {
+    /// Records one point-to-point message covering `hops` links.
+    pub fn record_unicast(&mut self, hops: u32) {
+        self.unicasts += 1;
+        self.unicast_hops += hops as u64;
+    }
+
+    /// Records one broadcast.
+    pub fn record_broadcast(&mut self) {
+        self.broadcasts += 1;
+    }
+
+    /// Broadcasts per kilo-instruction given the run's instruction count;
+    /// zero when no instructions were executed.
+    pub fn bpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            1000.0 * self.broadcasts as f64 / instructions as f64
+        }
+    }
+
+    /// Mean hops per unicast; zero when no unicasts were recorded.
+    pub fn mean_unicast_hops(&self) -> f64 {
+        if self.unicasts == 0 {
+            0.0
+        } else {
+            self.unicast_hops as f64 / self.unicasts as f64
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&mut self) {
+        *self = NocStats::default();
+    }
+
+    /// Adds another stats block into this one (aggregating cores).
+    pub fn merge(&mut self, other: &NocStats) {
+        self.unicasts += other.unicasts;
+        self.broadcasts += other.broadcasts;
+        self.unicast_hops += other.unicast_hops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bpki_matches_definition() {
+        let mut s = NocStats::default();
+        for _ in 0..28 {
+            s.record_broadcast();
+        }
+        // 28 broadcasts over 100K instructions = 0.28 BPKI (the paper's
+        // SLICC-SW TPC-C figure).
+        assert!((s.bpki(100_000) - 0.28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bpki_zero_instructions() {
+        let s = NocStats { broadcasts: 5, ..Default::default() };
+        assert_eq!(s.bpki(0), 0.0);
+    }
+
+    #[test]
+    fn unicast_hop_accounting() {
+        let mut s = NocStats::default();
+        s.record_unicast(2);
+        s.record_unicast(4);
+        assert_eq!(s.unicasts, 2);
+        assert_eq!(s.unicast_hops, 6);
+        assert!((s.mean_unicast_hops() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = NocStats::default();
+        a.record_unicast(1);
+        let mut b = NocStats::default();
+        b.record_broadcast();
+        b.record_unicast(3);
+        a.merge(&b);
+        assert_eq!(a.unicasts, 2);
+        assert_eq!(a.broadcasts, 1);
+        assert_eq!(a.unicast_hops, 4);
+        a.reset();
+        assert_eq!(a, NocStats::default());
+    }
+
+    #[test]
+    fn mean_hops_zero_when_empty() {
+        assert_eq!(NocStats::default().mean_unicast_hops(), 0.0);
+    }
+}

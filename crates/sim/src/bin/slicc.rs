@@ -1,0 +1,172 @@
+//! `slicc` — command-line driver for the SLICC chip-multiprocessor
+//! simulator.
+//!
+//! ```text
+//! slicc [OPTIONS]
+//!
+//!   --workload tpcc1|tpcc10|tpce|mapreduce    (default tpcc1)
+//!   --mode     base|slicc|slicc-sw|slicc-pp|steps   (default slicc-sw)
+//!   --scale    tiny|small|paper               (default small)
+//!   --tasks    N                              override transaction count
+//!   --seed     N                              workload seed
+//!   --policy   lru|lip|bip|dip|srrip|brrip|drrip
+//!   --l1i-kib  N                              L1-I capacity
+//!   --next-line                               enable next-line prefetch
+//!   --pif-bound                               the paper's PIF model
+//!   --pif-real                                the real PIF prefetcher
+//!   --fill-up N --matched N --dilution N      SLICC thresholds
+//!   --classify                                3C miss classification
+//!   --baseline-compare                        also run the baseline and
+//!                                             report speedup
+//! ```
+
+use slicc_cache::PolicyKind;
+use slicc_sim::{run, RunMetrics, SchedulerMode, SimConfig};
+use slicc_trace::{TraceScale, Workload};
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("see the crate docs (`slicc --help` output is at the top of src/bin/slicc.rs)");
+    std::process::exit(2);
+}
+
+struct Options {
+    workload: Workload,
+    mode: SchedulerMode,
+    scale: TraceScale,
+    tasks: Option<u32>,
+    seed: Option<u64>,
+    cfg: SimConfig,
+    compare: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        workload: Workload::TpcC1,
+        mode: SchedulerMode::SliccSw,
+        scale: TraceScale::small(),
+        tasks: None,
+        seed: None,
+        cfg: SimConfig::paper_baseline(),
+        compare: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage("missing option value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                opts.workload = match value(&mut i).as_str() {
+                    "tpcc1" => Workload::TpcC1,
+                    "tpcc10" => Workload::TpcC10,
+                    "tpce" => Workload::TpcE,
+                    "mapreduce" => Workload::MapReduce,
+                    w => usage(&format!("unknown workload {w}")),
+                }
+            }
+            "--mode" => {
+                opts.mode = match value(&mut i).as_str() {
+                    "base" => SchedulerMode::Baseline,
+                    "slicc" => SchedulerMode::Slicc,
+                    "slicc-sw" => SchedulerMode::SliccSw,
+                    "slicc-pp" => SchedulerMode::SliccPp,
+                    "steps" => SchedulerMode::Steps,
+                    m => usage(&format!("unknown mode {m}")),
+                }
+            }
+            "--scale" => {
+                opts.scale = match value(&mut i).as_str() {
+                    "tiny" => TraceScale::tiny(),
+                    "small" => TraceScale::small(),
+                    "paper" => TraceScale::paper_like(),
+                    s => usage(&format!("unknown scale {s}")),
+                }
+            }
+            "--tasks" => opts.tasks = Some(value(&mut i).parse().unwrap_or_else(|_| usage("bad --tasks"))),
+            "--seed" => opts.seed = Some(value(&mut i).parse().unwrap_or_else(|_| usage("bad --seed"))),
+            "--policy" => {
+                let p = value(&mut i);
+                let policy = PolicyKind::ALL
+                    .into_iter()
+                    .find(|k| k.name().eq_ignore_ascii_case(&p))
+                    .unwrap_or_else(|| usage(&format!("unknown policy {p}")));
+                opts.cfg = opts.cfg.clone().with_policy(policy);
+            }
+            "--l1i-kib" => {
+                let kb: u64 = value(&mut i).parse().unwrap_or_else(|_| usage("bad --l1i-kib"));
+                opts.cfg = opts.cfg.clone().with_l1i_size(kb * 1024);
+            }
+            "--next-line" => opts.cfg = opts.cfg.clone().with_next_line(1),
+            "--pif-bound" => opts.cfg = opts.cfg.clone().with_pif_model(),
+            "--pif-real" => opts.cfg = opts.cfg.clone().with_real_pif(),
+            "--fill-up" => {
+                opts.cfg.slicc.fill_up_t = value(&mut i).parse().unwrap_or_else(|_| usage("bad --fill-up"))
+            }
+            "--matched" => {
+                opts.cfg.slicc.matched_t = value(&mut i).parse().unwrap_or_else(|_| usage("bad --matched"))
+            }
+            "--dilution" => {
+                opts.cfg.slicc.dilution_t = value(&mut i).parse().unwrap_or_else(|_| usage("bad --dilution"))
+            }
+            "--classify" => opts.cfg.classify_3c = true,
+            "--baseline-compare" => opts.compare = true,
+            a => usage(&format!("unknown argument {a}")),
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn report(m: &RunMetrics, baseline: Option<&RunMetrics>) {
+    println!("workload        {}", m.workload);
+    println!("mode            {}", m.mode);
+    println!("instructions    {}", m.instructions);
+    println!("cycles          {}", m.cycles);
+    println!("I-MPKI          {:.2}", m.i_mpki());
+    println!("D-MPKI          {:.2}", m.d_mpki());
+    println!("I-TLB MPKI      {:.3}", m.i_tlb_mpki());
+    println!("D-TLB MPKI      {:.3}", m.d_tlb_mpki());
+    println!("migrations      {} ({:.2}/KI)", m.migrations, m.migrations_per_kilo_instruction());
+    if m.context_switches > 0 {
+        println!("ctx switches    {}", m.context_switches);
+    }
+    println!("BPKI            {:.3}", m.bpki());
+    println!("spread          {:.1} cores/thread", m.mean_cores_per_thread);
+    if let Some(bd) = &m.i_breakdown {
+        println!("I-miss classes  conflict {} / capacity {} / compulsory {}", bd.conflict, bd.capacity, bd.compulsory);
+    }
+    let s = &m.core_stats;
+    let total = s.total_cycles().max(1);
+    println!(
+        "cycle mix       base {:.0}% / I-stall {:.0}% / D-stall {:.0}% / TLB {:.0}% / mig {:.0}% / idle {:.0}%",
+        100.0 * s.base_cycles as f64 / total as f64,
+        100.0 * s.ifetch_stall_cycles as f64 / total as f64,
+        100.0 * s.data_stall_cycles as f64 / total as f64,
+        100.0 * s.tlb_walk_cycles as f64 / total as f64,
+        100.0 * s.migration_cycles as f64 / total as f64,
+        100.0 * s.idle_cycles as f64 / total as f64,
+    );
+    if let Some(base) = baseline {
+        println!("speedup         {:.3}x over baseline", m.speedup_over(base));
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut scale = opts.scale;
+    if let Some(t) = opts.tasks {
+        scale = scale.with_tasks(t);
+    }
+    if let Some(s) = opts.seed {
+        scale = scale.with_seed(s);
+    }
+    let spec = opts.workload.spec(scale);
+    let cfg = opts.cfg.with_mode(opts.mode);
+
+    let baseline = opts.compare.then(|| run(&spec, &SimConfig::paper_baseline()));
+    let metrics = run(&spec, &cfg);
+    report(&metrics, baseline.as_ref());
+}

@@ -1,0 +1,403 @@
+//! Simulator configuration: the Table-2 machine and the execution modes.
+
+use slicc_cache::{PifConfig, PolicyKind};
+use slicc_common::{CacheGeometry, Cycle, LatencyTable};
+use slicc_core::SliccParams;
+use slicc_cpu::{MigrationModel, TimingConfig};
+use slicc_mem::DramConfig;
+use std::fmt;
+
+/// Which scheduling/migration algorithm runs the thread pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchedulerMode {
+    /// Conventional OS scheduling: up to N concurrent threads, one per
+    /// core, no migration (§5.1's baseline).
+    Baseline,
+    /// Transaction-type-oblivious SLICC (§4.1).
+    Slicc,
+    /// SLICC-SW: the software layer annotates each thread with its
+    /// transaction type (§4.3.1).
+    SliccSw,
+    /// SLICC-Pp: a scout core detects types by hashing each thread's
+    /// first instructions (§4.3.1); one core is dedicated to scouting.
+    SliccPp,
+    /// STEPS-style software time-multiplexing (the §6 comparison):
+    /// same-type threads share ONE core and context-switch at the
+    /// boundaries SLICC would have migrated at, so instruction chunks are
+    /// reused in the time domain instead of the space domain.
+    Steps,
+}
+
+impl SchedulerMode {
+    /// All modes in Figure 10/11 presentation order.
+    pub const ALL: [SchedulerMode; 4] =
+        [SchedulerMode::Baseline, SchedulerMode::Slicc, SchedulerMode::SliccPp, SchedulerMode::SliccSw];
+
+    /// The paper's modes plus this workspace's STEPS re-creation.
+    pub const WITH_STEPS: [SchedulerMode; 5] = [
+        SchedulerMode::Baseline,
+        SchedulerMode::Slicc,
+        SchedulerMode::SliccPp,
+        SchedulerMode::SliccSw,
+        SchedulerMode::Steps,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SchedulerMode::Baseline => "Base",
+            SchedulerMode::Slicc => "SLICC",
+            SchedulerMode::SliccSw => "SLICC-SW",
+            SchedulerMode::SliccPp => "SLICC-Pp",
+            SchedulerMode::Steps => "STEPS",
+        }
+    }
+
+    /// Whether this mode migrates threads between cores.
+    pub const fn is_slicc(self) -> bool {
+        matches!(self, SchedulerMode::Slicc | SchedulerMode::SliccSw | SchedulerMode::SliccPp)
+    }
+
+    /// Whether this mode runs the per-core SLICC agents (migration modes
+    /// and STEPS, which reuses the agent's chunk-boundary signal).
+    pub const fn uses_agents(self) -> bool {
+        !matches!(self, SchedulerMode::Baseline)
+    }
+
+    /// Whether this mode groups threads into type teams.
+    pub const fn is_type_aware(self) -> bool {
+        matches!(self, SchedulerMode::SliccSw | SchedulerMode::SliccPp | SchedulerMode::Steps)
+    }
+}
+
+impl fmt::Display for SchedulerMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full machine + algorithm configuration.
+///
+/// [`SimConfig::paper_baseline`] reproduces Table 2; the `with_*` methods
+/// derive the variants used across the evaluation.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of cores (Table 2: 16, on a 4×4 torus).
+    pub cores: usize,
+    /// Torus columns (`cores` must equal `noc_cols * noc_rows`).
+    pub noc_cols: u32,
+    /// Torus rows.
+    pub noc_rows: u32,
+    /// L1 instruction cache capacity in bytes.
+    pub l1i_size: u64,
+    /// L1-I associativity.
+    pub l1i_assoc: u32,
+    /// L1 data cache capacity in bytes.
+    pub l1d_size: u64,
+    /// L1-D associativity.
+    pub l1d_assoc: u32,
+    /// L1 replacement policy (both caches; Figure 2 sweeps this).
+    pub l1_policy: PolicyKind,
+    /// Capacity→latency model for the L1-I (the CACTI substitute).
+    pub latency_table: LatencyTable,
+    /// Fixed L1-I latency override (the PIF model: big cache, small-cache
+    /// latency).
+    pub l1i_latency_override: Option<Cycle>,
+    /// L2 capacity in bytes (Table 2: 1 MiB per core).
+    pub l2_size: u64,
+    /// L2 associativity.
+    pub l2_assoc: u32,
+    /// L2 banks.
+    pub l2_banks: usize,
+    /// L2 bank hit latency.
+    pub l2_hit_latency: Cycle,
+    /// DRAM timing.
+    pub dram: DramConfig,
+    /// Core timing model.
+    pub timing: TimingConfig,
+    /// Thread-migration cost model.
+    pub migration: MigrationModel,
+    /// SLICC thresholds.
+    pub slicc: SliccParams,
+    /// Bloom-filter signature size in bits (§5.3: 2K).
+    pub bloom_bits: u64,
+    /// Execution mode.
+    pub mode: SchedulerMode,
+    /// Next-line prefetch degree on the L1-I, if enabled.
+    pub next_line_prefetch: Option<u64>,
+    /// Enable the 3C miss classifiers (Figure 1; costs memory/time).
+    pub classify_3c: bool,
+    /// SLICC's in-flight thread pool, as a multiple of N (§5.1: 2N).
+    pub pool_multiplier: u32,
+    /// Per-core thread queue capacity (Table 3: 30).
+    pub thread_queue_capacity: usize,
+    /// Maximum waiting threads at a migration target: a candidate with a
+    /// longer queue is rejected and the thread falls back to an idle core
+    /// or stays (loading the segment locally, which replicates hot
+    /// segments and spreads load). The paper leaves target congestion
+    /// unspecified; without this bound every thread converges on the
+    /// single holder of each segment and the collective serializes.
+    pub migration_queue_limit: usize,
+    /// Scout-core preprocessing length for SLICC-Pp.
+    pub scout_instructions: u32,
+    /// Instruction TLB entries per core.
+    pub itlb_entries: usize,
+    /// Instruction page size: DBMS binaries are mapped with huge pages
+    /// (the sparse code layout would otherwise thrash a 4 KiB iTLB).
+    pub itlb_page_bytes: u64,
+    /// Data TLB entries per core.
+    pub dtlb_entries: usize,
+    /// Page-walk latency in cycles.
+    pub tlb_walk_cycles: u64,
+    /// Run the real PIF prefetcher (Ferdman et al.) on each L1-I; only
+    /// meaningful under baseline scheduling.
+    pub pif_prefetch: Option<PifConfig>,
+    /// STEPS context-switch cost in cycles (fast same-core switch).
+    pub steps_switch_cycles: u64,
+    /// STEPS thread-group size (the paper's STEPS forms groups of ~10).
+    pub steps_team_size: usize,
+    /// Cycles between successive transaction arrivals. Zero starts every
+    /// thread at cycle 0, which lock-steps identical transactions into
+    /// synchronized DRAM-bank convoys no real system exhibits.
+    pub arrival_stagger_cycles: u64,
+    /// Measure bloom-signature accuracy against ground truth on every
+    /// L1-I access (Figure 9; adds overhead).
+    pub measure_bloom_accuracy: bool,
+    /// Ablation: answer remote segment searches from exact cache
+    /// contents instead of the bloom signatures (an idealized,
+    /// bandwidth-free search).
+    pub exact_search: bool,
+    /// Ablation: allow idle cores to steal surplus queued threads (the
+    /// centralized-queue reading of §5.7). Disabling shows the
+    /// utilization cost of strictly local queues.
+    pub work_stealing: bool,
+    /// Seed for the stochastic cache policies.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The Table-2 baseline machine.
+    pub fn paper_baseline() -> Self {
+        SimConfig {
+            cores: 16,
+            noc_cols: 4,
+            noc_rows: 4,
+            l1i_size: 32 * 1024,
+            l1i_assoc: 8,
+            l1d_size: 32 * 1024,
+            l1d_assoc: 8,
+            l1_policy: PolicyKind::Lru,
+            latency_table: LatencyTable::cacti_like(),
+            l1i_latency_override: None,
+            l2_size: 16 * 1024 * 1024,
+            l2_assoc: 16,
+            l2_banks: 16,
+            l2_hit_latency: 16,
+            dram: DramConfig::paper_ddr3_1600(),
+            timing: TimingConfig::paper_like(),
+            migration: MigrationModel::paper_like(),
+            slicc: SliccParams::calibrated(),
+            bloom_bits: 2048,
+            mode: SchedulerMode::Baseline,
+            next_line_prefetch: None,
+            classify_3c: false,
+            // The paper manages 2N threads; our queue-bounded migration
+            // needs a deeper pool to keep all cores fed (see DESIGN.md).
+            pool_multiplier: 4,
+            thread_queue_capacity: 30,
+            migration_queue_limit: 4,
+            scout_instructions: 48,
+            itlb_entries: 128,
+            itlb_page_bytes: 2 * 1024 * 1024,
+            dtlb_entries: 64,
+            tlb_walk_cycles: 30,
+            pif_prefetch: None,
+            steps_switch_cycles: 20,
+            steps_team_size: 10,
+            arrival_stagger_cycles: 97,
+            measure_bloom_accuracy: false,
+            exact_search: false,
+            work_stealing: true,
+            seed: 0x5eed,
+        }
+    }
+
+    /// A miniature machine matched to [`slicc_trace::TraceScale::tiny`]:
+    /// 4 KiB L1s so 48-block segments keep the §3.1 fits/doesn't-fit
+    /// property, with thresholds scaled accordingly.
+    pub fn tiny_test() -> Self {
+        let mut c = SimConfig::paper_baseline();
+        c.l1i_size = 4 * 1024;
+        c.l1i_assoc = 8;
+        c.l1d_size = 4 * 1024;
+        c.l1d_assoc = 8;
+        // 4 KiB / 64 B = 64 blocks; fill up at 1/4 of them, as in the
+        // calibrated full-size configuration.
+        c.slicc = c.slicc.with_fill_up(16).with_dilution(3);
+        c.bloom_bits = 256;
+        c.l2_size = 2 * 1024 * 1024;
+        c.latency_table = LatencyTable::constant(3);
+        c
+    }
+
+    /// Returns a copy running under `mode`.
+    pub fn with_mode(mut self, mode: SchedulerMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Returns a copy with a next-line prefetcher of `degree`.
+    pub fn with_next_line(mut self, degree: u64) -> Self {
+        self.next_line_prefetch = Some(degree);
+        self
+    }
+
+    /// Returns a copy running the *real* PIF prefetcher (history buffer +
+    /// stream read-out) under baseline scheduling, as opposed to the
+    /// paper's upper-bound model ([`SimConfig::with_pif_model`]).
+    pub fn with_real_pif(mut self) -> Self {
+        self.pif_prefetch = Some(PifConfig::default());
+        self.mode = SchedulerMode::Baseline;
+        self
+    }
+
+    /// Returns a copy modelling PIF as the paper does (§5.6): a 512 KiB
+    /// L1-I with the 32 KiB cache's 3-cycle latency, baseline scheduling.
+    pub fn with_pif_model(mut self) -> Self {
+        self.l1i_size = 512 * 1024;
+        self.l1i_latency_override = Some(3);
+        self.mode = SchedulerMode::Baseline;
+        self
+    }
+
+    /// Returns a copy with a different L1-I capacity (Figure 1 sweeps).
+    pub fn with_l1i_size(mut self, bytes: u64) -> Self {
+        self.l1i_size = bytes;
+        self
+    }
+
+    /// Returns a copy with a different L1-D capacity (Figure 1 sweeps).
+    pub fn with_l1d_size(mut self, bytes: u64) -> Self {
+        self.l1d_size = bytes;
+        self
+    }
+
+    /// Returns a copy with a different replacement policy (Figure 2).
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.l1_policy = policy;
+        self
+    }
+
+    /// Returns a copy with different SLICC thresholds (Figures 7/8).
+    pub fn with_slicc_params(mut self, params: SliccParams) -> Self {
+        self.slicc = params;
+        self
+    }
+
+    /// Returns a copy with 3C classification enabled (Figure 1).
+    pub fn with_classification(mut self) -> Self {
+        self.classify_3c = true;
+        self
+    }
+
+    /// The effective L1-I hit latency (override or table lookup).
+    pub fn l1i_latency(&self) -> Cycle {
+        self.l1i_latency_override.unwrap_or_else(|| self.latency_table.l1_latency(self.l1i_size))
+    }
+
+    /// The L1-I geometry.
+    pub fn l1i_geometry(&self) -> CacheGeometry {
+        CacheGeometry::new(self.l1i_size, self.l1i_assoc, 64)
+    }
+
+    /// The L1-D geometry.
+    pub fn l1d_geometry(&self) -> CacheGeometry {
+        CacheGeometry::new(self.l1d_size, self.l1d_assoc, 64)
+    }
+
+    /// Validates cross-field invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the torus does not cover the cores, the pool
+    /// multiplier is zero, or SLICC-Pp has fewer than two cores.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.cores as u32,
+            self.noc_cols * self.noc_rows,
+            "torus {}x{} must cover {} cores",
+            self.noc_cols,
+            self.noc_rows,
+            self.cores
+        );
+        assert!(self.pool_multiplier >= 1, "pool multiplier must be at least 1");
+        assert!(self.cores >= 1, "need at least one core");
+        if self.mode == SchedulerMode::SliccPp {
+            assert!(self.cores >= 2, "SLICC-Pp dedicates one core to scouting");
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_2() {
+        let c = SimConfig::paper_baseline();
+        c.validate();
+        assert_eq!(c.cores, 16);
+        assert_eq!(c.l1i_size, 32 * 1024);
+        assert_eq!(c.l1i_latency(), 3);
+        assert_eq!(c.l2_size, 16 * 1024 * 1024);
+        assert_eq!(c.l2_hit_latency, 16);
+        assert_eq!(c.thread_queue_capacity, 30);
+    }
+
+    #[test]
+    fn pif_model_is_big_but_fast() {
+        let c = SimConfig::paper_baseline().with_pif_model();
+        assert_eq!(c.l1i_size, 512 * 1024);
+        assert_eq!(c.l1i_latency(), 3);
+        assert_eq!(c.mode, SchedulerMode::Baseline);
+    }
+
+    #[test]
+    fn big_cache_without_override_is_slower() {
+        let c = SimConfig::paper_baseline().with_l1i_size(512 * 1024);
+        assert!(c.l1i_latency() > 3);
+    }
+
+    #[test]
+    fn mode_helpers() {
+        assert!(!SchedulerMode::Baseline.is_slicc());
+        assert!(SchedulerMode::Slicc.is_slicc());
+        assert!(!SchedulerMode::Slicc.is_type_aware());
+        assert!(SchedulerMode::SliccSw.is_type_aware());
+        assert_eq!(SchedulerMode::SliccPp.to_string(), "SLICC-Pp");
+    }
+
+    #[test]
+    #[should_panic(expected = "torus")]
+    fn bad_torus_panics() {
+        let mut c = SimConfig::paper_baseline();
+        c.cores = 12;
+        c.validate();
+    }
+
+    #[test]
+    fn tiny_test_config_is_consistent() {
+        let c = SimConfig::tiny_test();
+        c.validate();
+        assert_eq!(c.l1i_geometry().num_blocks(), 64);
+        // A 48-block segment fits; two do not.
+        assert!(48 <= c.l1i_geometry().num_blocks());
+        assert!(96 > c.l1i_geometry().num_blocks());
+    }
+}

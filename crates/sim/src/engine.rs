@@ -1,0 +1,914 @@
+//! The execution engine: thread dispatch, migration, and the event loop.
+//!
+//! Each core owns a local clock ([`slicc_cpu::CoreTimer`]); a min-heap
+//! over core clocks always advances the earliest core by a bounded batch
+//! of trace records, so cross-core cache interactions resolve in
+//! near-global time order while each thread's own accounting stays exact.
+//!
+//! The engine implements the four scheduling modes:
+//!
+//! - **Baseline**: up to N concurrent threads, one per core, run to
+//!   completion (the §5.1 OS baseline);
+//! - **SLICC**: a 2N-thread pool, naïve least-congested load balancing of
+//!   new threads, and the Figure-5 migration loop on every L1-I miss;
+//! - **SLICC-SW**: types from the software layer; threads grouped into
+//!   teams (§4.3.2), the oldest team scheduled first, large teams on all
+//!   cores, medium teams on half, strays to idle cores; team threads are
+//!   injected on the team's lead core (§5.2) so the pipeline of Figure 4
+//!   forms;
+//! - **SLICC-Pp**: like SLICC-SW, but types come from a scout core that
+//!   executes each thread's first instructions and hashes them (§4.3.1);
+//!   the scout core is excluded from normal execution;
+//! - **STEPS**: the §6 software comparison — same-type thread groups are
+//!   pinned to single cores and context-switch at the chunk boundaries
+//!   the SLICC agent detects, reusing instructions in the time domain
+//!   instead of the space domain.
+
+use crate::config::{SchedulerMode, SimConfig};
+use crate::metrics::RunMetrics;
+use crate::system::System;
+use slicc_common::{BlockAddr, CoreId, Cycle, RingFifo, ThreadId, TxnTypeId};
+use slicc_core::{CoreMask, MigrationAdvice, ScoutHasher, SliccAgent, TeamFormer, TeamKind, TypeRegistry};
+use slicc_trace::{ThreadTrace, WorkloadSpec};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Records processed per engine step before re-entering the heap.
+const BATCH: usize = 100;
+
+/// One migration, as recorded by [`Engine::events`] when event recording
+/// is enabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MigrationEvent {
+    /// The migrating thread.
+    pub thread: ThreadId,
+    /// Source core.
+    pub from: CoreId,
+    /// Destination core.
+    pub to: CoreId,
+    /// Source-core local time of the migration.
+    pub at: Cycle,
+    /// Instructions the thread had executed when it migrated.
+    pub thread_instructions: u64,
+    /// Whether the target came from the remote segment search (vs idle).
+    pub matched: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ThreadState {
+    Pending,
+    Queued,
+    Running,
+    Done,
+}
+
+struct ThreadRun<'a> {
+    trace: ThreadTrace<'a>,
+    state: ThreadState,
+    /// Earliest cycle the thread may start at its queued core (migration
+    /// arrival or scout completion).
+    ready_at: Cycle,
+    /// Local time of the core that completed the thread, when done (for
+    /// transaction-latency statistics).
+    completed_at: Option<Cycle>,
+    /// The thread's arrival time (dispatch eligibility).
+    arrived_at: Cycle,
+    /// Cores this thread may run on (team restriction).
+    allowed: CoreMask,
+    team: Option<usize>,
+    cores_visited: CoreMask,
+    is_stray: bool,
+}
+
+struct Team {
+    members: Vec<ThreadId>,
+    #[allow(dead_code)]
+    txn_type: TxnTypeId,
+    kind: TeamKind,
+    next_member: usize,
+    done_members: usize,
+    cores: CoreMask,
+    lead: CoreId,
+    active: bool,
+}
+
+/// Runs `spec` on the machine `cfg` describes and returns the metrics.
+///
+/// This is the crate's main entry point; see the crate docs for an
+/// example.
+pub fn run(spec: &WorkloadSpec, cfg: &SimConfig) -> RunMetrics {
+    let mut engine = Engine::new(spec, cfg);
+    engine.execute();
+    engine.into_metrics()
+}
+
+/// The simulation engine. Most callers should use [`run`]; the engine is
+/// public for tests and custom experiment loops that need intermediate
+/// state access.
+pub struct Engine<'a> {
+    sys: System,
+    spec: &'a WorkloadSpec,
+    mode: SchedulerMode,
+    threads: Vec<ThreadRun<'a>>,
+    queues: Vec<RingFifo<ThreadId>>,
+    running: Vec<Option<ThreadId>>,
+    agents: Vec<SliccAgent>,
+    heap: BinaryHeap<Reverse<(Cycle, u64, usize)>>,
+    stamps: Vec<u64>,
+    in_flight: usize,
+    pool_limit: usize,
+    completed: usize,
+    migrations: u64,
+    matched_migrations: u64,
+    idle_migrations: u64,
+    blocked_migrations: u64,
+    // Baseline / oblivious dispatch cursor.
+    next_pending: usize,
+    // Team scheduling state.
+    teams: Vec<Team>,
+    next_team: usize,
+    half_owner: [Option<usize>; 2],
+    halves: [CoreMask; 2],
+    strays: Vec<ThreadId>,
+    stray_cursor: usize,
+    exec_cores: CoreMask,
+    scout_core: Option<CoreId>,
+    /// Per-core last-fetched instruction block: the fetch buffer holds a
+    /// line's worth of instructions, so the L1-I (and the SLICC agent)
+    /// see one access per block *transition*, not per instruction.
+    last_iblock: Vec<Option<BlockAddr>>,
+    migration_queue_limit: usize,
+    work_stealing: bool,
+    steps_switch_cycles: u64,
+    steps_team_size: usize,
+    context_switches: u64,
+    record_events: bool,
+    events: Vec<MigrationEvent>,
+    /// Monotone counter stamping when each core last went idle. Idle-core
+    /// selection prefers the least-recently-vacated core: the paper does
+    /// not specify the choice, and picking the most recently vacated one
+    /// would overwrite the freshest member of a forming collective.
+    vacate_clock: u64,
+    vacated_seq: Vec<u64>,
+}
+
+impl<'a> Engine<'a> {
+    /// Builds the engine: constructs all thread traces, runs the scout
+    /// phase (SLICC-Pp), and forms teams (type-aware modes).
+    pub fn new(spec: &'a WorkloadSpec, cfg: &SimConfig) -> Self {
+        cfg.validate();
+        let sys = System::new(cfg);
+        let n = cfg.cores;
+        let mode = cfg.mode;
+        let scout_core = (mode == SchedulerMode::SliccPp).then(|| CoreId::new((n - 1) as u16));
+        let mut exec_cores = CoreMask::all(n);
+        if let Some(s) = scout_core {
+            exec_cores.remove(s);
+        }
+
+        let threads: Vec<ThreadRun<'a>> = spec
+            .threads()
+            .map(|t| ThreadRun {
+                trace: spec.thread_trace(t),
+                state: ThreadState::Pending,
+                // Transactions arrive spaced out, not in lockstep.
+                ready_at: t.raw() as Cycle * cfg.arrival_stagger_cycles,
+                completed_at: None,
+                arrived_at: t.raw() as Cycle * cfg.arrival_stagger_cycles,
+                allowed: exec_cores,
+                team: None,
+                cores_visited: CoreMask::empty(),
+                is_stray: false,
+            })
+            .collect();
+
+        let pool_limit = match mode {
+            SchedulerMode::Baseline => n,
+            _ => n * cfg.pool_multiplier as usize,
+        };
+
+        let exec_list: Vec<CoreId> = exec_cores.iter().collect();
+        let half_a: CoreMask = exec_list[..exec_list.len() / 2].iter().copied().collect();
+        let half_b: CoreMask = exec_list[exec_list.len() / 2..].iter().copied().collect();
+
+        let mut engine = Engine {
+            sys,
+            spec,
+            mode,
+            threads,
+            queues: (0..n).map(|_| RingFifo::new(cfg.thread_queue_capacity)).collect(),
+            running: vec![None; n],
+            agents: CoreId::all(n).map(|c| SliccAgent::new(c, cfg.slicc)).collect(),
+            heap: BinaryHeap::new(),
+            stamps: vec![0; n],
+            in_flight: 0,
+            pool_limit,
+            completed: 0,
+            migrations: 0,
+            matched_migrations: 0,
+            idle_migrations: 0,
+            blocked_migrations: 0,
+            next_pending: 0,
+            teams: Vec::new(),
+            next_team: 0,
+            half_owner: [None, None],
+            halves: [half_a, half_b],
+            strays: Vec::new(),
+            stray_cursor: 0,
+            exec_cores,
+            scout_core,
+            last_iblock: vec![None; n],
+            migration_queue_limit: cfg.migration_queue_limit,
+            work_stealing: cfg.work_stealing,
+            steps_switch_cycles: cfg.steps_switch_cycles,
+            steps_team_size: cfg.steps_team_size.max(1),
+            context_switches: 0,
+            record_events: false,
+            events: Vec::new(),
+            vacate_clock: 0,
+            vacated_seq: vec![0; n],
+        };
+
+        match mode {
+            SchedulerMode::Baseline | SchedulerMode::Slicc => {}
+            SchedulerMode::SliccSw => {
+                let types: Vec<(ThreadId, TxnTypeId)> =
+                    spec.threads().map(|t| (t, spec.thread_type(t))).collect();
+                engine.form_teams(&types);
+            }
+            SchedulerMode::SliccPp => {
+                let types = engine.scout_phase(cfg.scout_instructions);
+                engine.form_teams(&types);
+            }
+            SchedulerMode::Steps => {
+                let types: Vec<(ThreadId, TxnTypeId)> =
+                    spec.threads().map(|t| (t, spec.thread_type(t))).collect();
+                engine.form_steps_groups(&types);
+            }
+        }
+        engine
+    }
+
+    /// STEPS grouping: same-type thread groups of bounded size, each
+    /// pinned to one core (round-robin over the machine).
+    fn form_steps_groups(&mut self, types: &[(ThreadId, TxnTypeId)]) {
+        let former = TeamFormer::new(self.steps_team_size.div_ceil(2));
+        let exec: Vec<CoreId> = self.exec_cores.iter().collect();
+        for (i, plan) in former.form_teams(types).into_iter().enumerate() {
+            let core = exec[i % exec.len()];
+            let mut mask = CoreMask::empty();
+            mask.insert(core);
+            let team_idx = self.teams.len();
+            for &m in &plan.members {
+                self.threads[m.index()].team = Some(team_idx);
+                self.threads[m.index()].allowed = mask;
+            }
+            self.teams.push(Team {
+                members: plan.members,
+                txn_type: plan.txn_type,
+                kind: plan.kind,
+                next_member: 0,
+                done_members: 0,
+                cores: mask,
+                lead: core,
+                active: true,
+            });
+        }
+    }
+
+    /// SLICC-Pp preprocessing: each thread executes its first
+    /// `budget` instructions on the scout core while their addresses are
+    /// hashed into a type signature (§4.3.1).
+    ///
+    /// Hashing granularity: our synthetic control flow jitters *block*
+    /// sequences between same-type instances, so the hash runs over the
+    /// code-segment identity of each fetch (which the prologue-segment
+    /// structure of the traces makes type-unique). The paper reports the
+    /// raw-address variant is 100% accurate on its traces; this achieves
+    /// the same accuracy on ours.
+    fn scout_phase(&mut self, budget: u32) -> Vec<(ThreadId, TxnTypeId)> {
+        let scout = self.scout_core.expect("scout phase requires SLICC-Pp");
+        let mut registry = TypeRegistry::new();
+        let mut out = Vec::with_capacity(self.threads.len());
+        for idx in 0..self.threads.len() {
+            let tid = ThreadId::new(idx as u32);
+            let mut hasher = ScoutHasher::new(budget);
+            let mut signature = None;
+            while signature.is_none() {
+                let Some(rec) = self.threads[idx].trace.next() else {
+                    break;
+                };
+                self.sys.timer_mut(scout).retire_instruction();
+                let block = rec.pc.block_default();
+                self.sys.ifetch(scout, block);
+                if let Some(d) = rec.data {
+                    self.sys.data_access(scout, d.addr.block_default(), d.is_store);
+                }
+                let token = self
+                    .spec
+                    .pool
+                    .segment_of_block(block)
+                    .map(|s| s as u64)
+                    .unwrap_or(block.raw());
+                signature = hasher.observe(BlockAddr::new(token));
+            }
+            let detected = registry.type_for(signature.unwrap_or(0x5c007 ^ idx as u64));
+            self.threads[idx].ready_at = self.threads[idx].ready_at.max(self.sys.timer(scout).now());
+            out.push((tid, detected));
+        }
+        out
+    }
+
+    /// Groups threads into teams (§4.3.2) and separates strays.
+    fn form_teams(&mut self, types: &[(ThreadId, TxnTypeId)]) {
+        let exec_count = self.exec_cores.len() as usize;
+        let former = TeamFormer::new(exec_count);
+        for plan in former.form_teams(types) {
+            if plan.kind == TeamKind::Stray {
+                for &m in &plan.members {
+                    self.threads[m.index()].is_stray = true;
+                    self.strays.push(m);
+                }
+                continue;
+            }
+            let team_idx = self.teams.len();
+            for &m in &plan.members {
+                self.threads[m.index()].team = Some(team_idx);
+            }
+            self.teams.push(Team {
+                members: plan.members,
+                txn_type: plan.txn_type,
+                kind: plan.kind,
+                next_member: 0,
+                done_members: 0,
+                cores: CoreMask::empty(), // set at activation
+                lead: CoreId::new(0),
+                active: false,
+            });
+        }
+    }
+
+    /// Runs the event loop to completion.
+    pub fn execute(&mut self) {
+        let total = self.threads.len();
+        self.try_dispatch();
+        while self.completed < total {
+            let Some(core) = self.pop_next_core() else {
+                self.try_dispatch();
+                if self.pop_next_core_peek() {
+                    continue;
+                }
+                panic!(
+                    "engine stalled: {}/{} threads complete, {} in flight",
+                    self.completed, total, self.in_flight
+                );
+            };
+            self.step(core);
+            self.try_dispatch();
+        }
+    }
+
+    fn pop_next_core(&mut self) -> Option<CoreId> {
+        while let Some(Reverse((_, stamp, core))) = self.heap.pop() {
+            if self.stamps[core] == stamp {
+                return Some(CoreId::new(core as u16));
+            }
+        }
+        None
+    }
+
+    fn pop_next_core_peek(&self) -> bool {
+        self.heap
+            .iter()
+            .any(|Reverse((_, stamp, core))| self.stamps[*core] == *stamp)
+    }
+
+    /// Registers `core` in the heap at its next interesting time.
+    fn push_core(&mut self, core: CoreId, at: Cycle) {
+        let c = core.index();
+        self.stamps[c] += 1;
+        self.heap.push(Reverse((at, self.stamps[c], c)));
+    }
+
+    fn push_core_if_work(&mut self, core: CoreId) {
+        let c = core.index();
+        if self.running[c].is_some() {
+            let at = self.sys.timer(core).now();
+            self.push_core(core, at);
+        } else if let Some(&tid) = self.queues[c].front() {
+            let at = self.sys.timer(core).now().max(self.threads[tid.index()].ready_at);
+            self.push_core(core, at);
+        }
+    }
+
+    /// Advances one core: start a queued thread if idle, then execute up
+    /// to [`BATCH`] records, handling migration and completion.
+    fn step(&mut self, core: CoreId) {
+        let c = core.index();
+        if self.running[c].is_none() && !self.start_next_thread(core) {
+            return; // nothing to do; dispatcher will wake us
+        }
+        let tid = self.running[c].expect("core has a running thread");
+        let t = tid.index();
+
+        for _ in 0..BATCH {
+            let Some(rec) = self.threads[t].trace.next() else {
+                self.complete_thread(core, tid);
+                break;
+            };
+            self.sys.timer_mut(core).retire_instruction();
+            let block = rec.pc.block_default();
+            // Fetch-buffer model: instructions within the current block
+            // are fed from the fetch buffer; the L1-I (and SLICC agent)
+            // see one access per block transition.
+            let mut hit = true;
+            let mut accessed = false;
+            if self.last_iblock[c] != Some(block) {
+                self.last_iblock[c] = Some(block);
+                accessed = true;
+                hit = self.sys.ifetch(core, block);
+                if self.mode.uses_agents() {
+                    if hit {
+                        self.agents[c].on_fetch(true, None);
+                    } else {
+                        // The remote search only serves migration; STEPS
+                        // switches locally and never broadcasts.
+                        let mask = (self.mode.is_slicc()
+                            && self.agents[c].wants_remote_search())
+                        .then(|| self.sys.remote_search(core, block));
+                        self.agents[c].on_fetch(false, mask);
+                    }
+                }
+            }
+
+            if let Some(d) = rec.data {
+                self.sys.data_access(core, d.addr.block_default(), d.is_store);
+            }
+
+            if accessed && !hit {
+                let moved = match self.mode {
+                    SchedulerMode::Steps => self.try_context_switch(core, tid),
+                    m if m.is_slicc() => self.try_migrate(core, tid),
+                    _ => false,
+                };
+                if moved {
+                    break;
+                }
+            }
+        }
+        self.push_core_if_work(core);
+    }
+
+    /// Pops the core's queue head into execution; an idle core with an
+    /// empty queue steals the newest waiting thread from the most
+    /// congested queue instead (§5.7 allows a centralized thread queue —
+    /// stealing is the distributed equivalent and keeps cores busy).
+    /// Returns false when there is nothing to run.
+    fn start_next_thread(&mut self, core: CoreId) -> bool {
+        let c = core.index();
+        let tid = match self.queues[c].pop() {
+            Some(t) => t,
+            None => match self.steal_for(core) {
+                Some(t) => t,
+                None => return false,
+            },
+        };
+        let t = tid.index();
+        let ready = self.threads[t].ready_at;
+        self.sys.timer_mut(core).idle_until(ready);
+        self.threads[t].state = ThreadState::Running;
+        self.threads[t].cores_visited.insert(core);
+        self.running[c] = Some(tid);
+        self.last_iblock[c] = None;
+        true
+    }
+
+    /// Figure-5 migration attempt for the running thread after an L1-I
+    /// miss. Returns true if the thread left this core.
+    fn try_migrate(&mut self, core: CoreId, tid: ThreadId) -> bool {
+        let c = core.index();
+        let advice = self.agents[c].advice();
+        let allowed = self.threads[tid.index()].allowed;
+        let (target, matched) = match advice {
+            MigrationAdvice::Stay => (None, false),
+            MigrationAdvice::Migrate(mask) => {
+                let candidates = (mask & allowed).without(core);
+                let limit = self.migration_queue_limit;
+                match self.pick_nearest(
+                    core,
+                    candidates.iter().filter(|&t| !self.queue_full(t) && self.queues[t.index()].len() <= limit),
+                ) {
+                    Some(t) => (Some(t), true),
+                    None => (self.pick_idle(core, allowed), false),
+                }
+            }
+            MigrationAdvice::SeekIdle => (self.pick_idle(core, allowed), false),
+        };
+        let Some(target) = target else {
+            if advice != MigrationAdvice::Stay {
+                self.blocked_migrations += 1;
+            }
+            return false;
+        };
+        if matched {
+            self.matched_migrations += 1;
+        } else {
+            self.idle_migrations += 1;
+        }
+        if self.record_events {
+            self.events.push(MigrationEvent {
+                thread: tid,
+                from: core,
+                to: target,
+                at: self.sys.timer(core).now(),
+                thread_instructions: self.threads[tid.index()].trace.emitted(),
+                matched,
+            });
+        }
+        self.migrate(core, target, tid);
+        true
+    }
+
+    /// STEPS-style switch: at a chunk boundary, rotate the running
+    /// thread to the back of its own core's queue so teammates re-run
+    /// the chunk it just loaded (time-domain pipelining, §6).
+    fn try_context_switch(&mut self, core: CoreId, tid: ThreadId) -> bool {
+        let c = core.index();
+        if !self.agents[c].chunk_boundary() || self.queues[c].is_empty() || self.queues[c].is_full() {
+            return false;
+        }
+        self.sys.timer_mut(core).migration(self.steps_switch_cycles);
+        let t = tid.index();
+        self.threads[t].state = ThreadState::Queued;
+        self.threads[t].ready_at = self.sys.timer(core).now();
+        self.queues[c].push(tid);
+        self.agents[c].on_thread_departed();
+        self.running[c] = None;
+        self.context_switches += 1;
+        true
+    }
+
+    fn queue_full(&self, core: CoreId) -> bool {
+        self.queues[core.index()].is_full()
+    }
+
+    fn pick_nearest(&self, from: CoreId, candidates: impl Iterator<Item = CoreId>) -> Option<CoreId> {
+        candidates.min_by_key(|&c| (self.sys.noc().hops(from, c), c.index()))
+    }
+
+    /// An idle core (nothing running, empty queue) within `allowed`:
+    /// least-recently-vacated first (its cache contents are the least
+    /// likely to still serve anyone), then nearest.
+    fn pick_idle(&self, from: CoreId, allowed: CoreMask) -> Option<CoreId> {
+        allowed
+            .iter()
+            .filter(|&c| c != from && self.running[c.index()].is_none() && self.queues[c.index()].is_empty())
+            .min_by_key(|&c| (self.vacated_seq[c.index()], self.sys.noc().hops(from, c), c.index()))
+    }
+
+    fn mark_vacated(&mut self, core: CoreId) {
+        self.vacate_clock += 1;
+        self.vacated_seq[core.index()] = self.vacate_clock;
+    }
+
+    /// Steals the newest waiting thread from the most congested queue
+    /// this core may serve (the thread's `allowed` mask must admit the
+    /// thief). An idle core steals even a lone waiter: it may lose a
+    /// little locality (it re-migrates on its first misses) but an idle
+    /// core while threads wait costs a whole core-interval.
+    fn steal_for(&mut self, thief: CoreId) -> Option<ThreadId> {
+        if !self.mode.is_slicc() || !self.work_stealing {
+            return None;
+        }
+        let victim = CoreId::all(self.queues.len())
+            .filter(|&v| {
+                v != thief
+                    && self.running[v.index()].is_some()
+                    && self.queues[v.index()]
+                        .back()
+                        .is_some_and(|&t| self.threads[t.index()].allowed.contains(thief))
+            })
+            .max_by_key(|&v| (self.queues[v.index()].len(), v.index()))?;
+        // Take the back (newest) entry: the head may already be waiting
+        // on the victim core's warmed state.
+        if std::env::var_os("SLICC_DEBUG_STEAL").is_some() {
+            eprintln!("steal: {thief:?} <- {victim:?} (victim queue {})", self.queues[victim.index()].len());
+        }
+        self.queues[victim.index()].pop_back()
+    }
+
+    /// Executes the migration: drain at the source, context transfer to
+    /// the target's local L2 bank, enqueue at the target.
+    fn migrate(&mut self, from: CoreId, to: CoreId, tid: ThreadId) {
+        debug_assert!(!self.queue_full(to), "caller checks target queue");
+        let cfg = self.sys.config();
+        let total = cfg.migration.cost(self.sys.noc().latency(from, to), cfg.l2_hit_latency);
+        let drain = cfg.migration.drain_cycles.min(total);
+        self.sys.timer_mut(from).migration(drain);
+        let ready = self.sys.timer(from).now() + (total - drain);
+        self.sys.record_migration_traffic(from, to);
+        self.migrations += 1;
+
+        let t = tid.index();
+        self.threads[t].state = ThreadState::Queued;
+        self.threads[t].ready_at = ready;
+        self.queues[to.index()].push(tid);
+        self.agents[from.index()].on_thread_departed();
+        self.running[from.index()] = None;
+        self.last_iblock[from.index()] = None;
+        // §4.2.1 + §5.7: the running thread is the queue's first entry, so
+        // the "thread queue becomes empty" reset fires when the core is
+        // left with no threads at all.
+        if self.queues[from.index()].is_empty() {
+            self.agents[from.index()].on_queue_empty();
+            self.mark_vacated(from);
+        }
+
+        let wake = self.sys.timer(to).now().max(ready);
+        if self.running[to.index()].is_none() && self.queues[to.index()].len() == 1 {
+            self.push_core(to, wake);
+        } else if self.queues[to.index()].len() > 1 {
+            // Surplus work exists: idle cores may steal it.
+            self.wake_idle_cores(ready);
+        }
+    }
+
+    /// Re-arms every fully idle core so it gets a chance to steal.
+    fn wake_idle_cores(&mut self, ready: Cycle) {
+        for c in CoreId::all(self.queues.len()) {
+            if self.scout_core == Some(c) {
+                continue;
+            }
+            if self.running[c.index()].is_none() && self.queues[c.index()].is_empty() {
+                let at = self.sys.timer(c).now().max(ready);
+                self.push_core(c, at);
+            }
+        }
+    }
+
+    fn complete_thread(&mut self, core: CoreId, tid: ThreadId) {
+        let c = core.index();
+        let t = tid.index();
+        self.threads[t].state = ThreadState::Done;
+        self.threads[t].completed_at = Some(self.sys.timer(core).now());
+        self.running[c] = None;
+        self.completed += 1;
+        self.in_flight -= 1;
+        // Other queues may hold surplus work this completion frees a
+        // core for: re-arm idle cores so they can steal it.
+        if self.queues.iter().any(|q| !q.is_empty()) {
+            self.wake_idle_cores(0);
+        }
+        if self.mode.uses_agents() {
+            self.agents[c].on_thread_departed();
+            if self.queues[c].is_empty() {
+                self.agents[c].on_queue_empty();
+                self.mark_vacated(core);
+            }
+        }
+        if let Some(team_idx) = self.threads[t].team {
+            let team = &mut self.teams[team_idx];
+            team.done_members += 1;
+            if team.done_members == team.members.len() {
+                team.active = false;
+                for h in 0..2 {
+                    if self.half_owner[h] == Some(team_idx) {
+                        self.half_owner[h] = None;
+                    }
+                }
+                // §4.3.2: when a team completes, reset all MCs, MTQs,
+                // MSVs (STEPS groups are per-core: reset only theirs).
+                if self.mode == SchedulerMode::Steps {
+                    self.agents[c].reset_all();
+                } else {
+                    for agent in &mut self.agents {
+                        agent.reset_all();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Enqueues a pending thread on `core` and wakes the core if needed.
+    fn enqueue(&mut self, tid: ThreadId, core: CoreId) {
+        debug_assert!(!self.queue_full(core));
+        let t = tid.index();
+        debug_assert_eq!(self.threads[t].state, ThreadState::Pending);
+        self.threads[t].state = ThreadState::Queued;
+        self.queues[core.index()].push(tid);
+        self.in_flight += 1;
+        let ready = self.threads[t].ready_at;
+        if self.running[core.index()].is_none() && self.queues[core.index()].len() == 1 {
+            let wake = self.sys.timer(core).now().max(ready);
+            self.push_core(core, wake);
+        } else if self.queues[core.index()].len() > 1 {
+            // Surplus work exists: idle cores may steal it.
+            self.wake_idle_cores(ready);
+        }
+    }
+
+    /// Mode-specific dispatch of pending work.
+    fn try_dispatch(&mut self) {
+        match self.mode {
+            SchedulerMode::Baseline => self.dispatch_baseline(),
+            SchedulerMode::Slicc => self.dispatch_oblivious(),
+            SchedulerMode::SliccSw | SchedulerMode::SliccPp => self.dispatch_teams(),
+            SchedulerMode::Steps => self.dispatch_steps(),
+        }
+    }
+
+    /// Feeds every STEPS group's core from its member list.
+    fn dispatch_steps(&mut self) {
+        for team_idx in 0..self.teams.len() {
+            loop {
+                let team = &self.teams[team_idx];
+                if team.next_member >= team.members.len()
+                    || self.in_flight >= self.pool_limit
+                    || self.queue_full(team.lead)
+                {
+                    break;
+                }
+                let tid = team.members[team.next_member];
+                let lead = team.lead;
+                self.teams[team_idx].next_member += 1;
+                self.enqueue(tid, lead);
+            }
+        }
+    }
+
+    fn dispatch_baseline(&mut self) {
+        while self.in_flight < self.pool_limit && self.next_pending < self.threads.len() {
+            let Some(core) = self.pick_idle_global() else {
+                return;
+            };
+            let tid = ThreadId::new(self.next_pending as u32);
+            self.next_pending += 1;
+            self.enqueue(tid, core);
+        }
+    }
+
+    fn pick_idle_global(&self) -> Option<CoreId> {
+        self.exec_cores
+            .iter()
+            .find(|&c| self.running[c.index()].is_none() && self.queues[c.index()].is_empty())
+    }
+
+    fn dispatch_oblivious(&mut self) {
+        while self.in_flight < self.pool_limit && self.next_pending < self.threads.len() {
+            // Naïve load balancing: least congested core (§4.1).
+            let Some(core) = self
+                .exec_cores
+                .iter()
+                .filter(|&c| !self.queues[c.index()].is_full())
+                .min_by_key(|&c| {
+                    self.queues[c.index()].len() + usize::from(self.running[c.index()].is_some())
+                })
+            else {
+                return;
+            };
+            let tid = ThreadId::new(self.next_pending as u32);
+            self.next_pending += 1;
+            self.enqueue(tid, core);
+        }
+    }
+
+    fn dispatch_teams(&mut self) {
+        self.activate_teams();
+        // Feed active teams from their lead cores.
+        for team_idx in 0..self.teams.len() {
+            if !self.teams[team_idx].active {
+                continue;
+            }
+            loop {
+                let team = &self.teams[team_idx];
+                if team.next_member >= team.members.len()
+                    || self.in_flight >= self.pool_limit
+                    || self.queue_full(team.lead)
+                {
+                    break;
+                }
+                let tid = team.members[team.next_member];
+                let (lead, cores) = (team.lead, team.cores);
+                self.teams[team_idx].next_member += 1;
+                self.threads[tid.index()].allowed = cores;
+                self.enqueue(tid, lead);
+            }
+        }
+        // Strays fill idle cores (§4.3.2: "scheduled, individually, to
+        // idle cores, or in parallel with a medium team").
+        while self.stray_cursor < self.strays.len() && self.in_flight < self.pool_limit {
+            let Some(core) = self.pick_idle_global() else {
+                return;
+            };
+            let tid = self.strays[self.stray_cursor];
+            self.stray_cursor += 1;
+            self.threads[tid.index()].allowed = self.exec_cores;
+            self.enqueue(tid, core);
+        }
+    }
+
+    /// Whether a half is free for a new team: unowned, or its owner has
+    /// dispatched every member ("cores are time-multiplexed among teams",
+    /// §4.3.2 — a draining team's tail overlaps the next team's ramp).
+    fn half_free(&self, h: usize) -> bool {
+        match self.half_owner[h] {
+            None => true,
+            Some(owner) => {
+                let t = &self.teams[owner];
+                t.next_member >= t.members.len()
+            }
+        }
+    }
+
+    /// Activates the oldest waiting teams onto free halves (large teams
+    /// need both halves; mediums take one).
+    fn activate_teams(&mut self) {
+        while self.next_team < self.teams.len() {
+            let kind = self.teams[self.next_team].kind;
+            match kind {
+                TeamKind::Large => {
+                    if !self.half_free(0) || !self.half_free(1) {
+                        return;
+                    }
+                    let team = &mut self.teams[self.next_team];
+                    team.cores = self.halves[0] | self.halves[1];
+                    team.lead = team.cores.iter().next().expect("exec cores are non-empty");
+                    team.active = true;
+                    self.half_owner = [Some(self.next_team), Some(self.next_team)];
+                    self.next_team += 1;
+                }
+                TeamKind::Medium => {
+                    let Some(h) = (0..2).find(|&h| self.half_free(h)) else {
+                        return;
+                    };
+                    let team = &mut self.teams[self.next_team];
+                    team.cores = self.halves[h];
+                    team.lead = team.cores.iter().next().expect("halves are non-empty");
+                    team.active = true;
+                    self.half_owner[h] = Some(self.next_team);
+                    self.next_team += 1;
+                }
+                TeamKind::Stray => unreachable!("strays are filtered at formation"),
+            }
+        }
+    }
+
+    /// Finalizes the run into metrics.
+    pub fn into_metrics(self) -> RunMetrics {
+        let mut out = RunMetrics {
+            workload: self.spec.name.clone(),
+            mode: self.mode.name().to_owned(),
+            migrations: self.migrations,
+            context_switches: self.context_switches,
+            matched_migrations: self.matched_migrations,
+            idle_migrations: self.idle_migrations,
+            blocked_migrations: self.blocked_migrations,
+            completed_threads: self.completed as u64,
+            ..Default::default()
+        };
+        self.sys.collect_metrics(&mut out);
+        let n_threads = self.threads.len().max(1) as f64;
+        out.mean_cores_per_thread =
+            self.threads.iter().map(|t| t.cores_visited.len() as f64).sum::<f64>() / n_threads;
+        out.stray_fraction = self.strays.len() as f64 / n_threads;
+        // Transaction latency: arrival to completion.
+        let mut latencies: Vec<Cycle> = self
+            .threads
+            .iter()
+            .filter_map(|t| t.completed_at.map(|done| done.saturating_sub(t.arrived_at)))
+            .collect();
+        latencies.sort_unstable();
+        if !latencies.is_empty() {
+            out.mean_txn_latency =
+                latencies.iter().sum::<Cycle>() as f64 / latencies.len() as f64;
+            out.p95_txn_latency = latencies[(latencies.len() * 95 / 100).min(latencies.len() - 1)];
+        }
+        out
+    }
+
+    /// The engine's system (tests, diagnostics).
+    pub fn system(&self) -> &System {
+        &self.sys
+    }
+
+    /// Threads completed so far.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Enables migration-event recording (see [`Engine::events`]).
+    pub fn record_events(&mut self) {
+        self.record_events = true;
+    }
+
+    /// The recorded migration events (empty unless
+    /// [`Engine::record_events`] was called before [`Engine::execute`]).
+    pub fn events(&self) -> &[MigrationEvent] {
+        &self.events
+    }
+
+    /// Migrations performed so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+}

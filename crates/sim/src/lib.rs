@@ -1,0 +1,39 @@
+//! The full SLICC chip-multiprocessor simulator.
+//!
+//! This crate assembles every substrate of the workspace into the Table-2
+//! machine — 16 out-of-order cores with private 32 KiB L1s, a 4×4 torus,
+//! a 16-bank shared NUCA L2 with MESI-style coherence for the L1-Ds, and
+//! DDR3-1600 memory — and executes synthetic workload traces under six
+//! execution modes:
+//!
+//! | Mode | Meaning |
+//! |---|---|
+//! | `Baseline` | OS scheduling, one thread per core, no migration |
+//! | `Baseline` + next-line | adds the §5.6 next-line L1-I prefetcher |
+//! | `Baseline` + PIF model | 512 KiB L1-I at 32 KiB latency (§5.6's PIF upper bound) |
+//! | `Slicc` | transaction-type-oblivious thread migration (§4.1) |
+//! | `SliccSw` | software-provided types, team scheduling (§4.3) |
+//! | `SliccPp` | scout-core type detection, team scheduling (§4.3.1) |
+//! | `Steps` | STEPS-style time multiplexing on single cores (§6 comparison) |
+//!
+//! # Example
+//!
+//! ```no_run
+//! use slicc_sim::{run, SchedulerMode, SimConfig};
+//! use slicc_trace::{TraceScale, Workload};
+//!
+//! let spec = Workload::TpcC1.spec(TraceScale::small());
+//! let base = run(&spec, &SimConfig::paper_baseline());
+//! let slicc = run(&spec, &SimConfig::paper_baseline().with_mode(SchedulerMode::SliccSw));
+//! println!("speedup: {:.2}x", base.cycles as f64 / slicc.cycles as f64);
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod system;
+
+pub use config::{SchedulerMode, SimConfig};
+pub use engine::{run, Engine, MigrationEvent};
+pub use metrics::RunMetrics;
+pub use system::System;

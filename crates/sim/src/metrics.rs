@@ -1,0 +1,168 @@
+//! Run-level metrics: the numbers the paper's figures report.
+
+use slicc_cache::MissBreakdown;
+use slicc_common::Cycle;
+use slicc_cpu::CoreStats;
+use slicc_mem::{DramStats, L2Stats};
+use slicc_noc::NocStats;
+
+/// Everything measured over one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    /// Workload name.
+    pub workload: String,
+    /// Mode label (Base / SLICC / ...).
+    pub mode: String,
+    /// Total instructions retired across all cores (including scout
+    /// instructions under SLICC-Pp).
+    pub instructions: u64,
+    /// Completion time: the cycle at which the last transaction finished
+    /// ("We measure performance by counting the number of cycles it takes
+    /// to execute all transactions", §5.1).
+    pub cycles: Cycle,
+    /// L1-I demand misses (all cores).
+    pub i_misses: u64,
+    /// L1-D demand misses (all cores).
+    pub d_misses: u64,
+    /// L1-I demand accesses.
+    pub i_accesses: u64,
+    /// L1-D demand accesses.
+    pub d_accesses: u64,
+    /// Thread migrations performed.
+    pub migrations: u64,
+    /// STEPS context switches performed (STEPS mode only).
+    pub context_switches: u64,
+    /// Migrations whose target was found by the remote segment search.
+    pub matched_migrations: u64,
+    /// Migrations that fell back to an idle core.
+    pub idle_migrations: u64,
+    /// Migration attempts that had nowhere to go (stayed put, §4.1 (3)).
+    pub blocked_migrations: u64,
+    /// Transactions completed.
+    pub completed_threads: u64,
+    /// Aggregated per-core cycle composition.
+    pub core_stats: CoreStats,
+    /// Interconnect counters (broadcasts drive §5.8's BPKI).
+    pub noc: NocStats,
+    /// L2 counters.
+    pub l2: L2Stats,
+    /// DRAM counters.
+    pub dram: DramStats,
+    /// 3C breakdown of instruction misses (when classification enabled).
+    pub i_breakdown: Option<MissBreakdown>,
+    /// 3C breakdown of data misses (when classification enabled).
+    pub d_breakdown: Option<MissBreakdown>,
+    /// Bloom-signature accuracy (when measurement enabled; Figure 9).
+    pub bloom_accuracy: Option<f64>,
+    /// Instruction-TLB misses across all cores (§5.5 reports them within
+    /// ±0.5% of baseline under SLICC).
+    pub i_tlb_misses: u64,
+    /// Data-TLB misses across all cores (§5.5: +11%/+8% under
+    /// SLICC/SLICC-SW).
+    pub d_tlb_misses: u64,
+    /// Mean distinct cores visited per completed thread (the §5.4
+    /// "spread" statistic).
+    pub mean_cores_per_thread: f64,
+    /// Fraction of threads dispatched as strays (type-aware modes).
+    pub stray_fraction: f64,
+    /// Mean transaction latency (arrival to completion, cycles).
+    pub mean_txn_latency: f64,
+    /// 95th-percentile transaction latency (cycles).
+    pub p95_txn_latency: Cycle,
+}
+
+impl RunMetrics {
+    /// Instruction misses per kilo-instruction.
+    pub fn i_mpki(&self) -> f64 {
+        mpki(self.i_misses, self.instructions)
+    }
+
+    /// Data misses per kilo-instruction.
+    pub fn d_mpki(&self) -> f64 {
+        mpki(self.d_misses, self.instructions)
+    }
+
+    /// Combined L1 misses per kilo-instruction.
+    pub fn total_mpki(&self) -> f64 {
+        mpki(self.i_misses + self.d_misses, self.instructions)
+    }
+
+    /// Broadcasts per kilo-instruction (§5.8).
+    pub fn bpki(&self) -> f64 {
+        self.noc.bpki(self.instructions)
+    }
+
+    /// Migrations per kilo-instruction (§4.2.3 quotes one per ~3.2K
+    /// instructions on average).
+    pub fn migrations_per_kilo_instruction(&self) -> f64 {
+        mpki(self.migrations, self.instructions)
+    }
+
+    /// Instruction-TLB misses per kilo-instruction.
+    pub fn i_tlb_mpki(&self) -> f64 {
+        mpki(self.i_tlb_misses, self.instructions)
+    }
+
+    /// Data-TLB misses per kilo-instruction.
+    pub fn d_tlb_mpki(&self) -> f64 {
+        mpki(self.d_tlb_misses, self.instructions)
+    }
+
+    /// Speedup of this run relative to `baseline` (same workload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either run has zero cycles.
+    pub fn speedup_over(&self, baseline: &RunMetrics) -> f64 {
+        assert!(self.cycles > 0 && baseline.cycles > 0, "runs must have executed");
+        baseline.cycles as f64 / self.cycles as f64
+    }
+}
+
+fn mpki(events: u64, instructions: u64) -> f64 {
+    if instructions == 0 {
+        0.0
+    } else {
+        1000.0 * events as f64 / instructions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(misses: u64, instructions: u64, cycles: Cycle) -> RunMetrics {
+        RunMetrics { i_misses: misses, instructions, cycles, ..Default::default() }
+    }
+
+    #[test]
+    fn mpki_definitions() {
+        let m = metrics(50, 1_000_000, 10);
+        assert!((m.i_mpki() - 0.05).abs() < 1e-12);
+        assert_eq!(m.d_mpki(), 0.0);
+        assert!((m.total_mpki() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_instructions_yield_zero_mpki() {
+        let m = metrics(10, 0, 1);
+        assert_eq!(m.i_mpki(), 0.0);
+        assert_eq!(m.bpki(), 0.0);
+    }
+
+    #[test]
+    fn speedup_is_cycle_ratio() {
+        let base = metrics(0, 1, 200);
+        let fast = metrics(0, 1, 100);
+        assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);
+        assert!((base.speedup_over(&fast) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have executed")]
+    fn speedup_of_empty_run_panics() {
+        let a = metrics(0, 0, 0);
+        let b = metrics(0, 0, 1);
+        let _ = b.speedup_over(&a);
+    }
+}

@@ -1,0 +1,442 @@
+//! The assembled machine: cores + L1s + blooms + NoC + L2 + DRAM.
+//!
+//! [`System`] owns all hardware state and implements the two memory
+//! operations the engine issues — instruction fetch and data access —
+//! including miss-path latency (torus hops to the home L2 bank, bank hit
+//! latency, DRAM on L2 miss), coherence side effects (store
+//! invalidations, dirty downgrades, inclusive back-invalidation), bloom
+//! signature maintenance, optional next-line prefetching, and optional 3C
+//! classification.
+
+use crate::config::SimConfig;
+use crate::metrics::RunMetrics;
+use slicc_cache::{
+    AccessKind, BloomSignature, Cache, EvictedBlock, MissBreakdown, NextLinePrefetcher, Pif,
+    SignatureAccuracy, ThreeCClassifier,
+};
+use slicc_common::{BlockAddr, CoreId, Cycle};
+use slicc_core::CoreMask;
+use slicc_cpu::{CoreStats, CoreTimer, Tlb};
+use slicc_mem::{Dram, L2AccessKind, L2Nuca, L2Response};
+use slicc_noc::{NocStats, Torus};
+
+/// Per-core hardware state.
+struct CoreCtx {
+    l1i: Cache,
+    l1d: Cache,
+    bloom: BloomSignature,
+    timer: CoreTimer,
+    itlb: Tlb,
+    dtlb: Tlb,
+    prefetcher: Option<NextLinePrefetcher>,
+    pif: Option<Pif>,
+    i_classifier: Option<ThreeCClassifier>,
+    d_classifier: Option<ThreeCClassifier>,
+}
+
+/// The full simulated machine.
+pub struct System {
+    cfg: SimConfig,
+    noc: Torus,
+    noc_stats: NocStats,
+    l2: L2Nuca,
+    dram: Dram,
+    cores: Vec<CoreCtx>,
+    l1i_latency: Cycle,
+    bloom_accuracy: SignatureAccuracy,
+}
+
+impl System {
+    /// Builds the machine described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`SimConfig::validate`].
+    pub fn new(cfg: &SimConfig) -> Self {
+        cfg.validate();
+        let l1i_geom = cfg.l1i_geometry();
+        let l1d_geom = cfg.l1d_geometry();
+        let cores = (0..cfg.cores)
+            .map(|i| CoreCtx {
+                l1i: Cache::new(l1i_geom, cfg.l1_policy, cfg.seed ^ (i as u64) << 1),
+                l1d: Cache::new(l1d_geom, cfg.l1_policy, cfg.seed ^ (i as u64) << 1 ^ 1),
+                bloom: BloomSignature::new(cfg.bloom_bits.max(l1i_geom.num_sets()), l1i_geom),
+                timer: CoreTimer::new(cfg.timing),
+                itlb: Tlb::with_page_bytes(cfg.itlb_entries, cfg.itlb_page_bytes),
+                dtlb: Tlb::new(cfg.dtlb_entries),
+                prefetcher: cfg.next_line_prefetch.map(NextLinePrefetcher::new),
+                pif: cfg.pif_prefetch.map(Pif::new),
+                i_classifier: cfg.classify_3c.then(|| ThreeCClassifier::new(l1i_geom.num_blocks() as usize)),
+                d_classifier: cfg.classify_3c.then(|| ThreeCClassifier::new(l1d_geom.num_blocks() as usize)),
+            })
+            .collect();
+        System {
+            noc: Torus::new(cfg.noc_cols, cfg.noc_rows),
+            noc_stats: NocStats::default(),
+            l2: L2Nuca::new(
+                slicc_common::CacheGeometry::new(cfg.l2_size, cfg.l2_assoc, 64),
+                cfg.l2_banks,
+                cfg.l2_hit_latency,
+                cfg.seed ^ 0x12,
+            ),
+            dram: Dram::new(cfg.dram),
+            cores,
+            l1i_latency: cfg.l1i_latency(),
+            bloom_accuracy: SignatureAccuracy::default(),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// The configuration this machine was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The interconnect.
+    pub fn noc(&self) -> &Torus {
+        &self.noc
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The core's local clock.
+    pub fn timer(&self, core: CoreId) -> &CoreTimer {
+        &self.cores[core.index()].timer
+    }
+
+    /// Mutable access to the core's local clock (the engine charges
+    /// migration, idling, and instruction retirement through this).
+    pub fn timer_mut(&mut self, core: CoreId) -> &mut CoreTimer {
+        &mut self.cores[core.index()].timer
+    }
+
+    /// Read access to a core's L1-I (tests, diagnostics).
+    pub fn l1i(&self, core: CoreId) -> &Cache {
+        &self.cores[core.index()].l1i
+    }
+
+    /// Read access to a core's L1-D (tests, diagnostics).
+    pub fn l1d(&self, core: CoreId) -> &Cache {
+        &self.cores[core.index()].l1d
+    }
+
+    /// Read access to a core's bloom signature (tests, diagnostics).
+    pub fn bloom(&self, core: CoreId) -> &BloomSignature {
+        &self.cores[core.index()].bloom
+    }
+
+    /// The effective L1-I hit latency.
+    pub fn l1i_latency(&self) -> Cycle {
+        self.l1i_latency
+    }
+
+    /// Performs one instruction fetch on `core` and charges its timer.
+    /// Returns whether the L1-I hit.
+    pub fn ifetch(&mut self, core: CoreId, block: BlockAddr) -> bool {
+        let i = core.index();
+
+        // Address translation precedes the cache.
+        {
+            let ctx = &mut self.cores[i];
+            if !ctx.itlb.access(block.base_addr(64)) {
+                ctx.timer.tlb_walk(self.cfg.tlb_walk_cycles, true);
+            }
+        }
+
+        if self.cfg.measure_bloom_accuracy {
+            // §5.3's accuracy metric: does the signature agree with the
+            // cache on hit/miss, for every access?
+            let ctx = &self.cores[i];
+            self.bloom_accuracy.record(ctx.bloom.maybe_contains(block), ctx.l1i.contains(block));
+        }
+
+        // L1 lookup (with optional next-line prefetch), classification,
+        // and bloom upkeep for prefetch fills.
+        let (result, prefetch_evictions) = {
+            let ctx = &mut self.cores[i];
+            let (result, prefetch_evictions) = match &mut ctx.prefetcher {
+                Some(pf) => {
+                    let degree = pf.degree();
+                    let out = pf.access(&mut ctx.l1i, block);
+                    // Prefetch-filled blocks are cached: the bloom
+                    // signature must cover them for remote searches.
+                    for d in 1..=degree {
+                        let target = block.offset(d);
+                        if ctx.l1i.contains(target) {
+                            ctx.bloom.insert(target);
+                        }
+                    }
+                    out
+                }
+                None => (ctx.l1i.access(block, AccessKind::Read), Vec::new()),
+            };
+            if let Some(c) = &mut ctx.i_classifier {
+                if result.is_hit() {
+                    c.observe(block);
+                } else {
+                    c.observe_miss(block);
+                }
+            }
+            (result, prefetch_evictions)
+        };
+
+        // Evictions caused by the demand fill and by prefetch fills.
+        let mut evictions: Vec<EvictedBlock> = prefetch_evictions;
+        if let Some(ev) = result.evicted() {
+            evictions.push(ev);
+        }
+        for ev in &evictions {
+            self.handle_l1i_eviction(core, ev.block);
+        }
+
+        // The real-PIF comparator trains on the retire-order stream and
+        // streams prefetch fills into the L1-I.
+        let pif_evictions = {
+            let ctx = &mut self.cores[i];
+            match ctx.pif.take() {
+                Some(mut pif) => {
+                    let ev = pif.on_fetch(&mut ctx.l1i, block, result.is_hit());
+                    ctx.pif = Some(pif);
+                    ev
+                }
+                None => Vec::new(),
+            }
+        };
+        for ev in &pif_evictions {
+            self.handle_l1i_eviction(core, ev.block);
+        }
+
+        if result.is_hit() {
+            self.cores[i].timer.ifetch_hit(self.l1i_latency);
+            return true;
+        }
+
+        // Miss path: request to the home L2 bank over the torus.
+        let now = self.cores[i].timer.now();
+        let (resp, round_trip) = self.l2_request(core, block, L2AccessKind::IFetch, now);
+        self.apply_back_invalidations(&resp);
+        let ctx = &mut self.cores[i];
+        ctx.bloom.insert(block);
+        ctx.timer.ifetch_miss(round_trip);
+        false
+    }
+
+    /// Performs one data access on `core` and charges its timer.
+    /// Returns whether the L1-D hit.
+    pub fn data_access(&mut self, core: CoreId, block: BlockAddr, is_store: bool) -> bool {
+        let i = core.index();
+        let kind = if is_store { AccessKind::Write } else { AccessKind::Read };
+
+        {
+            let ctx = &mut self.cores[i];
+            if !ctx.dtlb.access(block.base_addr(64)) {
+                ctx.timer.tlb_walk(self.cfg.tlb_walk_cycles, false);
+            }
+        }
+
+        let (result, was_dirty) = {
+            let ctx = &mut self.cores[i];
+            let was_dirty = ctx.l1d.contains_dirty(block);
+            let result = ctx.l1d.access(block, kind);
+            if let Some(c) = &mut ctx.d_classifier {
+                if result.is_hit() {
+                    c.observe(block);
+                } else {
+                    c.observe_miss(block);
+                }
+            }
+            (result, was_dirty)
+        };
+
+        if let Some(ev) = result.evicted() {
+            self.l2.on_l1_evict(core, ev.block, true, ev.dirty);
+            if ev.dirty {
+                // Write-back message to the home bank.
+                let home = self.noc.bank_home(self.l2.bank_of(ev.block));
+                let hops = self.noc.hops(core, home);
+                self.noc_stats.record_unicast(hops);
+            }
+        }
+
+        if result.is_hit() {
+            // A store to a clean (potentially shared) line needs
+            // exclusivity: an upgrade transaction at the directory.
+            if is_store && !was_dirty {
+                let now = self.cores[i].timer.now();
+                let (resp, round_trip) = self.l2_request(core, block, L2AccessKind::DataWrite, now);
+                self.apply_coherence(core, block, &resp);
+                self.apply_back_invalidations(&resp);
+                self.cores[i].timer.data_miss(block, round_trip, true);
+            }
+            return true;
+        }
+
+        let now = self.cores[i].timer.now();
+        let l2_kind = if is_store { L2AccessKind::DataWrite } else { L2AccessKind::DataRead };
+        let (resp, mut round_trip) = self.l2_request(core, block, l2_kind, now);
+        // A dirty remote copy must be downgraded before the data returns.
+        if let Some(owner) = resp.downgrade {
+            let home = self.noc.bank_home(self.l2.bank_of(block));
+            round_trip += self.noc.round_trip(home, owner);
+            self.noc_stats.record_unicast(self.noc.hops(home, owner));
+        }
+        self.apply_coherence(core, block, &resp);
+        self.apply_back_invalidations(&resp);
+        self.cores[i].timer.data_miss(block, round_trip, is_store);
+        false
+    }
+
+    /// The SLICC remote cache segment search: queries every other core's
+    /// bloom signature for `block`. Counted as one broadcast (§5.8).
+    pub fn remote_search(&mut self, core: CoreId, block: BlockAddr) -> CoreMask {
+        self.noc_stats.record_broadcast();
+        let mut mask = CoreMask::empty();
+        for (i, ctx) in self.cores.iter().enumerate() {
+            let holds = if self.cfg.exact_search {
+                ctx.l1i.contains(block)
+            } else {
+                ctx.bloom.maybe_contains(block)
+            };
+            if i != core.index() && holds {
+                mask.insert(CoreId::new(i as u16));
+            }
+        }
+        mask
+    }
+
+    /// Measured bloom-signature accuracy so far (Figure 9), if enabled.
+    pub fn bloom_accuracy(&self) -> Option<f64> {
+        self.cfg.measure_bloom_accuracy.then(|| self.bloom_accuracy.accuracy())
+    }
+
+    /// Records the context-transfer messages of one migration.
+    pub fn record_migration_traffic(&mut self, from: CoreId, to: CoreId) {
+        let hops = self.noc.hops(from, to);
+        // Save to the L2 bank near the target, restore locally.
+        self.noc_stats.record_unicast(hops);
+        self.noc_stats.record_unicast(0);
+    }
+
+    /// Issues an L2 request and computes its round-trip latency.
+    fn l2_request(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        kind: L2AccessKind,
+        now: Cycle,
+    ) -> (L2Response, Cycle) {
+        let bank = self.l2.bank_of(block);
+        let home = self.noc.bank_home(bank);
+        let noc_one_way = self.noc.latency(core, home);
+        self.noc_stats.record_unicast(self.noc.hops(core, home));
+        let resp = self.l2.access(core, block, kind);
+        let mut round_trip = 2 * noc_one_way + self.l2.hit_latency();
+        if !resp.hit {
+            let issue = now + noc_one_way + self.l2.hit_latency();
+            let done = self.dram.access(block, issue, false);
+            round_trip += done - issue;
+        }
+        if resp.dirty_writeback {
+            // The L2 victim's write-back occupies a DRAM bank but is off
+            // the critical path of this request.
+            // (The victim block address is in `resp.back_invalidate` when
+            // L1 sharers existed; for timing we model bank pressure only
+            // when we know the block.)
+        }
+        (resp, round_trip)
+    }
+
+    /// Applies store-invalidations and downgrades to the victim L1-Ds.
+    fn apply_coherence(&mut self, requester: CoreId, block: BlockAddr, resp: &L2Response) {
+        for &victim in &resp.invalidate_data {
+            debug_assert_ne!(victim, requester);
+            self.cores[victim.index()].l1d.invalidate(block);
+            self.noc_stats.record_unicast(self.noc.hops(requester, victim));
+        }
+        if let Some(owner) = resp.downgrade {
+            self.cores[owner.index()].l1d.clean(block);
+        }
+    }
+
+    /// Applies inclusive-L2 back-invalidations to all L1 copies.
+    fn apply_back_invalidations(&mut self, resp: &L2Response) {
+        for bi in &resp.back_invalidate {
+            for &c in &bi.i_sharers {
+                let removed = self.cores[c.index()].l1i.invalidate(bi.block).is_some();
+                if removed {
+                    self.remove_from_bloom(c, bi.block);
+                }
+            }
+            for &c in &bi.d_sharers {
+                self.cores[c.index()].l1d.invalidate(bi.block);
+            }
+        }
+    }
+
+    /// L1-I eviction bookkeeping: directory notification + bloom removal.
+    fn handle_l1i_eviction(&mut self, core: CoreId, block: BlockAddr) {
+        self.l2.on_l1_evict(core, block, false, false);
+        self.remove_from_bloom(core, block);
+    }
+
+    fn remove_from_bloom(&mut self, core: CoreId, block: BlockAddr) {
+        let ctx = &mut self.cores[core.index()];
+        let set = ctx.l1i.geometry().set_index(block);
+        ctx.bloom.remove(block, ctx.l1i.blocks_in_set(set));
+    }
+
+    /// The completion time of the machine: the latest core clock.
+    pub fn makespan(&self) -> Cycle {
+        self.cores.iter().map(|c| c.timer.now()).max().unwrap_or(0)
+    }
+
+    /// Gathers hardware-side metrics into `out`.
+    pub fn collect_metrics(&self, out: &mut RunMetrics) {
+        out.cycles = self.makespan();
+        let mut core_stats = CoreStats::default();
+        let mut i_bd = MissBreakdown::default();
+        let mut d_bd = MissBreakdown::default();
+        for ctx in &self.cores {
+            out.i_tlb_misses += ctx.itlb.misses();
+            out.d_tlb_misses += ctx.dtlb.misses();
+            out.instructions += ctx.timer.stats().instructions;
+            out.i_misses += ctx.l1i.stats().misses;
+            out.d_misses += ctx.l1d.stats().misses;
+            out.i_accesses += ctx.l1i.stats().accesses;
+            out.d_accesses += ctx.l1d.stats().accesses;
+            let s = ctx.timer.stats();
+            core_stats.instructions += s.instructions;
+            core_stats.base_cycles += s.base_cycles;
+            core_stats.ifetch_stall_cycles += s.ifetch_stall_cycles;
+            core_stats.fetch_latency_cycles += s.fetch_latency_cycles;
+            core_stats.tlb_walk_cycles += s.tlb_walk_cycles;
+            core_stats.data_stall_cycles += s.data_stall_cycles;
+            core_stats.migration_cycles += s.migration_cycles;
+            core_stats.idle_cycles += s.idle_cycles;
+            if let Some(c) = &ctx.i_classifier {
+                let b = c.breakdown();
+                i_bd.compulsory += b.compulsory;
+                i_bd.conflict += b.conflict;
+                i_bd.capacity += b.capacity;
+            }
+            if let Some(c) = &ctx.d_classifier {
+                let b = c.breakdown();
+                d_bd.compulsory += b.compulsory;
+                d_bd.conflict += b.conflict;
+                d_bd.capacity += b.capacity;
+            }
+        }
+        out.core_stats = core_stats;
+        out.noc = self.noc_stats;
+        out.l2 = *self.l2.stats();
+        out.dram = *self.dram.stats();
+        if self.cfg.classify_3c {
+            out.i_breakdown = Some(i_bd);
+            out.d_breakdown = Some(d_bd);
+        }
+        out.bloom_accuracy = self.bloom_accuracy();
+    }
+}

@@ -1,0 +1,57 @@
+//! Trace records: one retired instruction and its optional data access.
+
+use slicc_common::Addr;
+
+/// A data reference made by an instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DataAccess {
+    /// The byte address referenced.
+    pub addr: Addr,
+    /// Whether this is a store (45% of OLTP data accesses, §5.5).
+    pub is_store: bool,
+}
+
+/// One retired instruction: its fetch address plus at most one data
+/// reference.
+///
+/// The simulator charges one instruction per record, one L1-I access for
+/// `pc`, and one L1-D access when `data` is present.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Record {
+    /// Fetch (program counter) byte address.
+    pub pc: Addr,
+    /// The instruction's data reference, if it is a load or store.
+    pub data: Option<DataAccess>,
+}
+
+impl Record {
+    /// An instruction with no memory operand.
+    pub const fn compute(pc: Addr) -> Self {
+        Record { pc, data: None }
+    }
+
+    /// A load instruction.
+    pub const fn load(pc: Addr, addr: Addr) -> Self {
+        Record { pc, data: Some(DataAccess { addr, is_store: false }) }
+    }
+
+    /// A store instruction.
+    pub const fn store(pc: Addr, addr: Addr) -> Self {
+        Record { pc, data: Some(DataAccess { addr, is_store: true }) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let pc = Addr::new(0x1000);
+        let d = Addr::new(0x2000);
+        assert_eq!(Record::compute(pc).data, None);
+        assert_eq!(Record::load(pc, d).data, Some(DataAccess { addr: d, is_store: false }));
+        assert!(Record::store(pc, d).data.unwrap().is_store);
+        assert_eq!(Record::store(pc, d).pc, pc);
+    }
+}

@@ -1,0 +1,9 @@
+fn main() {
+    let spec = slicc_trace::Workload::TpcC1.spec(slicc_trace::TraceScale::small());
+    let m = slicc_sim::run(&spec, &slicc_sim::SimConfig::paper_baseline().with_classification());
+    println!("I-MPKI {:.2} D-MPKI {:.2}", m.i_mpki(), m.d_mpki());
+    println!("I breakdown: {:?}", m.i_breakdown);
+    println!("D breakdown: {:?}", m.d_breakdown);
+    println!("L2: {:?}", m.l2);
+    println!("instr {} d_accesses {}", m.instructions, m.d_accesses);
+}

@@ -1,0 +1,324 @@
+//! End-to-end integration tests across the whole workspace: workload
+//! generation -> full-system simulation -> metrics, for every scheduling
+//! mode and every Table-1 workload, at miniature scale.
+
+use slicc_cache::PolicyKind;
+use slicc_sim::{run, RunMetrics, SchedulerMode, SimConfig};
+use slicc_trace::{TraceScale, Workload};
+
+fn tiny(mode: SchedulerMode) -> SimConfig {
+    SimConfig::tiny_test().with_mode(mode)
+}
+
+fn run_tiny(workload: Workload, mode: SchedulerMode) -> RunMetrics {
+    let spec = workload.spec(TraceScale::tiny());
+    run(&spec, &tiny(mode))
+}
+
+#[test]
+fn every_workload_completes_under_every_mode() {
+    for w in Workload::ALL {
+        let spec = w.spec(TraceScale::tiny());
+        for mode in SchedulerMode::ALL {
+            let m = run(&spec, &tiny(mode));
+            assert_eq!(m.completed_threads, spec.num_tasks as u64, "{w} under {mode}");
+            assert!(m.instructions > 0, "{w} under {mode}");
+            assert!(m.cycles > 0, "{w} under {mode}");
+            assert_eq!(m.workload, w.name());
+            assert_eq!(m.mode, mode.name());
+        }
+    }
+}
+
+#[test]
+fn slicc_reduces_instruction_misses_on_oltp() {
+    // Full-size machine at the reduced trace scale: the tiny machine's
+    // aggregate L1-I is overcommitted by the tiny presets' code and
+    // cannot show the effect.
+    for w in [Workload::TpcC1, Workload::TpcE] {
+        let spec = w.spec(TraceScale::small());
+        let base = run(&spec, &SimConfig::paper_baseline());
+        let sw = run(&spec, &SimConfig::paper_baseline().with_mode(SchedulerMode::SliccSw));
+        assert!(
+            sw.i_mpki() < 0.7 * base.i_mpki(),
+            "{w}: SLICC-SW should cut I-MPKI by >30%: base {:.1} vs {:.1}",
+            base.i_mpki(),
+            sw.i_mpki()
+        );
+        assert!(sw.migrations > 0, "{w}: SLICC-SW must migrate");
+    }
+}
+
+#[test]
+fn instruction_savings_outweigh_data_costs_in_cycles() {
+    // §3.3/§5.5: migration costs extra data misses, but instruction
+    // misses are the expensive kind — the *cycle* savings must dominate.
+    let base = run_tiny(Workload::TpcC1, SchedulerMode::Baseline);
+    let sw = run_tiny(Workload::TpcC1, SchedulerMode::SliccSw);
+    assert!(sw.d_mpki() >= base.d_mpki(), "migration should not reduce data misses");
+    assert!(sw.i_mpki() < base.i_mpki(), "migration must reduce instruction misses");
+    let i_saved = base.core_stats.ifetch_stall_cycles.saturating_sub(sw.core_stats.ifetch_stall_cycles);
+    let d_cost = sw.core_stats.data_stall_cycles.saturating_sub(base.core_stats.data_stall_cycles);
+    assert!(
+        i_saved > d_cost,
+        "instruction-stall savings ({i_saved} cycles) must outweigh data-stall cost ({d_cost})"
+    );
+}
+
+#[test]
+fn mapreduce_is_practically_unaffected() {
+    // §5.6 robustness: a footprint that fits one L1-I neither migrates
+    // nor slows down meaningfully. Like the paper's 300-task MapReduce,
+    // the machine is loaded (tasks > cores): an underloaded machine
+    // tempts SLICC into pointless idle-core spreading during warm-up.
+    let spec = Workload::MapReduce.spec(TraceScale::tiny().with_tasks(48));
+    let base = run(&spec, &tiny(SchedulerMode::Baseline));
+    for mode in [SchedulerMode::Slicc, SchedulerMode::SliccSw] {
+        let m = run(&spec, &tiny(mode));
+        let spd = m.speedup_over(&base);
+        assert!((0.85..1.15).contains(&spd), "{mode}: MapReduce speedup {spd:.2} should be ~1.0");
+    }
+}
+
+#[test]
+fn pif_upper_bound_beats_baseline_on_oltp() {
+    // Enough tasks that cold misses amortize and the PIF bound shines.
+    let spec = Workload::TpcC1.spec(TraceScale::tiny().with_tasks(64));
+    let base = run(&spec, &SimConfig::tiny_test());
+    // The tiny-machine PIF analogue: far more capacity than the whole
+    // workload's code, at unchanged latency.
+    let mut pif_cfg = SimConfig::tiny_test();
+    pif_cfg.l1i_size = 256 * 1024;
+    pif_cfg.l1i_latency_override = Some(3);
+    let pif = run(&spec, &pif_cfg);
+    assert!(pif.i_mpki() < 0.4 * base.i_mpki(), "PIF model should nearly eliminate I-misses");
+    assert!(pif.speedup_over(&base) > 1.1);
+}
+
+#[test]
+fn next_line_prefetch_reduces_misses_but_less_than_pif() {
+    let spec = Workload::TpcC1.spec(TraceScale::tiny().with_tasks(64));
+    let base = run(&spec, &SimConfig::tiny_test());
+    let nl = run(&spec, &SimConfig::tiny_test().with_next_line(1));
+    assert!(nl.i_mpki() < base.i_mpki(), "next-line should cover some sequential misses");
+    let mut pif_cfg = SimConfig::tiny_test();
+    pif_cfg.l1i_size = 256 * 1024;
+    pif_cfg.l1i_latency_override = Some(3);
+    let pif = run(&spec, &pif_cfg);
+    assert!(pif.i_mpki() < nl.i_mpki(), "the PIF bound beats next-line");
+}
+
+#[test]
+fn every_replacement_policy_runs_and_stays_sane() {
+    let spec = Workload::TpcC1.spec(TraceScale::tiny());
+    let lru = run(&spec, &SimConfig::tiny_test());
+    for policy in PolicyKind::ALL {
+        let m = run(&spec, &SimConfig::tiny_test().with_policy(policy));
+        assert_eq!(m.completed_threads, spec.num_tasks as u64, "{policy}");
+        // No policy should be wildly different from LRU on this trace.
+        assert!(
+            m.i_mpki() < 2.0 * lru.i_mpki() + 1.0,
+            "{policy}: I-MPKI {:.1} vs LRU {:.1}",
+            m.i_mpki(),
+            lru.i_mpki()
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic_per_mode() {
+    for mode in SchedulerMode::ALL {
+        let a = run_tiny(Workload::TpcE, mode);
+        let b = run_tiny(Workload::TpcE, mode);
+        assert_eq!(a.cycles, b.cycles, "{mode}");
+        assert_eq!(a.i_misses, b.i_misses, "{mode}");
+        assert_eq!(a.d_misses, b.d_misses, "{mode}");
+        assert_eq!(a.migrations, b.migrations, "{mode}");
+        assert_eq!(a.noc.broadcasts, b.noc.broadcasts, "{mode}");
+    }
+}
+
+#[test]
+fn classification_partitions_every_miss() {
+    let spec = Workload::TpcC1.spec(TraceScale::tiny());
+    let m = run(&spec, &SimConfig::tiny_test().with_classification());
+    let i_bd = m.i_breakdown.expect("classification enabled");
+    let d_bd = m.d_breakdown.expect("classification enabled");
+    assert_eq!(i_bd.total(), m.i_misses, "every instruction miss classified exactly once");
+    assert_eq!(d_bd.total(), m.d_misses, "every data miss classified exactly once");
+    // The paper's signature finding: instruction misses are dominated by
+    // capacity+conflict (reuse), data misses have a large compulsory part.
+    assert!(i_bd.capacity + i_bd.conflict > i_bd.compulsory, "{i_bd:?}");
+}
+
+#[test]
+fn broadcasts_only_happen_under_slicc() {
+    let base = run_tiny(Workload::TpcC1, SchedulerMode::Baseline);
+    assert_eq!(base.noc.broadcasts, 0);
+    assert_eq!(base.migrations, 0);
+    let slicc = run_tiny(Workload::TpcC1, SchedulerMode::Slicc);
+    assert!(slicc.noc.broadcasts > 0);
+    assert!(slicc.bpki() > 0.0);
+}
+
+#[test]
+fn accounting_identities_hold() {
+    for mode in [SchedulerMode::Baseline, SchedulerMode::SliccSw] {
+        let m = run_tiny(Workload::TpcC1, mode);
+        assert!(m.i_misses <= m.i_accesses, "{mode}");
+        assert!(m.d_misses <= m.d_accesses, "{mode}");
+        assert_eq!(
+            m.migrations,
+            m.matched_migrations + m.idle_migrations,
+            "{mode}: migrations split into matched + idle"
+        );
+        // Busy time can never exceed cores x makespan.
+        let busy = m.core_stats.base_cycles
+            + m.core_stats.ifetch_stall_cycles
+            + m.core_stats.fetch_latency_cycles
+            + m.core_stats.data_stall_cycles
+            + m.core_stats.migration_cycles;
+        assert!(busy <= m.cycles * 16, "{mode}: busy {} > 16 x {}", busy, m.cycles);
+    }
+}
+
+#[test]
+fn slicc_pp_matches_sw_within_band() {
+    // Scout detection is 100% accurate on these traces, so Pp should
+    // land near SW (it gives up one core to scouting).
+    let sw = run_tiny(Workload::TpcE, SchedulerMode::SliccSw);
+    let pp = run_tiny(Workload::TpcE, SchedulerMode::SliccPp);
+    let ratio = pp.cycles as f64 / sw.cycles as f64;
+    assert!((0.7..1.4).contains(&ratio), "Pp/SW cycle ratio {ratio:.2}");
+    assert!(pp.i_mpki() < 0.9 * run_tiny(Workload::TpcE, SchedulerMode::Baseline).i_mpki());
+}
+
+#[test]
+fn threads_spread_across_cores_under_slicc() {
+    let base = run_tiny(Workload::TpcC1, SchedulerMode::Baseline);
+    assert!(base.mean_cores_per_thread <= 1.01, "baseline threads never move");
+    let sw = run_tiny(Workload::TpcC1, SchedulerMode::SliccSw);
+    assert!(
+        sw.mean_cores_per_thread > 2.0,
+        "SLICC threads should spread: {:.2} cores/thread",
+        sw.mean_cores_per_thread
+    );
+}
+
+#[test]
+fn stray_fractions_match_workload_structure() {
+    // §5.4: "only 3% of TPC-E threads are stray compared to 12% of TPC-C
+    // threads" — rare transaction types become strays. At tiny scale the
+    // exact numbers differ, but TPC-C must have more strays than
+    // MapReduce (single type, zero strays).
+    let tpcc = run(&Workload::TpcC1.spec(TraceScale::tiny().with_tasks(64)), &tiny(SchedulerMode::SliccSw));
+    let mr = run(&Workload::MapReduce.spec(TraceScale::tiny().with_tasks(64)), &tiny(SchedulerMode::SliccSw));
+    assert_eq!(mr.stray_fraction, 0.0, "single-type workload has no strays");
+    assert!(tpcc.stray_fraction > 0.0, "TPC-C rare types produce strays");
+    assert!(tpcc.stray_fraction < 0.5, "most TPC-C threads are in teams");
+}
+
+#[test]
+fn bigger_l1i_reduces_misses_but_latency_tempers_speedup() {
+    // The Figure 1 trade-off at miniature scale.
+    let spec = Workload::TpcC1.spec(TraceScale::tiny().with_tasks(64));
+    let small = run(&spec, &SimConfig::tiny_test());
+    // 32x the cache at +4 cycles of latency.
+    let mut big_cfg = SimConfig::tiny_test().with_l1i_size(128 * 1024);
+    big_cfg.latency_table = slicc_common::LatencyTable::from_entries(vec![(4 * 1024, 3), (128 * 1024, 7)]);
+    let big = run(&spec, &big_cfg);
+    assert!(big.i_mpki() < 0.5 * small.i_mpki(), "32x capacity must slash misses");
+    // And the same cache at the small cache's latency is faster still.
+    let mut ideal_cfg = big_cfg.clone();
+    ideal_cfg.l1i_latency_override = Some(3);
+    let ideal = run(&spec, &ideal_cfg);
+    assert!(ideal.cycles <= big.cycles, "removing the latency penalty can only help");
+}
+
+#[test]
+fn dram_and_l2_see_traffic() {
+    let m = run_tiny(Workload::TpcC1, SchedulerMode::Baseline);
+    assert!(m.l2.hits + m.l2.misses > 0, "L1 misses must reach the L2");
+    assert!(m.dram.total() > 0, "cold misses must reach DRAM");
+    assert!(m.noc.unicasts > 0, "miss traffic crosses the NoC");
+}
+
+#[test]
+fn steps_mode_switches_instead_of_migrating() {
+    let spec = Workload::TpcC1.spec(TraceScale::tiny().with_tasks(32));
+    let m = run(&spec, &tiny(SchedulerMode::Steps));
+    assert_eq!(m.completed_threads, 32);
+    assert!(m.context_switches > 0, "STEPS must context switch");
+    assert_eq!(m.migrations, 0, "STEPS never migrates between cores");
+    assert_eq!(m.noc.broadcasts, 0, "STEPS never searches remotely");
+    // Threads stay on their group's core.
+    assert!(m.mean_cores_per_thread <= 1.01);
+}
+
+#[test]
+fn steps_cuts_instruction_misses_via_time_domain_reuse() {
+    let spec = Workload::TpcC1.spec(TraceScale::tiny().with_tasks(32));
+    let base = run(&spec, &tiny(SchedulerMode::Baseline));
+    let steps = run(&spec, &tiny(SchedulerMode::Steps));
+    assert!(
+        steps.i_mpki() < 0.8 * base.i_mpki(),
+        "teammates must reuse chunks: base {:.1} vs steps {:.1}",
+        base.i_mpki(),
+        steps.i_mpki()
+    );
+}
+
+#[test]
+fn real_pif_lands_between_baseline_and_its_upper_bound() {
+    let spec = Workload::TpcC1.spec(TraceScale::tiny().with_tasks(48));
+    let base = run(&spec, &SimConfig::tiny_test());
+    let real = run(&spec, &SimConfig::tiny_test().with_real_pif());
+    let mut bound_cfg = SimConfig::tiny_test();
+    bound_cfg.l1i_size = 256 * 1024;
+    bound_cfg.l1i_latency_override = Some(3);
+    let bound = run(&spec, &bound_cfg);
+    assert!(real.i_mpki() < base.i_mpki(), "real PIF must cover some misses");
+    assert!(bound.i_mpki() < real.i_mpki(), "the upper bound beats the real prefetcher");
+}
+
+#[test]
+fn tlb_statistics_follow_the_paper_pattern() {
+    // §5.5: D-TLB misses rise under migration; I-TLB misses stay flat.
+    let spec = Workload::TpcC1.spec(TraceScale::tiny().with_tasks(32));
+    let base = run(&spec, &tiny(SchedulerMode::Baseline));
+    let sw = run(&spec, &tiny(SchedulerMode::SliccSw));
+    assert!(sw.d_tlb_misses >= base.d_tlb_misses, "migration re-walks data pages");
+    assert!(base.i_tlb_misses > 0 && sw.i_tlb_misses > 0);
+}
+
+#[test]
+fn disabling_work_stealing_changes_makespan_not_correctness() {
+    let spec = Workload::TpcC1.spec(TraceScale::tiny().with_tasks(32));
+    let mut no_steal = tiny(SchedulerMode::SliccSw);
+    no_steal.work_stealing = false;
+    let a = run(&spec, &tiny(SchedulerMode::SliccSw));
+    let b = run(&spec, &no_steal);
+    assert_eq!(a.completed_threads, b.completed_threads);
+    assert_eq!(a.instructions, b.instructions);
+    assert_ne!(a.cycles, b.cycles, "the knob must do something");
+}
+
+#[test]
+fn transaction_latency_metrics_are_populated() {
+    let spec = Workload::TpcC1.spec(TraceScale::tiny());
+    let m = run(&spec, &SimConfig::tiny_test());
+    assert!(m.mean_txn_latency > 0.0);
+    assert!(m.p95_txn_latency as f64 >= m.mean_txn_latency * 0.5);
+    assert!((m.p95_txn_latency as u64) <= m.cycles);
+}
+
+#[test]
+fn trace_codec_roundtrips_through_the_simulator_workloads() {
+    use slicc_trace::{decode_trace, encode_trace};
+    let spec = Workload::MapReduce.spec(TraceScale::tiny());
+    let t = slicc_common::ThreadId::new(1);
+    let mut buf = Vec::new();
+    encode_trace(&mut buf, t, spec.thread_type(t), spec.thread_trace(t)).unwrap();
+    let decoded = decode_trace(&mut buf.as_slice()).unwrap();
+    assert_eq!(decoded.records.len(), spec.thread_trace(t).count());
+}
