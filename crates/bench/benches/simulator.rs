@@ -1,50 +1,47 @@
-//! Criterion benchmarks of whole-system simulation throughput: how many
-//! simulated instructions per second the engine sustains per mode, on a
-//! miniature workload. These are the numbers that size the figure
-//! harness's runtime.
+//! Benchmarks of whole-system simulation throughput: how many simulated
+//! instructions per second the engine sustains per mode, on a miniature
+//! workload. These are the numbers that size the figure harness's runtime.
+//!
+//! Run with `cargo bench --bench simulator [-- FILTER]`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use slicc_sim::{run, SchedulerMode, SimConfig};
+use slicc_bench::Harness;
 use slicc_common::ThreadId;
+use slicc_sim::{RunRequest, SchedulerMode, SimConfig};
 use slicc_trace::{TraceScale, Workload};
 
-fn bench_trace_generation(c: &mut Criterion) {
+fn bench_trace_generation(h: &mut Harness) {
     let spec = Workload::TpcC1.spec(TraceScale::tiny());
     let len = spec.thread_trace(ThreadId::new(0)).count() as u64;
-    let mut group = c.benchmark_group("trace");
-    group.throughput(Throughput::Elements(len));
-    group.bench_function("generate_thread", |b| {
-        b.iter(|| std::hint::black_box(spec.thread_trace(ThreadId::new(0)).count()));
+    h.group("trace").throughput(len).bench("generate_thread", || {
+        spec.thread_trace(ThreadId::new(0)).count()
     });
-    group.finish();
 }
 
-fn bench_engine(c: &mut Criterion) {
+fn bench_engine(h: &mut Harness) {
     let spec = Workload::TpcC1.spec(TraceScale::tiny());
-    let instructions: u64 =
-        spec.threads().map(|t| spec.thread_trace(t).count() as u64).sum();
-    let mut group = c.benchmark_group("engine");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(instructions));
+    let instructions: u64 = spec.threads().map(|t| spec.thread_trace(t).count() as u64).sum();
+    let mut group = h.group("engine");
+    group.throughput(instructions);
     for mode in SchedulerMode::ALL {
-        group.bench_with_input(BenchmarkId::new("run", mode.name()), &mode, |b, &mode| {
-            let cfg = SimConfig::tiny_test().with_mode(mode);
-            b.iter(|| std::hint::black_box(run(&spec, &cfg)));
-        });
+        let req =
+            RunRequest::new(Workload::TpcC1, TraceScale::tiny(), SimConfig::tiny_test().with_mode(mode));
+        group.bench(&format!("run/{}", mode.name()), || req.execute().metrics);
     }
-    group.finish();
 }
 
-fn bench_engine_with_classification(c: &mut Criterion) {
-    let spec = Workload::TpcC1.spec(TraceScale::tiny());
-    let mut group = c.benchmark_group("engine");
-    group.sample_size(10);
-    group.bench_function("run/classified", |b| {
-        let cfg = SimConfig::tiny_test().with_classification();
-        b.iter(|| std::hint::black_box(run(&spec, &cfg)));
-    });
-    group.finish();
+fn bench_engine_with_classification(h: &mut Harness) {
+    let req = RunRequest::new(
+        Workload::TpcC1,
+        TraceScale::tiny(),
+        SimConfig::tiny_test().with_classification(),
+    );
+    h.group("engine").throughput(1).bench("run/classified", || req.execute().metrics);
 }
 
-criterion_group!(benches, bench_trace_generation, bench_engine, bench_engine_with_classification);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_trace_generation(&mut h);
+    bench_engine(&mut h);
+    bench_engine_with_classification(&mut h);
+    h.finish();
+}

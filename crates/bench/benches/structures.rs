@@ -1,10 +1,12 @@
-//! Criterion micro-benchmarks of the hardware structures SLICC adds.
+//! Micro-benchmarks of the hardware structures SLICC adds.
 //!
 //! These measure the *simulator's* cost per modelled-hardware operation —
 //! the numbers that determine how fast the experiment harness runs. The
 //! modelled hardware itself is costed in Table 3.
+//!
+//! Run with `cargo bench --bench structures [-- FILTER]`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use slicc_bench::Harness;
 use slicc_cache::{AccessKind, BloomSignature, Cache, PolicyKind, ThreeCClassifier};
 use slicc_common::{BlockAddr, CacheGeometry, CoreId, SplitMix64};
 use slicc_core::{CoreMask, SliccAgent, SliccParams};
@@ -13,139 +15,105 @@ use slicc_mem::{Dram, DramConfig};
 use slicc_noc::Torus;
 use slicc_trace::{decode_trace, encode_trace, TraceScale, Workload};
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache(h: &mut Harness) {
     let geom = CacheGeometry::new(32 * 1024, 8, 64);
-    let mut group = c.benchmark_group("cache");
-    group.throughput(Throughput::Elements(1));
+    let mut group = h.group("cache");
+    group.throughput(1);
     for policy in [PolicyKind::Lru, PolicyKind::Drrip] {
-        group.bench_function(format!("access/{policy}"), |b| {
-            let mut cache = Cache::new(geom, policy, 1);
-            let mut rng = SplitMix64::new(7);
-            b.iter(|| {
-                let block = BlockAddr::new(rng.next_below(4096));
-                std::hint::black_box(cache.access(block, AccessKind::Read))
-            });
+        let mut cache = Cache::new(geom, policy, 1);
+        let mut rng = SplitMix64::new(7);
+        group.bench(&format!("access/{policy}"), || {
+            let block = BlockAddr::new(rng.next_below(4096));
+            cache.access(block, AccessKind::Read)
         });
     }
-    group.finish();
 }
 
-fn bench_bloom(c: &mut Criterion) {
+fn bench_bloom(h: &mut Harness) {
     let geom = CacheGeometry::new(32 * 1024, 8, 64);
-    let mut group = c.benchmark_group("bloom");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("insert+query", |b| {
-        let mut sig = BloomSignature::new(2048, geom);
-        let mut rng = SplitMix64::new(9);
-        b.iter(|| {
-            let block = BlockAddr::new(rng.next_below(1 << 20));
-            sig.insert(block);
-            std::hint::black_box(sig.maybe_contains(block))
-        });
+    let mut sig = BloomSignature::new(2048, geom);
+    let mut rng = SplitMix64::new(9);
+    h.group("bloom").throughput(1).bench("insert+query", || {
+        let block = BlockAddr::new(rng.next_below(1 << 20));
+        sig.insert(block);
+        sig.maybe_contains(block)
     });
-    group.finish();
 }
 
-fn bench_agent(c: &mut Criterion) {
-    let mut group = c.benchmark_group("agent");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("on_fetch+advice", |b| {
-        let mut agent = SliccAgent::new(CoreId::new(0), SliccParams::calibrated());
-        let mut rng = SplitMix64::new(3);
-        let mask = CoreMask::from_bits(0b1010);
-        b.iter(|| {
-            let hit = rng.chance(0.95);
-            agent.on_fetch(hit, (!hit).then_some(mask));
-            std::hint::black_box(agent.advice())
-        });
+fn bench_agent(h: &mut Harness) {
+    let mut agent = SliccAgent::new(CoreId::new(0), SliccParams::calibrated());
+    let mut rng = SplitMix64::new(3);
+    let mask = CoreMask::from_bits(0b1010);
+    h.group("agent").throughput(1).bench("on_fetch+advice", || {
+        let hit = rng.chance(0.95);
+        agent.on_fetch(hit, (!hit).then_some(mask));
+        agent.advice()
     });
-    group.finish();
 }
 
-fn bench_classifier(c: &mut Criterion) {
-    let mut group = c.benchmark_group("classifier");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("3c_observe", |b| {
-        let mut cls = ThreeCClassifier::new(512);
-        let mut rng = SplitMix64::new(5);
-        b.iter(|| std::hint::black_box(cls.observe(BlockAddr::new(rng.next_below(2048)))));
+fn bench_classifier(h: &mut Harness) {
+    let mut cls = ThreeCClassifier::new(512);
+    let mut rng = SplitMix64::new(5);
+    h.group("classifier").throughput(1).bench("3c_observe", || {
+        cls.observe(BlockAddr::new(rng.next_below(2048)))
     });
-    group.finish();
 }
 
-fn bench_dram(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dram");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("access", |b| {
-        let mut dram = Dram::new(DramConfig::paper_ddr3_1600());
-        let mut rng = SplitMix64::new(11);
-        let mut now = 0;
-        b.iter(|| {
-            let done = dram.access(BlockAddr::new(rng.next_below(1 << 24)), now, rng.chance(0.45));
-            now = done;
-            std::hint::black_box(done)
-        });
+fn bench_dram(h: &mut Harness) {
+    let mut dram = Dram::new(DramConfig::paper_ddr3_1600());
+    let mut rng = SplitMix64::new(11);
+    let mut now = 0;
+    h.group("dram").throughput(1).bench("access", || {
+        let done = dram.access(BlockAddr::new(rng.next_below(1 << 24)), now, rng.chance(0.45));
+        now = done;
+        done
     });
-    group.finish();
 }
 
-fn bench_noc(c: &mut Criterion) {
+fn bench_noc(h: &mut Harness) {
     let noc = Torus::paper_4x4();
-    let mut group = c.benchmark_group("noc");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("round_trip", |b| {
-        let mut rng = SplitMix64::new(13);
-        b.iter(|| {
-            let a = CoreId::new(rng.next_below(16) as u16);
-            let z = CoreId::new(rng.next_below(16) as u16);
-            std::hint::black_box(noc.round_trip(a, z))
-        });
+    let mut rng = SplitMix64::new(13);
+    h.group("noc").throughput(1).bench("round_trip", || {
+        let a = CoreId::new(rng.next_below(16) as u16);
+        let z = CoreId::new(rng.next_below(16) as u16);
+        noc.round_trip(a, z)
     });
-    group.finish();
 }
 
-fn bench_tlb(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tlb");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("access", |b| {
-        let mut tlb = Tlb::new(64);
-        let mut rng = SplitMix64::new(15);
-        b.iter(|| std::hint::black_box(tlb.access(slicc_common::Addr::new(rng.next_below(1 << 30)))));
+fn bench_tlb(h: &mut Harness) {
+    let mut tlb = Tlb::new(64);
+    let mut rng = SplitMix64::new(15);
+    h.group("tlb").throughput(1).bench("access", || {
+        tlb.access(slicc_common::Addr::new(rng.next_below(1 << 30)))
     });
-    group.finish();
 }
 
-fn bench_codec(c: &mut Criterion) {
+fn bench_codec(h: &mut Harness) {
     use slicc_common::ThreadId;
     let spec = Workload::TpcC1.spec(TraceScale::tiny());
     let records: Vec<_> = spec.thread_trace(ThreadId::new(0)).collect();
     let ty = spec.thread_type(ThreadId::new(0));
     let mut encoded = Vec::new();
     encode_trace(&mut encoded, ThreadId::new(0), ty, records.iter().copied()).unwrap();
-    let mut group = c.benchmark_group("codec");
-    group.throughput(Throughput::Elements(records.len() as u64));
-    group.bench_function("encode", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(encoded.len());
-            encode_trace(&mut buf, ThreadId::new(0), ty, records.iter().copied()).unwrap();
-            std::hint::black_box(buf)
-        });
+    let mut group = h.group("codec");
+    group.throughput(records.len() as u64);
+    group.bench("encode", || {
+        let mut buf = Vec::with_capacity(encoded.len());
+        encode_trace(&mut buf, ThreadId::new(0), ty, records.iter().copied()).unwrap();
+        buf
     });
-    group.bench_function("decode", |b| {
-        b.iter(|| std::hint::black_box(decode_trace(&mut encoded.as_slice()).unwrap()));
-    });
-    group.finish();
+    group.bench("decode", || decode_trace(&mut encoded.as_slice()).unwrap());
 }
 
-criterion_group!(
-    benches,
-    bench_cache,
-    bench_bloom,
-    bench_agent,
-    bench_classifier,
-    bench_dram,
-    bench_noc,
-    bench_tlb,
-    bench_codec
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_cache(&mut h);
+    bench_bloom(&mut h);
+    bench_agent(&mut h);
+    bench_classifier(&mut h);
+    bench_dram(&mut h);
+    bench_noc(&mut h);
+    bench_tlb(&mut h);
+    bench_codec(&mut h);
+    h.finish();
+}

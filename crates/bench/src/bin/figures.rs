@@ -1,19 +1,25 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [EXPERIMENT ...] [--scale small|paper]
+//! figures [EXPERIMENT ...] [--scale small|paper] [--jobs N]
 //!
 //! EXPERIMENT: fig1 fig2 fig3 fig7 fig8 fig9 fig10 fig11
-//!             table1 table2 table3 bpki ablations all
+//!             table1 table2 table3 bpki ablations extensions scaling all
 //! ```
 //!
 //! With no arguments, prints the experiment list. `all` runs everything
 //! in paper order; output is markdown, suitable for EXPERIMENTS.md.
+//!
+//! Simulation points fan out across `--jobs` worker threads (default: all
+//! host cores). One [`Runner`] is shared across the selected experiments,
+//! so points repeated between figures — every figure's baselines — are
+//! simulated once and served from the run cache afterwards.
 
 use slicc_bench::{Experiment, ExperimentScale};
+use slicc_sim::Runner;
 
 fn usage() -> ! {
-    eprintln!("usage: figures [EXPERIMENT ...] [--scale small|paper]");
+    eprintln!("usage: figures [EXPERIMENT ...] [--scale small|paper] [--jobs N]");
     eprintln!("experiments:");
     for e in Experiment::ALL {
         eprintln!("  {}", e.name());
@@ -25,6 +31,7 @@ fn usage() -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = ExperimentScale::Paper;
+    let mut jobs = Runner::default_parallelism();
     let mut selected: Vec<Experiment> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -34,6 +41,13 @@ fn main() {
                 scale = match args.get(i).map(String::as_str) {
                     Some("small") => ExperimentScale::Small,
                     Some("paper") => ExperimentScale::Paper,
+                    _ => usage(),
+                };
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => n,
                     _ => usage(),
                 };
             }
@@ -49,14 +63,25 @@ fn main() {
         usage();
     }
 
+    let runner = Runner::new(jobs);
     println!("# SLICC reproduction — experiment output");
     println!();
     println!("scale: {scale:?}");
     println!();
     for e in selected {
         let start = std::time::Instant::now();
-        let section = e.run(scale);
+        let section = e.run(scale, &runner);
         println!("{section}");
         eprintln!("[{}] done in {:.1}s", e.name(), start.elapsed().as_secs_f64());
+    }
+    let stats = runner.stats();
+    if stats.cache_hits + stats.cache_misses > 0 {
+        eprintln!(
+            "{} simulation points ({} served from the run cache), {} jobs, {:.0} instructions/s",
+            stats.cache_hits + stats.cache_misses,
+            stats.cache_hits,
+            jobs,
+            stats.sim_ips(),
+        );
     }
 }

@@ -1,9 +1,16 @@
 //! One generator per table and figure of the paper's evaluation (§5).
+//!
+//! Each figure describes its simulation points as [`RunRequest`]s and
+//! hands the whole batch to a shared [`Runner`], which fans independent
+//! points across host cores and memoizes completed ones — so the Baseline
+//! runs shared by Figures 1, 7, 8, 10 and 11 simulate once per `figures
+//! all` invocation. Results come back in submission order, which keeps the
+//! rendering code a straight zip over the request list.
 
 use crate::format::{bar_chart, f1, f2, pct, Table};
 use slicc_cache::PolicyKind;
 use slicc_core::{HwCostConfig, SliccParams, PIF_STORAGE_BYTES};
-use slicc_sim::{run, RunMetrics, SchedulerMode, SimConfig};
+use slicc_sim::{RunRequest, Runner, SchedulerMode, SimConfig, SimConfigBuilder};
 use slicc_trace::{instruction_reuse, FootprintStats, TraceScale, Workload};
 
 /// How big the simulated runs are.
@@ -125,24 +132,26 @@ impl Experiment {
         }
     }
 
-    /// Runs the experiment and returns a markdown section.
-    pub fn run(self, scale: ExperimentScale) -> String {
+    /// Runs the experiment on `runner`'s pool and returns a markdown
+    /// section. Sharing one runner across experiments shares its run
+    /// cache, so repeated points (every figure's baselines) simulate once.
+    pub fn run(self, scale: ExperimentScale, runner: &Runner) -> String {
         match self {
-            Experiment::Fig1 => fig1(scale),
-            Experiment::Fig2 => fig2(scale),
+            Experiment::Fig1 => fig1(scale, runner),
+            Experiment::Fig2 => fig2(scale, runner),
             Experiment::Fig3 => fig3(scale),
-            Experiment::Fig7 => fig7(scale),
-            Experiment::Fig8 => fig8(scale),
-            Experiment::Fig9 => fig9(scale),
-            Experiment::Fig10 => fig10(scale),
-            Experiment::Fig11 => fig11(scale),
+            Experiment::Fig7 => fig7(scale, runner),
+            Experiment::Fig8 => fig8(scale, runner),
+            Experiment::Fig9 => fig9(scale, runner),
+            Experiment::Fig10 => fig10(scale, runner),
+            Experiment::Fig11 => fig11(scale, runner),
             Experiment::Table1 => table1(scale),
             Experiment::Table2 => table2(),
             Experiment::Table3 => table3(),
-            Experiment::Bpki => bpki(scale),
-            Experiment::Ablations => ablations(scale),
-            Experiment::Extensions => extensions(scale),
-            Experiment::Scaling => scaling(scale),
+            Experiment::Bpki => bpki(scale, runner),
+            Experiment::Ablations => ablations(scale, runner),
+            Experiment::Extensions => extensions(scale, runner),
+            Experiment::Scaling => scaling(scale, runner),
         }
     }
 }
@@ -151,24 +160,28 @@ fn base_cfg() -> SimConfig {
     SimConfig::paper_baseline()
 }
 
-fn run_workload(w: Workload, scale: ExperimentScale, cfg: &SimConfig) -> RunMetrics {
-    let spec = w.spec(scale.trace_scale());
-    run(&spec, cfg)
+/// A request for `w` at this experiment scale on machine `cfg`.
+fn req(w: Workload, scale: ExperimentScale, cfg: SimConfig) -> RunRequest {
+    RunRequest::new(w, scale.trace_scale(), cfg)
+}
+
+/// The SLICC-SW builder most sweeps and ablations start from.
+fn sw_builder() -> SimConfigBuilder {
+    SimConfigBuilder::paper_baseline().mode(SchedulerMode::SliccSw)
 }
 
 /// Figure 1: I-/D-MPKI (3C breakdown) and relative performance as a
 /// function of L1 cache size.
-fn fig1(scale: ExperimentScale) -> String {
+fn fig1(scale: ExperimentScale, runner: &Runner) -> String {
     let sizes_kb = [16u64, 32, 64, 128, 256, 512];
-    let mut out = String::from("## Figure 1 — L1 misses and performance vs cache size\n\n");
+    let workloads = [Workload::TpcC1, Workload::TpcE, Workload::MapReduce];
+
+    // One batch for the whole figure: per (sweep, workload), the shared
+    // baseline followed by the size sweep.
+    let mut reqs = Vec::new();
     for sweep_i in [true, false] {
-        let which = if sweep_i { "L1-I" } else { "L1-D" };
-        out.push_str(&format!("### Sweeping {which} (other L1 fixed at 32 KiB)\n\n"));
-        let mut t = Table::new(vec![
-            "workload", "size KiB", "latency", "conflict", "capacity", "compulsory", "MPKI", "speedup",
-        ]);
-        for w in [Workload::TpcC1, Workload::TpcE, Workload::MapReduce] {
-            let baseline = run_workload(w, scale, &base_cfg());
+        for w in workloads {
+            reqs.push(req(w, scale, base_cfg()));
             for &kb in &sizes_kb {
                 let mut cfg = base_cfg().with_classification();
                 if sweep_i {
@@ -176,15 +189,31 @@ fn fig1(scale: ExperimentScale) -> String {
                 } else {
                     cfg = cfg.with_l1d_size(kb * 1024);
                 }
-                let lat = cfg.l1i_latency();
-                let m = run_workload(w, scale, &cfg);
+                reqs.push(req(w, scale, cfg));
+            }
+        }
+    }
+    let mut results = runner.run_metrics(&reqs).into_iter();
+
+    let mut out = String::from("## Figure 1 — L1 misses and performance vs cache size\n\n");
+    for sweep_i in [true, false] {
+        let which = if sweep_i { "L1-I" } else { "L1-D" };
+        out.push_str(&format!("### Sweeping {which} (other L1 fixed at 32 KiB)\n\n"));
+        let mut t = Table::new(vec![
+            "workload", "size KiB", "latency", "conflict", "capacity", "compulsory", "MPKI", "speedup",
+        ]);
+        for w in workloads {
+            let baseline = results.next().expect("baseline result");
+            for &kb in &sizes_kb {
+                let lat = if sweep_i { base_cfg().with_l1i_size(kb * 1024).l1i_latency() } else { 3 };
+                let m = results.next().expect("sweep result");
                 let bd = if sweep_i { m.i_breakdown } else { m.d_breakdown }.expect("classification on");
                 let total = if sweep_i { m.i_mpki() } else { m.d_mpki() };
                 let scale_mpki = |count: u64| 1000.0 * count as f64 / m.instructions.max(1) as f64;
                 t.row(vec![
                     w.name().into(),
                     kb.to_string(),
-                    if sweep_i { lat.to_string() } else { "3".into() },
+                    lat.to_string(),
                     f1(scale_mpki(bd.conflict)),
                     f1(scale_mpki(bd.capacity)),
                     f1(scale_mpki(bd.compulsory)),
@@ -200,14 +229,20 @@ fn fig1(scale: ExperimentScale) -> String {
 }
 
 /// Figure 2: I-MPKI under each replacement policy at 32 KiB.
-fn fig2(scale: ExperimentScale) -> String {
+fn fig2(scale: ExperimentScale, runner: &Runner) -> String {
+    let workloads = [Workload::TpcC1, Workload::TpcE, Workload::MapReduce];
+    let reqs: Vec<RunRequest> = workloads
+        .iter()
+        .flat_map(|&w| PolicyKind::ALL.map(|policy| req(w, scale, base_cfg().with_policy(policy))))
+        .collect();
+    let mut results = runner.run_metrics(&reqs).into_iter();
+
     let mut out = String::from("## Figure 2 — replacement policies (32 KiB L1-I)\n\n");
     let mut t = Table::new(vec!["workload", "LRU", "LIP", "BIP", "DIP", "SRRIP", "BRRIP", "DRRIP"]);
-    for w in [Workload::TpcC1, Workload::TpcE, Workload::MapReduce] {
+    for w in workloads {
         let mut cells = vec![w.name().to_owned()];
-        for policy in PolicyKind::ALL {
-            let m = run_workload(w, scale, &base_cfg().with_policy(policy));
-            cells.push(f1(m.i_mpki()));
+        for _ in PolicyKind::ALL {
+            cells.push(f1(results.next().expect("policy result").i_mpki()));
         }
         t.row(cells);
     }
@@ -237,22 +272,38 @@ fn fig3(scale: ExperimentScale) -> String {
 }
 
 /// Figure 7: fill-up_t × matched_t (dilution_t = 0, idealized search).
-fn fig7(scale: ExperimentScale) -> String {
+fn fig7(scale: ExperimentScale, runner: &Runner) -> String {
+    let workloads = [Workload::TpcC1, Workload::TpcE];
+    let fills = [128u32, 256, 384, 512];
+    let matches = [2u32, 4, 6, 8, 10];
+
+    let mut reqs = Vec::new();
+    for w in workloads {
+        reqs.push(req(w, scale, base_cfg()));
+        for fill in fills {
+            for matched in matches {
+                let cfg = sw_builder()
+                    .slicc_params(
+                        SliccParams::paper_default().with_fill_up(fill).with_matched(matched).with_dilution(0),
+                    )
+                    .exact_search(true)
+                    .build()
+                    .expect("figure 7 sweep point is valid");
+                reqs.push(req(w, scale, cfg));
+            }
+        }
+    }
+    let mut results = runner.run_metrics(&reqs).into_iter();
+
     let mut out = String::from(
         "## Figure 7 — fill-up_t x matched_t sweep (dilution_t = 0, zero-overhead exact search)\n\n",
     );
     let mut t = Table::new(vec!["workload", "fill-up_t", "matched_t", "I-MPKI", "D-MPKI", "speedup"]);
-    for w in [Workload::TpcC1, Workload::TpcE] {
-        let baseline = run_workload(w, scale, &base_cfg());
-        for fill in [128u32, 256, 384, 512] {
-            for matched in [2u32, 4, 6, 8, 10] {
-                let mut cfg = base_cfg()
-                    .with_mode(SchedulerMode::SliccSw)
-                    .with_slicc_params(
-                        SliccParams::paper_default().with_fill_up(fill).with_matched(matched).with_dilution(0),
-                    );
-                cfg.exact_search = true;
-                let m = run_workload(w, scale, &cfg);
+    for w in workloads {
+        let baseline = results.next().expect("baseline result");
+        for fill in fills {
+            for matched in matches {
+                let m = results.next().expect("sweep result");
                 t.row(vec![
                     w.name().into(),
                     fill.to_string(),
@@ -269,18 +320,31 @@ fn fig7(scale: ExperimentScale) -> String {
 }
 
 /// Figure 8: dilution_t sweep at the best fill-up/matched setting.
-fn fig8(scale: ExperimentScale) -> String {
+fn fig8(scale: ExperimentScale, runner: &Runner) -> String {
+    let workloads = [Workload::TpcC1, Workload::TpcE];
+    let dilutions: Vec<u32> = (2..=30).step_by(2).collect();
+
+    let mut reqs = Vec::new();
+    for w in workloads {
+        reqs.push(req(w, scale, base_cfg()));
+        for &dilution in &dilutions {
+            let cfg = sw_builder()
+                .slicc_params(SliccParams::paper_default().with_fill_up(128).with_dilution(dilution))
+                .build()
+                .expect("figure 8 sweep point is valid");
+            reqs.push(req(w, scale, cfg));
+        }
+    }
+    let mut results = runner.run_metrics(&reqs).into_iter();
+
     let mut out =
         String::from("## Figure 8 — dilution_t sweep (fill-up_t = 128, matched_t = 4)\n\n");
     let mut t =
         Table::new(vec!["workload", "dilution_t", "I-MPKI", "D-MPKI", "mig/KI", "speedup"]);
-    for w in [Workload::TpcC1, Workload::TpcE] {
-        let baseline = run_workload(w, scale, &base_cfg());
-        for dilution in (2..=30).step_by(2) {
-            let cfg = base_cfg().with_mode(SchedulerMode::SliccSw).with_slicc_params(
-                SliccParams::paper_default().with_fill_up(128).with_dilution(dilution),
-            );
-            let m = run_workload(w, scale, &cfg);
+    for w in workloads {
+        let baseline = results.next().expect("baseline result");
+        for &dilution in &dilutions {
+            let m = results.next().expect("sweep result");
             t.row(vec![
                 w.name().into(),
                 dilution.to_string(),
@@ -296,16 +360,29 @@ fn fig8(scale: ExperimentScale) -> String {
 }
 
 /// Figure 9: bloom-filter accuracy vs size under live migration.
-fn fig9(scale: ExperimentScale) -> String {
+fn fig9(scale: ExperimentScale, runner: &Runner) -> String {
+    let workloads = [Workload::TpcC1, Workload::TpcE];
+    let sizes = [512u64, 1024, 2048, 4096, 8192];
+
+    let mut reqs = Vec::new();
+    for w in workloads {
+        for bits in sizes {
+            let cfg = sw_builder()
+                .bloom_bits(bits)
+                .measure_bloom_accuracy()
+                .build()
+                .expect("figure 9 sweep point is valid");
+            reqs.push(req(w, scale, cfg));
+        }
+    }
+    let mut results = runner.run_metrics(&reqs).into_iter();
+
     let mut out = String::from("## Figure 9 — partial-address bloom filter accuracy\n\n");
     let mut t = Table::new(vec!["workload", "bits", "accuracy", "speedup vs 2K-bit"]);
-    for w in [Workload::TpcC1, Workload::TpcE] {
+    for w in workloads {
         let mut reference_cycles = None;
-        for bits in [512u64, 1024, 2048, 4096, 8192] {
-            let mut cfg = base_cfg().with_mode(SchedulerMode::SliccSw);
-            cfg.bloom_bits = bits;
-            cfg.measure_bloom_accuracy = true;
-            let m = run_workload(w, scale, &cfg);
+        for bits in sizes {
+            let m = results.next().expect("sweep result");
             if bits == 2048 {
                 reference_cycles = Some(m.cycles);
             }
@@ -326,12 +403,18 @@ fn fig9(scale: ExperimentScale) -> String {
 }
 
 /// Figure 10: L1 I- and D-MPKI per workload and mode.
-fn fig10(scale: ExperimentScale) -> String {
+fn fig10(scale: ExperimentScale, runner: &Runner) -> String {
+    let reqs: Vec<RunRequest> = Workload::ALL
+        .iter()
+        .flat_map(|&w| SchedulerMode::ALL.map(|mode| req(w, scale, base_cfg().with_mode(mode))))
+        .collect();
+    let mut results = runner.run_metrics(&reqs).into_iter();
+
     let mut out = String::from("## Figure 10 — L1 I- and D-MPKI\n\n");
     let mut t = Table::new(vec!["workload", "mode", "I-MPKI", "D-MPKI", "mig/KI"]);
     for w in Workload::ALL {
         for mode in SchedulerMode::ALL {
-            let m = run_workload(w, scale, &base_cfg().with_mode(mode));
+            let m = results.next().expect("mode result");
             t.row(vec![
                 w.name().into(),
                 mode.name().into(),
@@ -346,36 +429,47 @@ fn fig10(scale: ExperimentScale) -> String {
 }
 
 /// Figure 11: overall performance per workload and configuration.
-fn fig11(scale: ExperimentScale) -> String {
+fn fig11(scale: ExperimentScale, runner: &Runner) -> String {
+    let variants = |w: Workload| -> Vec<RunRequest> {
+        vec![
+            req(w, scale, base_cfg()),
+            req(w, scale, base_cfg().with_next_line(1)),
+            req(w, scale, base_cfg().with_mode(SchedulerMode::Slicc)),
+            req(w, scale, base_cfg().with_mode(SchedulerMode::SliccPp)),
+            req(w, scale, base_cfg().with_mode(SchedulerMode::SliccSw)),
+            req(w, scale, base_cfg().with_pif_model()),
+        ]
+    };
+    let reqs: Vec<RunRequest> = Workload::ALL.iter().flat_map(|&w| variants(w)).collect();
+    let results = runner.run_metrics(&reqs);
+    let mut chunks = results.chunks(6);
+
     let mut out = String::from("## Figure 11 — performance (speedup over baseline)\n\n");
     let mut out_chart = String::new();
     let mut t =
         Table::new(vec!["workload", "Base", "Next-Line", "SLICC", "SLICC-Pp", "SLICC-SW", "PIF"]);
     for w in Workload::ALL {
-        let base = run_workload(w, scale, &base_cfg());
-        let nl = run_workload(w, scale, &base_cfg().with_next_line(1));
-        let slicc = run_workload(w, scale, &base_cfg().with_mode(SchedulerMode::Slicc));
-        let pp = run_workload(w, scale, &base_cfg().with_mode(SchedulerMode::SliccPp));
-        let sw = run_workload(w, scale, &base_cfg().with_mode(SchedulerMode::SliccSw));
-        let pif = run_workload(w, scale, &base_cfg().with_pif_model());
+        let [base, nl, slicc, pp, sw, pif] = chunks.next().expect("six results per workload") else {
+            unreachable!("chunk size is six");
+        };
         t.row(vec![
             w.name().into(),
             "1.00".into(),
-            f2(nl.speedup_over(&base)),
-            f2(slicc.speedup_over(&base)),
-            f2(pp.speedup_over(&base)),
-            f2(sw.speedup_over(&base)),
-            f2(pif.speedup_over(&base)),
+            f2(nl.speedup_over(base)),
+            f2(slicc.speedup_over(base)),
+            f2(pp.speedup_over(base)),
+            f2(sw.speedup_over(base)),
+            f2(pif.speedup_over(base)),
         ]);
         if w == Workload::TpcC1 {
             out_chart = bar_chart(
                 &[
                     ("Base", 1.0),
-                    ("Next-Line", nl.speedup_over(&base)),
-                    ("SLICC", slicc.speedup_over(&base)),
-                    ("SLICC-Pp", pp.speedup_over(&base)),
-                    ("SLICC-SW", sw.speedup_over(&base)),
-                    ("PIF", pif.speedup_over(&base)),
+                    ("Next-Line", nl.speedup_over(base)),
+                    ("SLICC", slicc.speedup_over(base)),
+                    ("SLICC-Pp", pp.speedup_over(base)),
+                    ("SLICC-SW", sw.speedup_over(base)),
+                    ("PIF", pif.speedup_over(base)),
                 ],
                 48,
             );
@@ -458,14 +552,21 @@ fn table3() -> String {
 }
 
 /// §5.8: broadcast frequency of the remote cache segment search.
-fn bpki(scale: ExperimentScale) -> String {
+fn bpki(scale: ExperimentScale, runner: &Runner) -> String {
+    let workloads = [Workload::TpcC1, Workload::TpcE];
+    let modes = [SchedulerMode::Slicc, SchedulerMode::SliccPp, SchedulerMode::SliccSw];
+    let reqs: Vec<RunRequest> = workloads
+        .iter()
+        .flat_map(|&w| modes.map(|mode| req(w, scale, base_cfg().with_mode(mode))))
+        .collect();
+    let mut results = runner.run_metrics(&reqs).into_iter();
+
     let mut out = String::from("## Section 5.8 — remote search broadcasts per kilo-instruction\n\n");
     let mut t = Table::new(vec!["workload", "SLICC", "SLICC-Pp", "SLICC-SW"]);
-    for w in [Workload::TpcC1, Workload::TpcE] {
+    for w in workloads {
         let mut cells = vec![w.name().to_owned()];
-        for mode in [SchedulerMode::Slicc, SchedulerMode::SliccPp, SchedulerMode::SliccSw] {
-            let m = run_workload(w, scale, &base_cfg().with_mode(mode));
-            cells.push(f2(m.bpki()));
+        for _ in modes {
+            cells.push(f2(results.next().expect("mode result").bpki()));
         }
         t.row(cells);
     }
@@ -475,69 +576,71 @@ fn bpki(scale: ExperimentScale) -> String {
 
 /// Ablations of this implementation's own design choices (beyond the
 /// paper's figures; see DESIGN.md §4).
-fn ablations(scale: ExperimentScale) -> String {
+fn ablations(scale: ExperimentScale, runner: &Runner) -> String {
     let w = Workload::TpcC1;
-    let baseline = run_workload(w, scale, &base_cfg());
-    let mut out = String::from("## Ablations (TPC-C-1, SLICC-SW unless noted)\n\n");
+    let valid = "ablation variant is valid";
+    let mut variants: Vec<(String, SimConfig)> =
+        vec![("default".into(), sw_builder().build().expect(valid))];
+    // Search mechanism: bloom signature vs idealized exact contents.
+    variants.push(("exact search (no bloom)".into(), sw_builder().exact_search(true).build().expect(valid)));
+    // Migration context size.
+    for blocks in [0u32, 16, 64] {
+        variants.push((
+            format!("context = {blocks} blocks"),
+            sw_builder().migration_context_blocks(blocks).build().expect(valid),
+        ));
+    }
+    // Work stealing off (strictly local queues).
+    variants.push(("work stealing off".into(), sw_builder().work_stealing(false).build().expect(valid)));
+    // Migration target congestion bound.
+    for ql in [1usize, 2, 8] {
+        variants
+            .push((format!("queue limit = {ql}"), sw_builder().migration_queue_limit(ql).build().expect(valid)));
+    }
+    // Thread pool depth.
+    for pool in [2u32, 3, 6] {
+        variants.push((format!("pool = {pool}N"), sw_builder().pool_multiplier(pool).build().expect(valid)));
+    }
 
+    let mut reqs = vec![req(w, scale, base_cfg())];
+    reqs.extend(variants.iter().map(|(_, cfg)| req(w, scale, cfg.clone())));
+    let mut results = runner.run_metrics(&reqs).into_iter();
+    let baseline = results.next().expect("baseline result");
+
+    let mut out = String::from("## Ablations (TPC-C-1, SLICC-SW unless noted)\n\n");
     let mut t = Table::new(vec!["variant", "I-MPKI", "D-MPKI", "mig/KI", "speedup"]);
-    let mut record = |label: &str, cfg: SimConfig| {
-        let m = run_workload(w, scale, &cfg);
+    for (label, _) in &variants {
+        let m = results.next().expect("variant result");
         t.row(vec![
-            label.into(),
+            label.clone(),
             f1(m.i_mpki()),
             f1(m.d_mpki()),
             f2(m.migrations_per_kilo_instruction()),
             f2(m.speedup_over(&baseline)),
         ]);
-    };
-
-    let sw = || base_cfg().with_mode(SchedulerMode::SliccSw);
-    record("default", sw());
-    // Search mechanism: bloom signature vs idealized exact contents.
-    {
-        let mut cfg = sw();
-        cfg.exact_search = true;
-        record("exact search (no bloom)", cfg);
-    }
-    // Migration context size.
-    for blocks in [0u32, 16, 64] {
-        let mut cfg = sw();
-        cfg.migration.context_blocks = blocks;
-        record(&format!("context = {blocks} blocks"), cfg);
-    }
-    // Work stealing off (strictly local queues).
-    {
-        let mut cfg = sw();
-        cfg.work_stealing = false;
-        record("work stealing off", cfg);
-    }
-    // Migration target congestion bound.
-    for ql in [1usize, 2, 8] {
-        let mut cfg = sw();
-        cfg.migration_queue_limit = ql;
-        record(&format!("queue limit = {ql}"), cfg);
-    }
-    // Thread pool depth.
-    for pool in [2u32, 3, 6] {
-        let mut cfg = sw();
-        cfg.pool_multiplier = pool;
-        record(&format!("pool = {pool}N"), cfg);
     }
     out.push_str(&t.render());
     out
 }
 
 /// Beyond-paper extensions: the §6 comparisons implemented for real.
-fn extensions(scale: ExperimentScale) -> String {
+fn extensions(scale: ExperimentScale, runner: &Runner) -> String {
+    let workloads = [Workload::TpcC1, Workload::TpcE];
     let mut out = String::from("## Extensions (beyond the paper's figures)\n\n");
 
     out.push_str("### STEPS-style time multiplexing vs SLICC (space vs time, §6)\n\n");
+    let steps_modes = [SchedulerMode::Steps, SchedulerMode::SliccSw];
+    let mut reqs = Vec::new();
+    for w in workloads {
+        reqs.push(req(w, scale, base_cfg()));
+        reqs.extend(steps_modes.map(|mode| req(w, scale, base_cfg().with_mode(mode))));
+    }
+    let mut results = runner.run_metrics(&reqs).into_iter();
     let mut t = Table::new(vec!["workload", "mode", "I-MPKI", "D-MPKI", "switches or migrations", "speedup"]);
-    for w in [Workload::TpcC1, Workload::TpcE] {
-        let base = run_workload(w, scale, &base_cfg());
-        for mode in [SchedulerMode::Steps, SchedulerMode::SliccSw] {
-            let m = run_workload(w, scale, &base_cfg().with_mode(mode));
+    for w in workloads {
+        let base = results.next().expect("baseline result");
+        for mode in steps_modes {
+            let m = results.next().expect("mode result");
             t.row(vec![
                 w.name().into(),
                 mode.name().into(),
@@ -556,24 +659,39 @@ fn extensions(scale: ExperimentScale) -> String {
     );
 
     out.push_str("### The real PIF prefetcher vs the paper's upper-bound model\n\n");
+    let mut reqs = Vec::new();
+    for w in workloads {
+        reqs.push(req(w, scale, base_cfg()));
+        reqs.push(req(w, scale, base_cfg().with_real_pif()));
+        reqs.push(req(w, scale, base_cfg().with_pif_model()));
+        reqs.push(req(w, scale, base_cfg().with_mode(SchedulerMode::SliccSw)));
+    }
+    let results = runner.run_metrics(&reqs);
+    let mut chunks = results.chunks(4);
     let mut t = Table::new(vec!["workload", "config", "I-MPKI", "speedup"]);
-    for w in [Workload::TpcC1, Workload::TpcE] {
-        let base = run_workload(w, scale, &base_cfg());
-        let real = run_workload(w, scale, &base_cfg().with_real_pif());
-        let bound = run_workload(w, scale, &base_cfg().with_pif_model());
-        let sw = run_workload(w, scale, &base_cfg().with_mode(SchedulerMode::SliccSw));
-        t.row(vec![w.name().into(), "PIF (real, ~40 KiB)".into(), f1(real.i_mpki()), f2(real.speedup_over(&base))]);
-        t.row(vec![w.name().into(), "PIF (paper's bound)".into(), f1(bound.i_mpki()), f2(bound.speedup_over(&base))]);
-        t.row(vec![w.name().into(), "SLICC-SW (966 B)".into(), f1(sw.i_mpki()), f2(sw.speedup_over(&base))]);
+    for w in workloads {
+        let [base, real, bound, sw] = chunks.next().expect("four results per workload") else {
+            unreachable!("chunk size is four");
+        };
+        t.row(vec![w.name().into(), "PIF (real, ~40 KiB)".into(), f1(real.i_mpki()), f2(real.speedup_over(base))]);
+        t.row(vec![w.name().into(), "PIF (paper's bound)".into(), f1(bound.i_mpki()), f2(bound.speedup_over(base))]);
+        t.row(vec![w.name().into(), "SLICC-SW (966 B)".into(), f1(sw.i_mpki()), f2(sw.speedup_over(base))]);
     }
     out.push_str(&t.render());
 
     out.push_str("\n### TLB effects (§5.5)\n\n");
+    let tlb_modes = [SchedulerMode::Baseline, SchedulerMode::Slicc, SchedulerMode::SliccSw];
+    let reqs: Vec<RunRequest> = workloads
+        .iter()
+        .flat_map(|&w| tlb_modes.map(|mode| req(w, scale, base_cfg().with_mode(mode))))
+        .collect();
+    let results = runner.run_metrics(&reqs);
+    let mut chunks = results.chunks(3);
     let mut t = Table::new(vec!["workload", "mode", "I-TLB MPKI", "D-TLB MPKI", "D-TLB vs base"]);
-    for w in [Workload::TpcC1, Workload::TpcE] {
-        let base = run_workload(w, scale, &base_cfg());
-        for mode in [SchedulerMode::Baseline, SchedulerMode::Slicc, SchedulerMode::SliccSw] {
-            let m = run_workload(w, scale, &base_cfg().with_mode(mode));
+    for w in workloads {
+        let chunk = chunks.next().expect("three results per workload");
+        let base = &chunk[0];
+        for (mode, m) in tlb_modes.iter().zip(chunk) {
             t.row(vec![
                 w.name().into(),
                 mode.name().into(),
@@ -589,27 +707,35 @@ fn extensions(scale: ExperimentScale) -> String {
 
 /// Beyond-paper: how the SLICC benefit scales with core count (the
 /// collective's aggregate capacity).
-fn scaling(scale: ExperimentScale) -> String {
+fn scaling(scale: ExperimentScale, runner: &Runner) -> String {
+    let shapes = [(4usize, 2u32, 2u32), (8, 4, 2), (16, 4, 4), (32, 8, 4)];
+    let mut reqs = Vec::new();
+    for (cores, cols, rows) in shapes {
+        let machine = SimConfigBuilder::paper_baseline()
+            .cores(cores, cols, rows)
+            .l2(cores as u64 * 1024 * 1024, cores)
+            .build()
+            .expect("scaled machine is valid");
+        reqs.push(req(Workload::TpcC1, scale, machine.clone()));
+        reqs.push(req(Workload::TpcC1, scale, machine.with_mode(SchedulerMode::SliccSw)));
+    }
+    let results = runner.run_metrics(&reqs);
+    let mut chunks = results.chunks(2);
+
     let mut out = String::from("## Scaling — SLICC benefit vs core count (TPC-C-1)\n\n");
     let mut t = Table::new(vec![
         "cores", "aggregate L1-I", "base I-MPKI", "SW I-MPKI", "SW speedup", "txn latency x",
     ]);
-    for (cores, cols, rows) in [(4usize, 2u32, 2u32), (8, 4, 2), (16, 4, 4), (32, 8, 4)] {
-        let mut base_cfg = SimConfig::paper_baseline();
-        base_cfg.cores = cores;
-        base_cfg.noc_cols = cols;
-        base_cfg.noc_rows = rows;
-        base_cfg.l2_size = cores as u64 * 1024 * 1024;
-        base_cfg.l2_banks = cores;
-        let sw_cfg = base_cfg.clone().with_mode(SchedulerMode::SliccSw);
-        let base = run_workload(Workload::TpcC1, scale, &base_cfg);
-        let sw = run_workload(Workload::TpcC1, scale, &sw_cfg);
+    for (cores, _, _) in shapes {
+        let [base, sw] = chunks.next().expect("two results per shape") else {
+            unreachable!("chunk size is two");
+        };
         t.row(vec![
             cores.to_string(),
             format!("{} KiB", cores * 32),
             f1(base.i_mpki()),
             f1(sw.i_mpki()),
-            f2(sw.speedup_over(&base)),
+            f2(sw.speedup_over(base)),
             f2(sw.mean_txn_latency / base.mean_txn_latency.max(1.0)),
         ]);
     }
@@ -639,10 +765,11 @@ mod tests {
     #[test]
     fn table_experiments_render() {
         // The two config-only experiments run instantly.
-        let t2 = Experiment::Table2.run(ExperimentScale::Small);
+        let runner = Runner::new(1);
+        let t2 = Experiment::Table2.run(ExperimentScale::Small, &runner);
         assert!(t2.contains("Table 2"));
         assert!(t2.contains("torus"));
-        let t3 = Experiment::Table3.run(ExperimentScale::Small);
+        let t3 = Experiment::Table3.run(ExperimentScale::Small, &runner);
         assert!(t3.contains("966"));
         assert!(t3.contains("2.4%"));
     }

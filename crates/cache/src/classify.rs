@@ -84,6 +84,10 @@ impl MissBreakdown {
     }
 }
 
+// Per-core breakdowns fold into the run-level one via the workspace-wide
+// `Merge` trait.
+slicc_common::impl_merge_counters!(MissBreakdown { compulsory, conflict, capacity });
+
 /// Classifies the misses of one cache into the 3C taxonomy.
 ///
 /// Drive it with *every* access of the monitored cache (hits included —

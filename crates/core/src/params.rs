@@ -17,6 +17,15 @@ pub struct SliccParams {
     pub msv_window: u32,
 }
 
+impl slicc_common::StableHash for SliccParams {
+    fn stable_hash(&self, h: &mut slicc_common::StableHasher) {
+        self.fill_up_t.stable_hash(h);
+        self.matched_t.stable_hash(h);
+        self.dilution_t.stable_hash(h);
+        self.msv_window.stable_hash(h);
+    }
+}
+
 impl SliccParams {
     /// The configuration the paper settles on in §5.2: `dilution_t = 10`,
     /// `fill-up_t = 256`, `matched_t = 4`.

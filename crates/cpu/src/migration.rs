@@ -28,6 +28,14 @@ pub struct MigrationModel {
     pub pipeline_interval: Cycle,
 }
 
+impl slicc_common::StableHash for MigrationModel {
+    fn stable_hash(&self, h: &mut slicc_common::StableHasher) {
+        self.context_blocks.stable_hash(h);
+        self.drain_cycles.stable_hash(h);
+        self.pipeline_interval.stable_hash(h);
+    }
+}
+
 impl MigrationModel {
     /// The default model used across the evaluation.
     pub fn paper_like() -> Self {

@@ -71,6 +71,18 @@ impl Default for TimingConfig {
     }
 }
 
+impl slicc_common::StableHash for TimingConfig {
+    fn stable_hash(&self, h: &mut slicc_common::StableHasher) {
+        self.base_ipc_x1000.stable_hash(h);
+        self.ifetch_refill_penalty.stable_hash(h);
+        self.load_hide_x1000.stable_hash(h);
+        self.store_visible_x1000.stable_hash(h);
+        self.num_mshrs.stable_hash(h);
+        self.fetch_latency_sensitivity_x1000.stable_hash(h);
+        self.baseline_l1i_latency.stable_hash(h);
+    }
+}
+
 /// Cycle/stall composition counters for one core.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CoreStats {
@@ -91,6 +103,19 @@ pub struct CoreStats {
     /// Cycles the core sat with no runnable thread.
     pub idle_cycles: Cycle,
 }
+
+// The 16 per-core blocks fold into RunMetrics via the workspace-wide
+// `Merge` trait.
+slicc_common::impl_merge_counters!(CoreStats {
+    instructions,
+    base_cycles,
+    ifetch_stall_cycles,
+    fetch_latency_cycles,
+    tlb_walk_cycles,
+    data_stall_cycles,
+    migration_cycles,
+    idle_cycles,
+});
 
 impl CoreStats {
     /// Total accounted cycles.

@@ -101,6 +101,15 @@ pub struct L2Stats {
     pub back_invalidations: u64,
 }
 
+// Per-bank counters fold together via the workspace-wide `Merge` trait.
+slicc_common::impl_merge_counters!(L2Stats {
+    hits,
+    misses,
+    store_invalidations,
+    downgrades,
+    back_invalidations,
+});
+
 /// The shared, banked, inclusive L2 with directory.
 ///
 /// # Example

@@ -53,18 +53,16 @@ impl NocStats {
     pub fn reset(&mut self) {
         *self = NocStats::default();
     }
-
-    /// Adds another stats block into this one (aggregating cores).
-    pub fn merge(&mut self, other: &NocStats) {
-        self.unicasts += other.unicasts;
-        self.broadcasts += other.broadcasts;
-        self.unicast_hops += other.unicast_hops;
-    }
 }
+
+// Aggregation across routers/cores goes through the workspace-wide `Merge`
+// trait (formerly an inherent `merge` method).
+slicc_common::impl_merge_counters!(NocStats { unicasts, broadcasts, unicast_hops });
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use slicc_common::Merge;
 
     #[test]
     fn bpki_matches_definition() {

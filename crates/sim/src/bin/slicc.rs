@@ -1,126 +1,159 @@
 //! `slicc` — command-line driver for the SLICC chip-multiprocessor
 //! simulator.
 //!
-//! ```text
-//! slicc [OPTIONS]
-//!
-//!   --workload tpcc1|tpcc10|tpce|mapreduce    (default tpcc1)
-//!   --mode     base|slicc|slicc-sw|slicc-pp|steps   (default slicc-sw)
-//!   --scale    tiny|small|paper               (default small)
-//!   --tasks    N                              override transaction count
-//!   --seed     N                              workload seed
-//!   --policy   lru|lip|bip|dip|srrip|brrip|drrip
-//!   --l1i-kib  N                              L1-I capacity
-//!   --next-line                               enable next-line prefetch
-//!   --pif-bound                               the paper's PIF model
-//!   --pif-real                                the real PIF prefetcher
-//!   --fill-up N --matched N --dilution N      SLICC thresholds
-//!   --classify                                3C miss classification
-//!   --baseline-compare                        also run the baseline and
-//!                                             report speedup
-//! ```
+//! Arguments parse into a [`RunRequest`] via [`SimConfigBuilder`], so every
+//! invalid combination is rejected with an error naming the offending
+//! option before any simulation starts. Run `slicc --help` for the full
+//! option list.
 
 use slicc_cache::PolicyKind;
-use slicc_sim::{run, RunMetrics, SchedulerMode, SimConfig};
+use slicc_sim::{RunRequest, Runner, SchedulerMode, SimConfigBuilder};
 use slicc_trace::{TraceScale, Workload};
 
-fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!("see the crate docs (`slicc --help` output is at the top of src/bin/slicc.rs)");
-    std::process::exit(2);
+const USAGE: &str = "slicc — SLICC chip-multiprocessor simulator
+
+USAGE:
+    slicc [OPTIONS]
+
+OPTIONS:
+    --workload tpcc1|tpcc10|tpce|mapreduce
+                          benchmark workload (default tpcc1)
+    --mode base|slicc|slicc-sw|slicc-pp|steps
+                          scheduling/migration mode (default slicc-sw)
+    --scale tiny|small|paper
+                          trace scale (default small)
+    --tasks N             override the transaction count
+    --seed N              override the workload trace seed
+    --policy lru|lip|bip|dip|srrip|brrip|drrip
+                          L1 replacement policy (default lru)
+    --l1i-kib N           L1-I capacity in KiB (default 32)
+    --next-line           enable next-line L1-I prefetching
+    --pif-bound           the paper's PIF model (512 KiB L1-I, 3-cycle latency)
+    --pif-real            the real PIF prefetcher (history buffer + streams)
+    --fill-up N           SLICC fill-up_t threshold
+    --matched N           SLICC matched_t threshold
+    --dilution N          SLICC dilution_t threshold
+    --classify            enable 3C miss classification
+    --baseline-compare    also run the same machine under baseline
+                          scheduling and report speedup
+    --help                print this help
+
+Exit status is 0 on success and 2 on a usage error.";
+
+/// A rejected command line: which option went wrong, and why.
+#[derive(Debug)]
+struct CliError {
+    option: String,
+    message: String,
 }
 
-struct Options {
-    workload: Workload,
-    mode: SchedulerMode,
-    scale: TraceScale,
-    tasks: Option<u32>,
-    seed: Option<u64>,
-    cfg: SimConfig,
-    compare: bool,
+impl CliError {
+    fn new(option: &str, message: impl Into<String>) -> Self {
+        CliError { option: option.to_string(), message: message.into() }
+    }
 }
 
-fn parse_args() -> Options {
-    let mut opts = Options {
-        workload: Workload::TpcC1,
-        mode: SchedulerMode::SliccSw,
-        scale: TraceScale::small(),
-        tasks: None,
-        seed: None,
-        cfg: SimConfig::paper_baseline(),
-        compare: false,
-    };
-    let args: Vec<String> = std::env::args().skip(1).collect();
+#[derive(Debug)]
+enum Command {
+    Help,
+    Run { request: RunRequest, compare: bool },
+}
+
+fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut workload = Workload::TpcC1;
+    let mut mode = SchedulerMode::SliccSw;
+    let mut scale = TraceScale::small();
+    let mut tasks: Option<u32> = None;
+    let mut seed: Option<u64> = None;
+    let mut builder = SimConfigBuilder::paper_baseline();
+    let mut compare = false;
+
     let mut i = 0;
-    let value = |i: &mut usize| -> String {
+    fn value(args: &[String], i: &mut usize, opt: &str) -> Result<String, CliError> {
         *i += 1;
-        args.get(*i).cloned().unwrap_or_else(|| usage("missing option value"))
-    };
+        args.get(*i).cloned().ok_or_else(|| CliError::new(opt, "missing value"))
+    }
+    fn number<T: std::str::FromStr>(opt: &str, raw: &str) -> Result<T, CliError> {
+        raw.parse().map_err(|_| CliError::new(opt, format!("expected a number, got '{raw}'")))
+    }
+
     while i < args.len() {
-        match args[i].as_str() {
+        let opt = args[i].clone();
+        match opt.as_str() {
+            "--help" | "-h" => return Ok(Command::Help),
             "--workload" => {
-                opts.workload = match value(&mut i).as_str() {
+                workload = match value(args, &mut i, &opt)?.as_str() {
                     "tpcc1" => Workload::TpcC1,
                     "tpcc10" => Workload::TpcC10,
                     "tpce" => Workload::TpcE,
                     "mapreduce" => Workload::MapReduce,
-                    w => usage(&format!("unknown workload {w}")),
+                    w => return Err(CliError::new(&opt, format!("unknown workload '{w}'"))),
                 }
             }
             "--mode" => {
-                opts.mode = match value(&mut i).as_str() {
+                mode = match value(args, &mut i, &opt)?.as_str() {
                     "base" => SchedulerMode::Baseline,
                     "slicc" => SchedulerMode::Slicc,
                     "slicc-sw" => SchedulerMode::SliccSw,
                     "slicc-pp" => SchedulerMode::SliccPp,
                     "steps" => SchedulerMode::Steps,
-                    m => usage(&format!("unknown mode {m}")),
+                    m => return Err(CliError::new(&opt, format!("unknown mode '{m}'"))),
                 }
             }
             "--scale" => {
-                opts.scale = match value(&mut i).as_str() {
+                scale = match value(args, &mut i, &opt)?.as_str() {
                     "tiny" => TraceScale::tiny(),
                     "small" => TraceScale::small(),
                     "paper" => TraceScale::paper_like(),
-                    s => usage(&format!("unknown scale {s}")),
+                    s => return Err(CliError::new(&opt, format!("unknown scale '{s}'"))),
                 }
             }
-            "--tasks" => opts.tasks = Some(value(&mut i).parse().unwrap_or_else(|_| usage("bad --tasks"))),
-            "--seed" => opts.seed = Some(value(&mut i).parse().unwrap_or_else(|_| usage("bad --seed"))),
+            "--tasks" => tasks = Some(number(&opt, &value(args, &mut i, &opt)?)?),
+            "--seed" => seed = Some(number(&opt, &value(args, &mut i, &opt)?)?),
             "--policy" => {
-                let p = value(&mut i);
+                let p = value(args, &mut i, &opt)?;
                 let policy = PolicyKind::ALL
                     .into_iter()
                     .find(|k| k.name().eq_ignore_ascii_case(&p))
-                    .unwrap_or_else(|| usage(&format!("unknown policy {p}")));
-                opts.cfg = opts.cfg.clone().with_policy(policy);
+                    .ok_or_else(|| CliError::new(&opt, format!("unknown policy '{p}'")))?;
+                builder = builder.policy(policy);
             }
             "--l1i-kib" => {
-                let kb: u64 = value(&mut i).parse().unwrap_or_else(|_| usage("bad --l1i-kib"));
-                opts.cfg = opts.cfg.clone().with_l1i_size(kb * 1024);
+                let kib: u64 = number(&opt, &value(args, &mut i, &opt)?)?;
+                builder = builder.l1i_size(kib * 1024);
             }
-            "--next-line" => opts.cfg = opts.cfg.clone().with_next_line(1),
-            "--pif-bound" => opts.cfg = opts.cfg.clone().with_pif_model(),
-            "--pif-real" => opts.cfg = opts.cfg.clone().with_real_pif(),
-            "--fill-up" => {
-                opts.cfg.slicc.fill_up_t = value(&mut i).parse().unwrap_or_else(|_| usage("bad --fill-up"))
-            }
-            "--matched" => {
-                opts.cfg.slicc.matched_t = value(&mut i).parse().unwrap_or_else(|_| usage("bad --matched"))
-            }
-            "--dilution" => {
-                opts.cfg.slicc.dilution_t = value(&mut i).parse().unwrap_or_else(|_| usage("bad --dilution"))
-            }
-            "--classify" => opts.cfg.classify_3c = true,
-            "--baseline-compare" => opts.compare = true,
-            a => usage(&format!("unknown argument {a}")),
+            "--next-line" => builder = builder.next_line(1),
+            "--pif-bound" => builder = builder.pif_model(),
+            "--pif-real" => builder = builder.real_pif(),
+            "--fill-up" => builder = builder.fill_up(number(&opt, &value(args, &mut i, &opt)?)?),
+            "--matched" => builder = builder.matched(number(&opt, &value(args, &mut i, &opt)?)?),
+            "--dilution" => builder = builder.dilution(number(&opt, &value(args, &mut i, &opt)?)?),
+            "--classify" => builder = builder.classify_3c(),
+            "--baseline-compare" => compare = true,
+            other => return Err(CliError::new(other, "unknown option")),
         }
         i += 1;
     }
-    opts
+
+    // --mode is applied last: the PIF helpers default to baseline
+    // scheduling, but an explicit (or default) --mode always wins, matching
+    // the original CLI's behaviour.
+    let config = builder
+        .mode(mode)
+        .build()
+        .map_err(|e| CliError::new("configuration", e.to_string()))?;
+    let mut request = RunRequest::new(workload, scale, config);
+    if let Some(t) = tasks {
+        request = request.with_tasks(t);
+    }
+    if let Some(s) = seed {
+        request = request.with_seed(s);
+    }
+    Ok(Command::Run { request, compare })
 }
 
-fn report(m: &RunMetrics, baseline: Option<&RunMetrics>) {
+fn report(result: &slicc_sim::RunResult, baseline: Option<&slicc_sim::RunResult>) {
+    let m = &result.metrics;
     println!("workload        {}", m.workload);
     println!("mode            {}", m.mode);
     println!("instructions    {}", m.instructions);
@@ -149,24 +182,105 @@ fn report(m: &RunMetrics, baseline: Option<&RunMetrics>) {
         100.0 * s.migration_cycles as f64 / total as f64,
         100.0 * s.idle_cycles as f64 / total as f64,
     );
+    println!("sim throughput  {:.0} instructions/s ({:.2}s wall)", result.sim_ips, result.wall.as_secs_f64());
     if let Some(base) = baseline {
-        println!("speedup         {:.3}x over baseline", m.speedup_over(base));
+        println!("speedup         {:.3}x over baseline", m.speedup_over(&base.metrics));
     }
 }
 
 fn main() {
-    let opts = parse_args();
-    let mut scale = opts.scale;
-    if let Some(t) = opts.tasks {
-        scale = scale.with_tasks(t);
-    }
-    if let Some(s) = opts.seed {
-        scale = scale.with_seed(s);
-    }
-    let spec = opts.workload.spec(scale);
-    let cfg = opts.cfg.with_mode(opts.mode);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = parse_args(&args).unwrap_or_else(|e| {
+        eprintln!("error: {}: {}", e.option, e.message);
+        eprintln!("run 'slicc --help' for the option list");
+        std::process::exit(2);
+    });
+    let (request, compare) = match command {
+        Command::Help => {
+            println!("{USAGE}");
+            return;
+        }
+        Command::Run { request, compare } => (request, compare),
+    };
 
-    let baseline = opts.compare.then(|| run(&spec, &SimConfig::paper_baseline()));
-    let metrics = run(&spec, &cfg);
-    report(&metrics, baseline.as_ref());
+    // Two points (the run and its baseline) are independent jobs, so even
+    // the CLI benefits from the runner's pool and cache.
+    let runner = Runner::with_default_parallelism();
+    if compare {
+        let baseline = request.clone().with_mode(SchedulerMode::Baseline);
+        let results = runner.run_all(&[request, baseline]);
+        report(&results[0], Some(&results[1]));
+    } else {
+        report(&runner.run(&request), None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_args(&args)
+    }
+
+    #[test]
+    fn defaults_build_a_slicc_sw_request() {
+        match parse(&[]).unwrap() {
+            Command::Run { request, compare } => {
+                assert_eq!(request.workload, Workload::TpcC1);
+                assert_eq!(request.mode(), SchedulerMode::SliccSw);
+                assert!(!compare);
+            }
+            Command::Help => panic!("empty args must run, not print help"),
+        }
+    }
+
+    #[test]
+    fn help_flag_wins() {
+        assert!(matches!(parse(&["--help"]).unwrap(), Command::Help));
+        assert!(matches!(parse(&["-h"]).unwrap(), Command::Help));
+    }
+
+    #[test]
+    fn unknown_option_is_named() {
+        let err = parse(&["--bogus"]).unwrap_err();
+        assert_eq!(err.option, "--bogus");
+    }
+
+    #[test]
+    fn bad_value_names_the_option() {
+        let err = parse(&["--tasks", "many"]).unwrap_err();
+        assert_eq!(err.option, "--tasks");
+        assert!(err.message.contains("many"));
+        let err = parse(&["--workload", "tpcd"]).unwrap_err();
+        assert_eq!(err.option, "--workload");
+        assert!(err.message.contains("tpcd"));
+    }
+
+    #[test]
+    fn missing_value_is_reported() {
+        let err = parse(&["--seed"]).unwrap_err();
+        assert_eq!(err.option, "--seed");
+        assert!(err.message.contains("missing"));
+    }
+
+    #[test]
+    fn invalid_configuration_is_rejected_at_parse_time() {
+        // fill-up_t beyond the 32 KiB L1-I's 512 blocks cannot fire.
+        let err = parse(&["--mode", "slicc", "--fill-up", "100000"]).unwrap_err();
+        assert!(err.message.contains("fill_up_t"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn overrides_reach_the_request() {
+        match parse(&["--tasks", "7", "--seed", "9", "--l1i-kib", "64"]).unwrap() {
+            Command::Run { request, .. } => {
+                assert_eq!(request.effective_scale().tasks, 7);
+                assert_eq!(request.effective_scale().seed, 9);
+                assert_eq!(request.config.l1i_size, 64 * 1024);
+            }
+            Command::Help => panic!("expected a run"),
+        }
+    }
 }

@@ -1,7 +1,7 @@
 //! Simulator configuration: the Table-2 machine and the execution modes.
 
 use slicc_cache::{PifConfig, PolicyKind};
-use slicc_common::{CacheGeometry, Cycle, LatencyTable};
+use slicc_common::{CacheGeometry, Cycle, LatencyTable, StableHash, StableHasher};
 use slicc_core::SliccParams;
 use slicc_cpu::{MigrationModel, TimingConfig};
 use slicc_mem::DramConfig;
@@ -76,11 +76,26 @@ impl fmt::Display for SchedulerMode {
     }
 }
 
+impl StableHash for SchedulerMode {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        // Explicit ordinals so run-cache keys survive declaration reorder.
+        let ordinal: u64 = match self {
+            SchedulerMode::Baseline => 0,
+            SchedulerMode::Slicc => 1,
+            SchedulerMode::SliccSw => 2,
+            SchedulerMode::SliccPp => 3,
+            SchedulerMode::Steps => 4,
+        };
+        ordinal.stable_hash(h);
+    }
+}
+
 /// Full machine + algorithm configuration.
 ///
 /// [`SimConfig::paper_baseline`] reproduces Table 2; the `with_*` methods
-/// derive the variants used across the evaluation.
-#[derive(Clone, Debug)]
+/// derive the variants used across the evaluation, and
+/// [`SimConfigBuilder`] is the validated write path.
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimConfig {
     /// Number of cores (Table 2: 16, on a 4×4 torus).
     pub cores: usize,
@@ -315,32 +330,458 @@ impl SimConfig {
         CacheGeometry::new(self.l1d_size, self.l1d_assoc, 64)
     }
 
+    /// Validates cross-field invariants, returning the first violation.
+    ///
+    /// This is the full rule set behind [`SimConfigBuilder::build`]; see
+    /// [`ConfigError`] for the individual invariants.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if self.cores < 1 {
+            return Err(ConfigError::NoCores);
+        }
+        if self.cores as u32 != self.noc_cols * self.noc_rows {
+            return Err(ConfigError::TorusMismatch {
+                cores: self.cores,
+                cols: self.noc_cols,
+                rows: self.noc_rows,
+            });
+        }
+        if self.pool_multiplier < 1 {
+            return Err(ConfigError::ZeroPoolMultiplier);
+        }
+        if self.mode == SchedulerMode::SliccPp && self.cores < 2 {
+            return Err(ConfigError::ScoutNeedsTwoCores);
+        }
+        if self.thread_queue_capacity < 1 {
+            return Err(ConfigError::ZeroThreadQueue);
+        }
+        if self.l2_banks < 1 {
+            return Err(ConfigError::ZeroL2Banks);
+        }
+        if self.bloom_bits < 1 {
+            return Err(ConfigError::ZeroBloomBits);
+        }
+        check_cache_shape("l1i", self.l1i_size, self.l1i_assoc)?;
+        check_cache_shape("l1d", self.l1d_size, self.l1d_assoc)?;
+        check_cache_shape("l2", self.l2_size, self.l2_assoc)?;
+        if self.mode.uses_agents() {
+            let blocks = self.l1i_size / slicc_common::BLOCK_SIZE;
+            if u64::from(self.slicc.fill_up_t) > blocks {
+                return Err(ConfigError::FillUpExceedsBlocks { fill_up_t: self.slicc.fill_up_t, blocks });
+            }
+        }
+        Ok(())
+    }
+
     /// Validates cross-field invariants.
     ///
     /// # Panics
     ///
-    /// Panics when the torus does not cover the cores, the pool
-    /// multiplier is zero, or SLICC-Pp has fewer than two cores.
+    /// Panics on the first violated invariant with the corresponding
+    /// [`ConfigError`] message. Fallible callers (the builder, the CLI)
+    /// use [`SimConfig::try_validate`] instead.
     pub fn validate(&self) {
-        assert_eq!(
-            self.cores as u32,
-            self.noc_cols * self.noc_rows,
-            "torus {}x{} must cover {} cores",
-            self.noc_cols,
-            self.noc_rows,
-            self.cores
-        );
-        assert!(self.pool_multiplier >= 1, "pool multiplier must be at least 1");
-        assert!(self.cores >= 1, "need at least one core");
-        if self.mode == SchedulerMode::SliccPp {
-            assert!(self.cores >= 2, "SLICC-Pp dedicates one core to scouting");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
     }
 }
 
+/// Checks the invariants `CacheGeometry::new` would otherwise enforce by
+/// panicking, so misconfigurations surface as typed errors.
+fn check_cache_shape(cache: &'static str, size: u64, assoc: u32) -> Result<(), ConfigError> {
+    if assoc == 0 {
+        return Err(ConfigError::ZeroWayCache { cache });
+    }
+    if size == 0 {
+        return Err(ConfigError::ZeroSizeCache { cache });
+    }
+    let way_bytes = u64::from(assoc) * slicc_common::BLOCK_SIZE;
+    if size % way_bytes != 0 {
+        return Err(ConfigError::UnalignedCache { cache, size, assoc });
+    }
+    let sets = size / way_bytes;
+    if !sets.is_power_of_two() {
+        return Err(ConfigError::NonPowerOfTwoSets { cache, sets });
+    }
+    Ok(())
+}
+
+/// A violated [`SimConfig`] invariant; each variant names the offending
+/// field(s) and carries the rejected values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `cores` is zero.
+    NoCores,
+    /// `noc_cols * noc_rows` does not equal `cores`.
+    TorusMismatch {
+        /// The configured core count.
+        cores: usize,
+        /// Torus columns.
+        cols: u32,
+        /// Torus rows.
+        rows: u32,
+    },
+    /// `pool_multiplier` is zero (SLICC needs an in-flight pool).
+    ZeroPoolMultiplier,
+    /// SLICC-Pp needs a scout core in addition to at least one worker.
+    ScoutNeedsTwoCores,
+    /// `thread_queue_capacity` is zero: no core could accept any thread.
+    ZeroThreadQueue,
+    /// `l2_banks` is zero.
+    ZeroL2Banks,
+    /// `bloom_bits` is zero: remote searches would have no signature.
+    ZeroBloomBits,
+    /// A cache is configured with zero ways.
+    ZeroWayCache {
+        /// Which cache field group (`l1i`, `l1d`, or `l2`).
+        cache: &'static str,
+    },
+    /// A cache is configured with zero capacity.
+    ZeroSizeCache {
+        /// Which cache field group.
+        cache: &'static str,
+    },
+    /// Capacity is not a multiple of `associativity * 64 B`.
+    UnalignedCache {
+        /// Which cache field group.
+        cache: &'static str,
+        /// The rejected capacity in bytes.
+        size: u64,
+        /// The configured associativity.
+        assoc: u32,
+    },
+    /// The derived set count is not a power of two (caches index with bit
+    /// fields).
+    NonPowerOfTwoSets {
+        /// Which cache field group.
+        cache: &'static str,
+        /// The rejected set count.
+        sets: u64,
+    },
+    /// `slicc.fill_up_t` exceeds the L1-I's block count, so the fill-up
+    /// detector could never fire.
+    FillUpExceedsBlocks {
+        /// The configured threshold.
+        fill_up_t: u32,
+        /// Blocks in the configured L1-I.
+        blocks: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoCores => write!(f, "cores: need at least one core"),
+            ConfigError::TorusMismatch { cores, cols, rows } => {
+                write!(f, "noc_cols/noc_rows: torus {cols}x{rows} must cover {cores} cores")
+            }
+            ConfigError::ZeroPoolMultiplier => {
+                write!(f, "pool_multiplier: pool multiplier must be at least 1")
+            }
+            ConfigError::ScoutNeedsTwoCores => {
+                write!(f, "cores: SLICC-Pp dedicates one core to scouting")
+            }
+            ConfigError::ZeroThreadQueue => {
+                write!(f, "thread_queue_capacity: per-core queues need capacity for at least one thread")
+            }
+            ConfigError::ZeroL2Banks => write!(f, "l2_banks: need at least one L2 bank"),
+            ConfigError::ZeroBloomBits => {
+                write!(f, "bloom_bits: bloom signatures need at least one bit")
+            }
+            ConfigError::ZeroWayCache { cache } => {
+                write!(f, "{cache}_assoc: zero-way caches cannot hold blocks")
+            }
+            ConfigError::ZeroSizeCache { cache } => {
+                write!(f, "{cache}_size: cache capacity must be non-zero")
+            }
+            ConfigError::UnalignedCache { cache, size, assoc } => {
+                write!(
+                    f,
+                    "{cache}_size: capacity {size} B is not a multiple of associativity {assoc} x 64 B blocks"
+                )
+            }
+            ConfigError::NonPowerOfTwoSets { cache, sets } => {
+                write!(f, "{cache}_size/{cache}_assoc: derived set count {sets} is not a power of two")
+            }
+            ConfigError::FillUpExceedsBlocks { fill_up_t, blocks } => {
+                write!(
+                    f,
+                    "slicc.fill_up_t: threshold {fill_up_t} exceeds the L1-I's {blocks} blocks"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig::paper_baseline()
+    }
+}
+
+impl StableHash for SimConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        // Every field, in declaration order: two configs that could ever
+        // produce different metrics must produce different run-cache keys.
+        self.cores.stable_hash(h);
+        self.noc_cols.stable_hash(h);
+        self.noc_rows.stable_hash(h);
+        self.l1i_size.stable_hash(h);
+        self.l1i_assoc.stable_hash(h);
+        self.l1d_size.stable_hash(h);
+        self.l1d_assoc.stable_hash(h);
+        self.l1_policy.stable_hash(h);
+        self.latency_table.stable_hash(h);
+        self.l1i_latency_override.stable_hash(h);
+        self.l2_size.stable_hash(h);
+        self.l2_assoc.stable_hash(h);
+        self.l2_banks.stable_hash(h);
+        self.l2_hit_latency.stable_hash(h);
+        self.dram.stable_hash(h);
+        self.timing.stable_hash(h);
+        self.migration.stable_hash(h);
+        self.slicc.stable_hash(h);
+        self.bloom_bits.stable_hash(h);
+        self.mode.stable_hash(h);
+        self.next_line_prefetch.stable_hash(h);
+        self.classify_3c.stable_hash(h);
+        self.pool_multiplier.stable_hash(h);
+        self.thread_queue_capacity.stable_hash(h);
+        self.migration_queue_limit.stable_hash(h);
+        self.scout_instructions.stable_hash(h);
+        self.itlb_entries.stable_hash(h);
+        self.itlb_page_bytes.stable_hash(h);
+        self.dtlb_entries.stable_hash(h);
+        self.tlb_walk_cycles.stable_hash(h);
+        self.pif_prefetch.stable_hash(h);
+        self.steps_switch_cycles.stable_hash(h);
+        self.steps_team_size.stable_hash(h);
+        self.arrival_stagger_cycles.stable_hash(h);
+        self.measure_bloom_accuracy.stable_hash(h);
+        self.exact_search.stable_hash(h);
+        self.work_stealing.stable_hash(h);
+        self.seed.stable_hash(h);
+    }
+}
+
+/// Validated construction of [`SimConfig`]s.
+///
+/// The builder is the write path for configurations: setters stage changes
+/// and [`SimConfigBuilder::build`] runs the full
+/// [`SimConfig::try_validate`] rule set, so a zero-way cache or a
+/// `fill_up_t` larger than the L1-I can never reach the engine. Setters
+/// mirror the experiment knobs the evaluation sweeps.
+///
+/// # Example
+///
+/// ```
+/// use slicc_sim::{SchedulerMode, SimConfigBuilder};
+///
+/// let cfg = SimConfigBuilder::tiny_test().mode(SchedulerMode::Slicc).seed(7).build().unwrap();
+/// assert_eq!(cfg.mode, SchedulerMode::Slicc);
+///
+/// // Invalid shapes are rejected with an error naming the field:
+/// let err = SimConfigBuilder::tiny_test().l1i(4 * 1024, 0).build().unwrap_err();
+/// assert!(err.to_string().contains("l1i_assoc"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Starts from the Table-2 baseline machine.
+    pub fn paper_baseline() -> Self {
+        SimConfigBuilder { cfg: SimConfig::paper_baseline() }
+    }
+
+    /// Starts from the miniature test machine.
+    pub fn tiny_test() -> Self {
+        SimConfigBuilder { cfg: SimConfig::tiny_test() }
+    }
+
+    /// Starts from an existing configuration (e.g. to derive a variant).
+    pub fn from_config(cfg: SimConfig) -> Self {
+        SimConfigBuilder { cfg }
+    }
+
+    /// Sets the core count and torus shape together (they must agree, so
+    /// the builder exposes them as one knob).
+    pub fn cores(mut self, cores: usize, noc_cols: u32, noc_rows: u32) -> Self {
+        self.cfg.cores = cores;
+        self.cfg.noc_cols = noc_cols;
+        self.cfg.noc_rows = noc_rows;
+        self
+    }
+
+    /// Sets L1-I capacity (bytes) and associativity.
+    pub fn l1i(mut self, size: u64, assoc: u32) -> Self {
+        self.cfg.l1i_size = size;
+        self.cfg.l1i_assoc = assoc;
+        self
+    }
+
+    /// Sets L1-I capacity, keeping the associativity (Figure 1 sweeps).
+    pub fn l1i_size(mut self, size: u64) -> Self {
+        self.cfg.l1i_size = size;
+        self
+    }
+
+    /// Sets L1-D capacity (bytes) and associativity.
+    pub fn l1d(mut self, size: u64, assoc: u32) -> Self {
+        self.cfg.l1d_size = size;
+        self.cfg.l1d_assoc = assoc;
+        self
+    }
+
+    /// Sets L1-D capacity, keeping the associativity (Figure 1 sweeps).
+    pub fn l1d_size(mut self, size: u64) -> Self {
+        self.cfg.l1d_size = size;
+        self
+    }
+
+    /// Sets the L1 replacement policy (Figure 2).
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.cfg.l1_policy = policy;
+        self
+    }
+
+    /// Replaces the capacity→latency table (latency ablations).
+    pub fn latency_table(mut self, table: LatencyTable) -> Self {
+        self.cfg.latency_table = table;
+        self
+    }
+
+    /// Sets L2 capacity and bank count (scaling experiments).
+    pub fn l2(mut self, size: u64, banks: usize) -> Self {
+        self.cfg.l2_size = size;
+        self.cfg.l2_banks = banks;
+        self
+    }
+
+    /// Sets the execution mode.
+    pub fn mode(mut self, mode: SchedulerMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Enables a next-line L1-I prefetcher of `degree`.
+    pub fn next_line(mut self, degree: u64) -> Self {
+        self.cfg.next_line_prefetch = Some(degree);
+        self
+    }
+
+    /// Runs the real PIF prefetcher under baseline scheduling.
+    pub fn real_pif(mut self) -> Self {
+        self.cfg = self.cfg.with_real_pif();
+        self
+    }
+
+    /// Models PIF as the paper does: big L1-I at small-cache latency.
+    pub fn pif_model(mut self) -> Self {
+        self.cfg = self.cfg.with_pif_model();
+        self
+    }
+
+    /// Replaces the SLICC thresholds wholesale (Figures 7/8).
+    pub fn slicc_params(mut self, params: SliccParams) -> Self {
+        self.cfg.slicc = params;
+        self
+    }
+
+    /// Sets `fill-up_t` only.
+    pub fn fill_up(mut self, fill_up_t: u32) -> Self {
+        self.cfg.slicc = self.cfg.slicc.with_fill_up(fill_up_t);
+        self
+    }
+
+    /// Sets `matched_t` only.
+    pub fn matched(mut self, matched_t: u32) -> Self {
+        self.cfg.slicc = self.cfg.slicc.with_matched(matched_t);
+        self
+    }
+
+    /// Sets `dilution_t` only.
+    pub fn dilution(mut self, dilution_t: u32) -> Self {
+        self.cfg.slicc = self.cfg.slicc.with_dilution(dilution_t);
+        self
+    }
+
+    /// Sets the bloom-signature size in bits (Figure 9).
+    pub fn bloom_bits(mut self, bits: u64) -> Self {
+        self.cfg.bloom_bits = bits;
+        self
+    }
+
+    /// Enables 3C miss classification (Figure 1).
+    pub fn classify_3c(mut self) -> Self {
+        self.cfg.classify_3c = true;
+        self
+    }
+
+    /// Sets the in-flight thread pool multiple.
+    pub fn pool_multiplier(mut self, multiplier: u32) -> Self {
+        self.cfg.pool_multiplier = multiplier;
+        self
+    }
+
+    /// Sets the migration target queue bound (§5.7 ablations).
+    pub fn migration_queue_limit(mut self, limit: usize) -> Self {
+        self.cfg.migration_queue_limit = limit;
+        self
+    }
+
+    /// Sets the migrated-context size in cache blocks (cost ablations).
+    pub fn migration_context_blocks(mut self, blocks: u32) -> Self {
+        self.cfg.migration.context_blocks = blocks;
+        self
+    }
+
+    /// Enables/disables idle-core work stealing (§5.7 ablations).
+    pub fn work_stealing(mut self, enabled: bool) -> Self {
+        self.cfg.work_stealing = enabled;
+        self
+    }
+
+    /// Answers remote searches from exact contents instead of bloom
+    /// signatures (idealized-search ablation).
+    pub fn exact_search(mut self, enabled: bool) -> Self {
+        self.cfg.exact_search = enabled;
+        self
+    }
+
+    /// Measures bloom-signature accuracy against ground truth (Figure 9).
+    pub fn measure_bloom_accuracy(mut self) -> Self {
+        self.cfg.measure_bloom_accuracy = true;
+        self
+    }
+
+    /// Sets the STEPS context-switch cost (§6 sensitivity).
+    pub fn steps_switch_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.steps_switch_cycles = cycles;
+        self
+    }
+
+    /// Sets the RNG seed for stochastic cache policies.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Applies an arbitrary mutation for knobs without a dedicated setter.
+    /// Validation still runs at [`SimConfigBuilder::build`], so this
+    /// cannot smuggle an invalid configuration past the rule set.
+    pub fn tweak(mut self, f: impl FnOnce(&mut SimConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        self.cfg.try_validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -389,6 +830,58 @@ mod tests {
         let mut c = SimConfig::paper_baseline();
         c.cores = 12;
         c.validate();
+    }
+
+    #[test]
+    fn builder_validates_on_build() {
+        let cfg = SimConfigBuilder::paper_baseline().mode(SchedulerMode::Slicc).seed(42).build().unwrap();
+        assert_eq!(cfg.mode, SchedulerMode::Slicc);
+        assert_eq!(cfg.seed, 42);
+    }
+
+    #[test]
+    fn builder_rejects_zero_way_cache() {
+        let err = SimConfigBuilder::paper_baseline().l1i(32 * 1024, 0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroWayCache { cache: "l1i" });
+        assert!(err.to_string().contains("l1i_assoc"));
+    }
+
+    #[test]
+    fn builder_rejects_fill_up_beyond_blocks() {
+        // The tiny machine's 4 KiB L1-I holds 64 blocks; fill-up_t 65 can
+        // never fire — but exactly 64 is legal (Figure 7 sweeps up to the
+        // full block count).
+        let err = SimConfigBuilder::tiny_test()
+            .mode(SchedulerMode::Slicc)
+            .fill_up(65)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::FillUpExceedsBlocks { fill_up_t: 65, blocks: 64 });
+        assert!(SimConfigBuilder::tiny_test().mode(SchedulerMode::Slicc).fill_up(64).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_bad_torus() {
+        let err = SimConfigBuilder::paper_baseline().cores(12, 4, 4).build().unwrap_err();
+        assert!(matches!(err, ConfigError::TorusMismatch { cores: 12, cols: 4, rows: 4 }));
+        assert!(err.to_string().contains("torus"));
+    }
+
+    #[test]
+    fn builder_tweak_cannot_skip_validation() {
+        let err = SimConfigBuilder::paper_baseline().tweak(|c| c.pool_multiplier = 0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroPoolMultiplier);
+    }
+
+    #[test]
+    fn stable_hash_distinguishes_configs() {
+        use slicc_common::stable_hash_of;
+        let base = SimConfig::paper_baseline();
+        assert_eq!(stable_hash_of(&base), stable_hash_of(&SimConfig::paper_baseline()));
+        let slicc = SimConfig::paper_baseline().with_mode(SchedulerMode::Slicc);
+        assert_ne!(stable_hash_of(&base), stable_hash_of(&slicc));
+        let seeded = SimConfigBuilder::paper_baseline().seed(1).build().unwrap();
+        assert_ne!(stable_hash_of(&base), stable_hash_of(&seeded));
     }
 
     #[test]

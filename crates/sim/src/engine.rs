@@ -94,8 +94,10 @@ struct Team {
 
 /// Runs `spec` on the machine `cfg` describes and returns the metrics.
 ///
-/// This is the crate's main entry point; see the crate docs for an
-/// example.
+/// This is a thin wrapper kept for *custom* [`WorkloadSpec`]s (e.g. the
+/// hand-built scenarios in the test suite). Preset workloads should go
+/// through [`crate::RunRequest`] and [`crate::Runner`], which add
+/// parallel fan-out and run-cache memoization on top of this exact call.
 pub fn run(spec: &WorkloadSpec, cfg: &SimConfig) -> RunMetrics {
     let mut engine = Engine::new(spec, cfg);
     engine.execute();

@@ -18,22 +18,36 @@
 //!
 //! # Example
 //!
+//! Experiment points are described by [`RunRequest`]s and executed by a
+//! [`Runner`], which fans independent points across host cores and
+//! memoizes completed ones:
+//!
 //! ```no_run
-//! use slicc_sim::{run, SchedulerMode, SimConfig};
+//! use slicc_sim::{RunRequest, Runner, SchedulerMode, SimConfig};
 //! use slicc_trace::{TraceScale, Workload};
 //!
-//! let spec = Workload::TpcC1.spec(TraceScale::small());
-//! let base = run(&spec, &SimConfig::paper_baseline());
-//! let slicc = run(&spec, &SimConfig::paper_baseline().with_mode(SchedulerMode::SliccSw));
-//! println!("speedup: {:.2}x", base.cycles as f64 / slicc.cycles as f64);
+//! let runner = Runner::with_default_parallelism();
+//! let base = RunRequest::new(Workload::TpcC1, TraceScale::small(), SimConfig::paper_baseline());
+//! let slicc = base.clone().with_mode(SchedulerMode::SliccSw);
+//! let results = runner.run_all(&[base, slicc]);
+//! let speedup = results[0].metrics.cycles as f64 / results[1].metrics.cycles as f64;
+//! println!("speedup: {speedup:.2}x");
 //! ```
+//!
+//! Configurations are built through [`SimConfigBuilder`], which validates
+//! cross-field invariants and reports violations as typed
+//! [`ConfigError`]s. The free function [`run`] remains as a thin wrapper
+//! for custom [`slicc_trace::WorkloadSpec`]s that no preset
+//! [`slicc_trace::Workload`] describes.
 
 pub mod config;
 pub mod engine;
 pub mod metrics;
+pub mod runner;
 pub mod system;
 
-pub use config::{SchedulerMode, SimConfig};
+pub use config::{ConfigError, SchedulerMode, SimConfig, SimConfigBuilder};
 pub use engine::{run, Engine, MigrationEvent};
 pub use metrics::RunMetrics;
+pub use runner::{RunRequest, RunResult, Runner, RunnerStats};
 pub use system::System;

@@ -1,0 +1,462 @@
+//! Parallel experiment runner: typed run descriptors, a std::thread job
+//! pool, and a memoizing run cache.
+//!
+//! Every simulation point is an independent, deterministic, single-threaded
+//! job, so a figure's point set can fan out across host cores. This module
+//! provides the three pieces:
+//!
+//! - [`RunRequest`] — the typed experiment-point descriptor (workload,
+//!   scale, config; the mode lives in the config). It is simultaneously
+//!   the runner's job type, the run-cache key (via
+//!   [`RunRequest::stable_key`]), and the CLI/figures entry point.
+//! - [`RunResult`] — the metrics plus wall-time and
+//!   simulated-instructions-per-second observability counters.
+//! - [`Runner`] — a job pool of `jobs` worker threads fed through an mpsc
+//!   work queue. Results always come back in submission order, and
+//!   completed points are memoized, so a Baseline point shared by several
+//!   figures simulates once per process.
+//!
+//! The pool is plain `std::thread::scope` + `std::sync::mpsc` — the
+//! workspace builds with no external dependencies (DESIGN.md §5), and a
+//! work queue of whole simulations needs nothing fancier.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use slicc_sim::{RunRequest, Runner, SchedulerMode, SimConfig};
+//! use slicc_trace::{TraceScale, Workload};
+//!
+//! let runner = Runner::with_default_parallelism();
+//! let reqs: Vec<RunRequest> = [SchedulerMode::Baseline, SchedulerMode::Slicc]
+//!     .iter()
+//!     .map(|&m| {
+//!         RunRequest::new(Workload::TpcC1, TraceScale::small(), SimConfig::paper_baseline())
+//!             .with_mode(m)
+//!     })
+//!     .collect();
+//! let results = runner.run_all(&reqs);
+//! let speedup = results[0].metrics.cycles as f64 / results[1].metrics.cycles as f64;
+//! println!("SLICC speedup: {speedup:.2}x over {:.0} sim-insn/s", results[1].sim_ips);
+//! ```
+
+use crate::config::{SchedulerMode, SimConfig};
+use crate::engine;
+use crate::metrics::RunMetrics;
+use slicc_common::{StableHash, StableHasher};
+use slicc_trace::{TraceScale, Workload, WorkloadSpec};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A typed experiment point: which workload to run, at what scale, on what
+/// machine. Equal requests describe byte-identical simulations, which is
+/// what makes the request usable as the run-cache key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRequest {
+    /// The benchmark workload.
+    pub workload: Workload,
+    /// Trace scale (task count, segment size, trace seed).
+    pub scale: TraceScale,
+    /// Task-count override applied on top of `scale`, if any.
+    pub tasks: Option<u32>,
+    /// Trace-seed override applied on top of `scale`, if any.
+    pub seed: Option<u64>,
+    /// The machine and execution mode.
+    pub config: SimConfig,
+}
+
+impl RunRequest {
+    /// Describes `workload` at `scale` on the machine `config`.
+    pub fn new(workload: Workload, scale: TraceScale, config: SimConfig) -> Self {
+        RunRequest { workload, scale, tasks: None, seed: None, config }
+    }
+
+    /// Returns a copy running under `mode`.
+    pub fn with_mode(mut self, mode: SchedulerMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Returns a copy with the task count overridden.
+    pub fn with_tasks(mut self, tasks: u32) -> Self {
+        self.tasks = Some(tasks);
+        self
+    }
+
+    /// Returns a copy with the trace seed overridden.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// The execution mode (stored in the config).
+    pub fn mode(&self) -> SchedulerMode {
+        self.config.mode
+    }
+
+    /// The trace scale with the `tasks`/`seed` overrides applied.
+    pub fn effective_scale(&self) -> TraceScale {
+        let mut scale = self.scale;
+        if let Some(tasks) = self.tasks {
+            scale.tasks = tasks;
+        }
+        if let Some(seed) = self.seed {
+            scale.seed = seed;
+        }
+        scale
+    }
+
+    /// Generates the workload specification this request describes.
+    pub fn spec(&self) -> WorkloadSpec {
+        self.workload.spec(self.effective_scale())
+    }
+
+    /// The run-cache key: a stable hash of everything that can influence
+    /// the metrics. Identical on every host and in every process.
+    pub fn stable_key(&self) -> u64 {
+        let mut h = StableHasher::new();
+        self.workload.stable_hash(&mut h);
+        self.effective_scale().stable_hash(&mut h);
+        self.config.stable_hash(&mut h);
+        h.finish()
+    }
+
+    /// Runs this point now, on the calling thread, bypassing any cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration violates an invariant; construct
+    /// configs through [`crate::SimConfigBuilder`] to catch that early as
+    /// a [`crate::ConfigError`].
+    pub fn execute(&self) -> RunResult {
+        let spec = self.spec();
+        let started = Instant::now();
+        let metrics = engine::run(&spec, &self.config);
+        let wall = started.elapsed();
+        let sim_ips = if wall.as_secs_f64() > 0.0 { metrics.instructions as f64 / wall.as_secs_f64() } else { 0.0 };
+        RunResult { metrics, wall, sim_ips, from_cache: false }
+    }
+}
+
+/// The outcome of one simulation point.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The simulation's metrics.
+    pub metrics: RunMetrics,
+    /// Wall-clock time the simulation took (zero-cost when served from the
+    /// run cache; this is the original simulation's time).
+    pub wall: Duration,
+    /// Simulated instructions per wall-clock second — the runner's
+    /// throughput observability counter.
+    pub sim_ips: f64,
+    /// Whether this result was served from the run cache (or deduplicated
+    /// within a batch) rather than freshly simulated.
+    pub from_cache: bool,
+}
+
+/// Aggregate observability counters for a [`Runner`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunnerStats {
+    /// Requests served from the memoized run cache (including duplicates
+    /// within one batch).
+    pub cache_hits: u64,
+    /// Requests that required a fresh simulation.
+    pub cache_misses: u64,
+    /// Total instructions simulated by fresh runs.
+    pub simulated_instructions: u64,
+    /// Total CPU time spent inside fresh simulations (sums across worker
+    /// threads, so it can exceed wall-clock time).
+    pub busy_nanos: u64,
+}
+
+impl RunnerStats {
+    /// Mean simulated instructions per busy second across all fresh runs.
+    pub fn sim_ips(&self) -> f64 {
+        let secs = self.busy_nanos as f64 / 1e9;
+        if secs > 0.0 {
+            self.simulated_instructions as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A memoizing job pool for simulation points.
+///
+/// `jobs` worker threads pull [`RunRequest`]s off an mpsc work queue;
+/// completed points land in a run cache keyed by [`RunRequest::stable_key`]
+/// so repeated points (across figures, or duplicated within one batch)
+/// simulate exactly once. Results are returned in submission order
+/// regardless of completion order, so output is deterministic for any
+/// `jobs` value.
+pub struct Runner {
+    jobs: usize,
+    cache: Mutex<HashMap<u64, RunResult>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    simulated_instructions: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+impl Runner {
+    /// A runner with `jobs` worker threads (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Runner {
+            jobs: jobs.max(1),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            simulated_instructions: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// A runner sized to the host ([`Runner::default_parallelism`]).
+    pub fn with_default_parallelism() -> Self {
+        Runner::new(Runner::default_parallelism())
+    }
+
+    /// The host's available parallelism; 1 if it cannot be determined.
+    pub fn default_parallelism() -> usize {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+
+    /// The worker-thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs one point, serving it from the run cache when possible.
+    pub fn run(&self, req: &RunRequest) -> RunResult {
+        self.run_all(std::slice::from_ref(req)).pop().expect("one request yields one result")
+    }
+
+    /// Runs a batch, fanning uncached points across the worker pool.
+    ///
+    /// Returns one result per request, in submission order. Duplicate
+    /// points — within the batch or across earlier calls — simulate once;
+    /// their repeats are marked [`RunResult::from_cache`].
+    pub fn run_all(&self, reqs: &[RunRequest]) -> Vec<RunResult> {
+        let keys: Vec<u64> = reqs.iter().map(RunRequest::stable_key).collect();
+
+        // Serve whatever the cache already has, and collect the distinct
+        // missing points in first-occurrence order (stable across runs, so
+        // scheduling is reproducible).
+        let mut fresh: Vec<(u64, &RunRequest)> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("run cache poisoned");
+            for (&key, req) in keys.iter().zip(reqs) {
+                if !cache.contains_key(&key) && fresh.iter().all(|&(k, _)| k != key) {
+                    fresh.push((key, req));
+                }
+            }
+        }
+
+        let computed = self.simulate_batch(&fresh);
+
+        let mut cache = self.cache.lock().expect("run cache poisoned");
+        for ((key, _), result) in fresh.iter().zip(computed) {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.simulated_instructions.fetch_add(result.metrics.instructions, Ordering::Relaxed);
+            self.busy_nanos.fetch_add(result.wall.as_nanos() as u64, Ordering::Relaxed);
+            cache.insert(*key, result);
+        }
+
+        // Assemble results in submission order. The first occurrence of a
+        // freshly simulated point reports from_cache = false; everything
+        // else (cache hits and intra-batch duplicates) reports true.
+        let mut first_use: Vec<u64> = Vec::new();
+        keys.iter()
+            .map(|key| {
+                let mut result = cache.get(key).expect("every key was simulated or cached").clone();
+                let fresh_now = fresh.iter().any(|&(k, _)| k == *key) && !first_use.contains(key);
+                if fresh_now {
+                    first_use.push(*key);
+                } else {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                result.from_cache = !fresh_now;
+                result
+            })
+            .collect()
+    }
+
+    /// Convenience over [`Runner::run_all`] when only the metrics matter.
+    pub fn run_metrics(&self, reqs: &[RunRequest]) -> Vec<RunMetrics> {
+        self.run_all(reqs).into_iter().map(|r| r.metrics).collect()
+    }
+
+    /// Aggregate cache and throughput counters.
+    pub fn stats(&self) -> RunnerStats {
+        RunnerStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            simulated_instructions: self.simulated_instructions.load(Ordering::Relaxed),
+            busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Points currently memoized.
+    pub fn cached_points(&self) -> usize {
+        self.cache.lock().expect("run cache poisoned").len()
+    }
+
+    /// Simulates the given distinct points, returning results in the same
+    /// order. Runs inline for one worker, otherwise fans out over an mpsc
+    /// work queue shared by `min(jobs, points)` threads.
+    fn simulate_batch(&self, fresh: &[(u64, &RunRequest)]) -> Vec<RunResult> {
+        let workers = self.jobs.min(fresh.len());
+        if workers <= 1 {
+            return fresh.iter().map(|&(_, req)| req.execute()).collect();
+        }
+
+        let (job_tx, job_rx) = mpsc::channel::<(usize, &RunRequest)>();
+        let job_rx = Mutex::new(job_rx);
+        let (result_tx, result_rx) = mpsc::channel::<(usize, RunResult)>();
+        for (idx, &(_, req)) in fresh.iter().enumerate() {
+            job_tx.send((idx, req)).expect("receiver outlives submission");
+        }
+        drop(job_tx);
+
+        let mut results: Vec<Option<RunResult>> = vec![None; fresh.len()];
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = &job_rx;
+                let result_tx = result_tx.clone();
+                scope.spawn(move || loop {
+                    // Hold the queue lock only for the dequeue, not the
+                    // simulation.
+                    let job = job_rx.lock().expect("job queue poisoned").recv();
+                    match job {
+                        Ok((idx, req)) => {
+                            let result = req.execute();
+                            if result_tx.send((idx, result)).is_err() {
+                                return;
+                            }
+                        }
+                        Err(_) => return,
+                    }
+                });
+            }
+            drop(result_tx);
+            // Reassemble in submission order as workers finish.
+            for (idx, result) in result_rx {
+                results[idx] = Some(result);
+            }
+        });
+        results.into_iter().map(|r| r.expect("every job completed")).collect()
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::with_default_parallelism()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_request() -> RunRequest {
+        RunRequest::new(Workload::TpcC1, TraceScale::tiny(), SimConfig::tiny_test())
+    }
+
+    #[test]
+    fn stable_key_is_reproducible_and_field_sensitive() {
+        let base = tiny_request();
+        assert_eq!(base.stable_key(), tiny_request().stable_key());
+        assert_ne!(base.stable_key(), base.clone().with_mode(SchedulerMode::Slicc).stable_key());
+        assert_ne!(base.stable_key(), base.clone().with_seed(99).stable_key());
+        assert_ne!(base.stable_key(), base.clone().with_tasks(3).stable_key());
+        let other_workload = RunRequest::new(Workload::TpcE, TraceScale::tiny(), SimConfig::tiny_test());
+        assert_ne!(base.stable_key(), other_workload.stable_key());
+        let mut other_cfg = tiny_request();
+        other_cfg.config.seed ^= 1;
+        assert_ne!(base.stable_key(), other_cfg.stable_key());
+    }
+
+    #[test]
+    fn overrides_change_the_spec_not_just_the_key() {
+        let req = tiny_request().with_tasks(2).with_seed(7);
+        let scale = req.effective_scale();
+        assert_eq!(scale.tasks, 2);
+        assert_eq!(scale.seed, 7);
+        assert_eq!(req.spec().num_tasks, 2);
+    }
+
+    #[test]
+    fn cache_hits_identical_request() {
+        let runner = Runner::new(1);
+        let req = tiny_request();
+        let first = runner.run(&req);
+        let second = runner.run(&req);
+        assert!(!first.from_cache);
+        assert!(second.from_cache);
+        assert_eq!(format!("{:?}", first.metrics), format!("{:?}", second.metrics));
+        let stats = runner.stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(runner.cached_points(), 1);
+    }
+
+    #[test]
+    fn cache_misses_when_any_field_differs() {
+        let runner = Runner::new(1);
+        let base = tiny_request();
+        runner.run(&base);
+        runner.run(&base.clone().with_mode(SchedulerMode::Slicc));
+        runner.run(&base.clone().with_seed(123));
+        let mut policy_seed = base.clone();
+        policy_seed.config.seed ^= 1;
+        runner.run(&policy_seed);
+        let stats = runner.stats();
+        assert_eq!(stats.cache_misses, 4, "each distinct request must simulate");
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn batch_deduplicates_repeated_points() {
+        let runner = Runner::new(2);
+        let base = tiny_request();
+        let slicc = base.clone().with_mode(SchedulerMode::Slicc);
+        let results = runner.run_all(&[base.clone(), slicc.clone(), base.clone(), slicc]);
+        assert_eq!(results.len(), 4);
+        assert_eq!(runner.stats().cache_misses, 2, "two distinct points in the batch");
+        assert!(!results[0].from_cache);
+        assert!(!results[1].from_cache);
+        assert!(results[2].from_cache);
+        assert!(results[3].from_cache);
+        assert_eq!(format!("{:?}", results[0].metrics), format!("{:?}", results[2].metrics));
+        assert_eq!(format!("{:?}", results[1].metrics), format!("{:?}", results[3].metrics));
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let runner = Runner::new(4);
+        let reqs: Vec<RunRequest> = [
+            SchedulerMode::Baseline,
+            SchedulerMode::Slicc,
+            SchedulerMode::SliccSw,
+            SchedulerMode::Steps,
+        ]
+        .iter()
+        .map(|&m| tiny_request().with_mode(m))
+        .collect();
+        let results = runner.run_all(&reqs);
+        for (req, result) in reqs.iter().zip(&results) {
+            assert_eq!(result.metrics.mode, req.mode().name(), "result out of submission order");
+        }
+    }
+
+    #[test]
+    fn observability_counters_accumulate() {
+        let runner = Runner::new(1);
+        let result = runner.run(&tiny_request());
+        let stats = runner.stats();
+        assert_eq!(stats.simulated_instructions, result.metrics.instructions);
+        assert!(stats.busy_nanos > 0);
+        assert!(stats.sim_ips() > 0.0);
+    }
+}

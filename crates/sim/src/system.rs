@@ -14,7 +14,7 @@ use slicc_cache::{
     AccessKind, BloomSignature, Cache, EvictedBlock, MissBreakdown, NextLinePrefetcher, Pif,
     SignatureAccuracy, ThreeCClassifier,
 };
-use slicc_common::{BlockAddr, CoreId, Cycle};
+use slicc_common::{BlockAddr, CoreId, Cycle, Merge};
 use slicc_core::CoreMask;
 use slicc_cpu::{CoreStats, CoreTimer, Tlb};
 use slicc_mem::{Dram, L2AccessKind, L2Nuca, L2Response};
@@ -407,26 +407,12 @@ impl System {
             out.d_misses += ctx.l1d.stats().misses;
             out.i_accesses += ctx.l1i.stats().accesses;
             out.d_accesses += ctx.l1d.stats().accesses;
-            let s = ctx.timer.stats();
-            core_stats.instructions += s.instructions;
-            core_stats.base_cycles += s.base_cycles;
-            core_stats.ifetch_stall_cycles += s.ifetch_stall_cycles;
-            core_stats.fetch_latency_cycles += s.fetch_latency_cycles;
-            core_stats.tlb_walk_cycles += s.tlb_walk_cycles;
-            core_stats.data_stall_cycles += s.data_stall_cycles;
-            core_stats.migration_cycles += s.migration_cycles;
-            core_stats.idle_cycles += s.idle_cycles;
+            core_stats.merge(ctx.timer.stats());
             if let Some(c) = &ctx.i_classifier {
-                let b = c.breakdown();
-                i_bd.compulsory += b.compulsory;
-                i_bd.conflict += b.conflict;
-                i_bd.capacity += b.capacity;
+                i_bd.merge(&c.breakdown());
             }
             if let Some(c) = &ctx.d_classifier {
-                let b = c.breakdown();
-                d_bd.compulsory += b.compulsory;
-                d_bd.conflict += b.conflict;
-                d_bd.capacity += b.capacity;
+                d_bd.merge(&c.breakdown());
             }
         }
         out.core_stats = core_stats;

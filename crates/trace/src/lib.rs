@@ -38,7 +38,9 @@
 pub mod access;
 pub mod builder;
 pub mod codec;
-#[cfg(test)]
+// Gated like slicc-common's property tests: re-add the `proptest` dev-dep
+// and enable the `proptest` feature to run (DESIGN.md §5).
+#[cfg(all(test, feature = "proptest"))]
 mod proptests;
 pub mod segment;
 pub mod stats;

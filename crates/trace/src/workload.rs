@@ -35,6 +35,14 @@ pub struct TraceScale {
     pub seed: u64,
 }
 
+impl slicc_common::StableHash for TraceScale {
+    fn stable_hash(&self, h: &mut slicc_common::StableHasher) {
+        self.tasks.stable_hash(h);
+        self.segment_blocks.stable_hash(h);
+        self.seed.stable_hash(h);
+    }
+}
+
 impl TraceScale {
     /// The default evaluation scale (~20–30M instructions per workload).
     pub fn paper_like() -> Self {
@@ -295,6 +303,19 @@ impl Workload {
             Workload::TpcE => tpce_spec(scale),
             Workload::MapReduce => mapreduce_spec(scale),
         }
+    }
+}
+
+impl slicc_common::StableHash for Workload {
+    fn stable_hash(&self, h: &mut slicc_common::StableHasher) {
+        // Explicit ordinals so run-cache keys survive declaration reorder.
+        let ordinal: u64 = match self {
+            Workload::TpcC1 => 0,
+            Workload::TpcC10 => 1,
+            Workload::TpcE => 2,
+            Workload::MapReduce => 3,
+        };
+        ordinal.stable_hash(h);
     }
 }
 

@@ -1,6 +1,10 @@
 fn main() {
-    let spec = slicc_trace::Workload::TpcC1.spec(slicc_trace::TraceScale::small());
-    let m = slicc_sim::run(&spec, &slicc_sim::SimConfig::paper_baseline().with_classification());
+    let req = slicc_sim::RunRequest::new(
+        slicc_trace::Workload::TpcC1,
+        slicc_trace::TraceScale::small(),
+        slicc_sim::SimConfig::paper_baseline().with_classification(),
+    );
+    let m = req.execute().metrics;
     println!("I-MPKI {:.2} D-MPKI {:.2}", m.i_mpki(), m.d_mpki());
     println!("I breakdown: {:?}", m.i_breakdown);
     println!("D breakdown: {:?}", m.d_breakdown);

@@ -13,7 +13,7 @@
 //! paper's §3.3 claim that the instruction-miss savings outweigh the
 //! data-miss and migration costs.
 
-use slicc_sim::{run, RunMetrics, SchedulerMode, SimConfig};
+use slicc_sim::{RunMetrics, RunRequest, Runner, SchedulerMode, SimConfig};
 use slicc_trace::{TraceScale, Workload};
 
 fn pick_workload() -> Workload {
@@ -54,10 +54,11 @@ fn main() {
         "{:<10} {:>7} {:>7} | {:>5} {:>6} {:>6} {:>5} {:>5} {:>5} | {:>6} {:>6} {:>8}",
         "mode", "I-MPKI", "D-MPKI", "base%", "istal%", "dstal%", "flat%", "mig%", "idle%", "mig/KI", "BPKI", "speedup"
     );
-    let base = run(&spec, &SimConfig::paper_baseline());
-    row(&base, &base);
-    for mode in [SchedulerMode::Slicc, SchedulerMode::SliccPp, SchedulerMode::SliccSw] {
-        let m = run(&spec, &SimConfig::paper_baseline().with_mode(mode));
-        row(&m, &base);
+    // Four independent points, fanned across host cores.
+    let point = RunRequest::new(workload, TraceScale::small(), SimConfig::paper_baseline());
+    let reqs: Vec<RunRequest> = SchedulerMode::ALL.iter().map(|&m| point.clone().with_mode(m)).collect();
+    let results = Runner::with_default_parallelism().run_metrics(&reqs);
+    for m in &results {
+        row(m, &results[0]);
     }
 }

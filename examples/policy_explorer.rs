@@ -14,7 +14,7 @@
 //! all.
 
 use slicc_cache::PolicyKind;
-use slicc_sim::{run, SchedulerMode, SimConfig};
+use slicc_sim::{RunRequest, Runner, SchedulerMode, SimConfig};
 use slicc_trace::{TraceScale, Workload};
 
 fn pick_workload() -> Workload {
@@ -27,28 +27,36 @@ fn pick_workload() -> Workload {
 }
 
 fn main() {
-    let spec = pick_workload().spec(TraceScale::small());
-    println!("workload: {}\n", spec.name);
+    let point =
+        RunRequest::new(pick_workload(), TraceScale::small(), SimConfig::paper_baseline());
+    println!("workload: {}\n", point.spec().name);
     println!("{:<22} {:>8} {:>10} {:>9}", "configuration", "I-MPKI", "cycles", "speedup");
 
-    let base = run(&spec, &SimConfig::paper_baseline());
-    for policy in PolicyKind::ALL {
-        let m = run(&spec, &SimConfig::paper_baseline().with_policy(policy));
+    // Every policy plus the SLICC-SW point: nine independent simulations,
+    // fanned across host cores. The LRU point doubles as the baseline.
+    let mut reqs = vec![point.clone()];
+    reqs.extend(PolicyKind::ALL.map(|policy| {
+        RunRequest::new(point.workload, TraceScale::small(), SimConfig::paper_baseline().with_policy(policy))
+    }));
+    reqs.push(point.clone().with_mode(SchedulerMode::SliccSw));
+    let results = Runner::with_default_parallelism().run_metrics(&reqs);
+    let base = &results[0];
+    for (policy, m) in PolicyKind::ALL.iter().zip(&results[1..]) {
         println!(
             "{:<22} {:>8.2} {:>10} {:>8.2}x",
             format!("baseline + {policy}"),
             m.i_mpki(),
             m.cycles,
-            m.speedup_over(&base)
+            m.speedup_over(base)
         );
     }
-    let slicc = run(&spec, &SimConfig::paper_baseline().with_mode(SchedulerMode::SliccSw));
+    let slicc = results.last().expect("SLICC-SW result");
     println!(
         "{:<22} {:>8.2} {:>10} {:>8.2}x",
         "SLICC-SW (LRU)",
         slicc.i_mpki(),
         slicc.cycles,
-        slicc.speedup_over(&base)
+        slicc.speedup_over(base)
     );
     println!(
         "\nReplacement policies recover a few percent; migration recovers {:.0}% of instruction misses.",

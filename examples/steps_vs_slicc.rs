@@ -16,7 +16,7 @@
 //! matches or beats SLICC on instruction misses but pays with data-cache
 //! pile-up and serialized execution.
 
-use slicc_sim::{run, RunMetrics, SchedulerMode, SimConfig};
+use slicc_sim::{RunMetrics, RunRequest, Runner, SchedulerMode, SimConfig};
 use slicc_trace::{TraceScale, Workload};
 
 fn pick_workload() -> Workload {
@@ -39,16 +39,22 @@ fn row(m: &RunMetrics, base: &RunMetrics) {
 }
 
 fn main() {
-    let spec = pick_workload().spec(TraceScale::small());
-    println!("workload: {}\n", spec.name);
+    let point = RunRequest::new(pick_workload(), TraceScale::small(), SimConfig::paper_baseline());
+    println!("workload: {}\n", point.spec().name);
     println!("{:<9} {:>7} {:>7} {:>11} {:>10}", "mode", "I-MPKI", "D-MPKI", "moves", "speedup");
 
-    let base = run(&spec, &SimConfig::paper_baseline());
-    row(&base, &base);
-    let steps = run(&spec, &SimConfig::paper_baseline().with_mode(SchedulerMode::Steps));
-    row(&steps, &base);
-    let slicc = run(&spec, &SimConfig::paper_baseline().with_mode(SchedulerMode::SliccSw));
-    row(&slicc, &base);
+    // Three independent points, fanned across host cores.
+    let results = Runner::with_default_parallelism().run_metrics(&[
+        point.clone(),
+        point.clone().with_mode(SchedulerMode::Steps),
+        point.clone().with_mode(SchedulerMode::SliccSw),
+    ]);
+    let [base, steps, slicc] = &results[..] else {
+        unreachable!("three requests produce three results");
+    };
+    row(base, base);
+    row(steps, base);
+    row(slicc, base);
 
     println!();
     println!(

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-853d3a1952cdb2d4.d: crates/sim/../../tests/cli.rs
+
+/root/repo/target/debug/deps/cli-853d3a1952cdb2d4: crates/sim/../../tests/cli.rs
+
+crates/sim/../../tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_slicc=/root/repo/target/debug/slicc

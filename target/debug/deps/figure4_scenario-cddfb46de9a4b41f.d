@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4_scenario-cddfb46de9a4b41f.d: crates/sim/../../tests/figure4_scenario.rs
+
+/root/repo/target/debug/deps/figure4_scenario-cddfb46de9a4b41f: crates/sim/../../tests/figure4_scenario.rs
+
+crates/sim/../../tests/figure4_scenario.rs:

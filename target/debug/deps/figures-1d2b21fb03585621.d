@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-1d2b21fb03585621.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-1d2b21fb03585621: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-1dac52d350633d28.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-1dac52d350633d28: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-37fdf777014e3f39.d: crates/sim/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-37fdf777014e3f39: crates/sim/../../tests/integration.rs
+
+crates/sim/../../tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runner-001b253bec2f52d7.d: crates/sim/../../tests/runner.rs
+
+/root/repo/target/debug/deps/runner-001b253bec2f52d7: crates/sim/../../tests/runner.rs
+
+crates/sim/../../tests/runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slicc-bc0bc73ffcb1b83d.d: crates/sim/src/bin/slicc.rs
+
+/root/repo/target/debug/deps/slicc-bc0bc73ffcb1b83d: crates/sim/src/bin/slicc.rs
+
+crates/sim/src/bin/slicc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slicc-c7bab33f2076c43e.d: crates/sim/src/bin/slicc.rs
+
+/root/repo/target/debug/deps/slicc-c7bab33f2076c43e: crates/sim/src/bin/slicc.rs
+
+crates/sim/src/bin/slicc.rs:

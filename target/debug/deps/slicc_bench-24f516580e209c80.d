@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/slicc_bench-24f516580e209c80.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/microbench.rs
+
+/root/repo/target/debug/deps/slicc_bench-24f516580e209c80: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/microbench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:
+crates/bench/src/microbench.rs:

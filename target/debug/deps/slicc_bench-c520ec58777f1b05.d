@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/slicc_bench-c520ec58777f1b05.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/microbench.rs
+
+/root/repo/target/debug/deps/libslicc_bench-c520ec58777f1b05.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/microbench.rs
+
+/root/repo/target/debug/deps/libslicc_bench-c520ec58777f1b05.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/microbench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:
+crates/bench/src/microbench.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/slicc_cache-0f25bf30235c8436.d: crates/cache/src/lib.rs crates/cache/src/bloom.rs crates/cache/src/cache.rs crates/cache/src/classify.rs crates/cache/src/lru_list.rs crates/cache/src/mshr.rs crates/cache/src/pif.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs
+
+/root/repo/target/debug/deps/libslicc_cache-0f25bf30235c8436.rlib: crates/cache/src/lib.rs crates/cache/src/bloom.rs crates/cache/src/cache.rs crates/cache/src/classify.rs crates/cache/src/lru_list.rs crates/cache/src/mshr.rs crates/cache/src/pif.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs
+
+/root/repo/target/debug/deps/libslicc_cache-0f25bf30235c8436.rmeta: crates/cache/src/lib.rs crates/cache/src/bloom.rs crates/cache/src/cache.rs crates/cache/src/classify.rs crates/cache/src/lru_list.rs crates/cache/src/mshr.rs crates/cache/src/pif.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/bloom.rs:
+crates/cache/src/cache.rs:
+crates/cache/src/classify.rs:
+crates/cache/src/lru_list.rs:
+crates/cache/src/mshr.rs:
+crates/cache/src/pif.rs:
+crates/cache/src/policy.rs:
+crates/cache/src/prefetch.rs:
+crates/cache/src/stats.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/slicc_cache-d23468df8e0592c1.d: crates/cache/src/lib.rs crates/cache/src/bloom.rs crates/cache/src/cache.rs crates/cache/src/classify.rs crates/cache/src/lru_list.rs crates/cache/src/mshr.rs crates/cache/src/pif.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs
+
+/root/repo/target/debug/deps/slicc_cache-d23468df8e0592c1: crates/cache/src/lib.rs crates/cache/src/bloom.rs crates/cache/src/cache.rs crates/cache/src/classify.rs crates/cache/src/lru_list.rs crates/cache/src/mshr.rs crates/cache/src/pif.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/bloom.rs:
+crates/cache/src/cache.rs:
+crates/cache/src/classify.rs:
+crates/cache/src/lru_list.rs:
+crates/cache/src/mshr.rs:
+crates/cache/src/pif.rs:
+crates/cache/src/policy.rs:
+crates/cache/src/prefetch.rs:
+crates/cache/src/stats.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/slicc_core-2d8a52dac9f1b68a.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/hw_cost.rs crates/core/src/mask.rs crates/core/src/mc.rs crates/core/src/msv.rs crates/core/src/mtq.rs crates/core/src/params.rs crates/core/src/scout.rs crates/core/src/team.rs
+
+/root/repo/target/debug/deps/slicc_core-2d8a52dac9f1b68a: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/hw_cost.rs crates/core/src/mask.rs crates/core/src/mc.rs crates/core/src/msv.rs crates/core/src/mtq.rs crates/core/src/params.rs crates/core/src/scout.rs crates/core/src/team.rs
+
+crates/core/src/lib.rs:
+crates/core/src/agent.rs:
+crates/core/src/hw_cost.rs:
+crates/core/src/mask.rs:
+crates/core/src/mc.rs:
+crates/core/src/msv.rs:
+crates/core/src/mtq.rs:
+crates/core/src/params.rs:
+crates/core/src/scout.rs:
+crates/core/src/team.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/slicc_cpu-1f9f9479dbbab42d.d: crates/cpu/src/lib.rs crates/cpu/src/migration.rs crates/cpu/src/timing.rs crates/cpu/src/tlb.rs
+
+/root/repo/target/debug/deps/slicc_cpu-1f9f9479dbbab42d: crates/cpu/src/lib.rs crates/cpu/src/migration.rs crates/cpu/src/timing.rs crates/cpu/src/tlb.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/migration.rs:
+crates/cpu/src/timing.rs:
+crates/cpu/src/tlb.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/slicc_cpu-302f3e1b330bb20d.d: crates/cpu/src/lib.rs crates/cpu/src/migration.rs crates/cpu/src/timing.rs crates/cpu/src/tlb.rs
+
+/root/repo/target/debug/deps/libslicc_cpu-302f3e1b330bb20d.rlib: crates/cpu/src/lib.rs crates/cpu/src/migration.rs crates/cpu/src/timing.rs crates/cpu/src/tlb.rs
+
+/root/repo/target/debug/deps/libslicc_cpu-302f3e1b330bb20d.rmeta: crates/cpu/src/lib.rs crates/cpu/src/migration.rs crates/cpu/src/timing.rs crates/cpu/src/tlb.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/migration.rs:
+crates/cpu/src/timing.rs:
+crates/cpu/src/tlb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slicc_mem-05024bc9cb3b61d9.d: crates/mem/src/lib.rs crates/mem/src/dram.rs crates/mem/src/l2.rs
+
+/root/repo/target/debug/deps/libslicc_mem-05024bc9cb3b61d9.rlib: crates/mem/src/lib.rs crates/mem/src/dram.rs crates/mem/src/l2.rs
+
+/root/repo/target/debug/deps/libslicc_mem-05024bc9cb3b61d9.rmeta: crates/mem/src/lib.rs crates/mem/src/dram.rs crates/mem/src/l2.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/l2.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/slicc_mem-dbe100df3c17731a.d: crates/mem/src/lib.rs crates/mem/src/dram.rs crates/mem/src/l2.rs
+
+/root/repo/target/debug/deps/slicc_mem-dbe100df3c17731a: crates/mem/src/lib.rs crates/mem/src/dram.rs crates/mem/src/l2.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/l2.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/slicc_noc-19d48e9a66a21cc0.d: crates/noc/src/lib.rs crates/noc/src/stats.rs crates/noc/src/torus.rs
+
+/root/repo/target/debug/deps/slicc_noc-19d48e9a66a21cc0: crates/noc/src/lib.rs crates/noc/src/stats.rs crates/noc/src/torus.rs
+
+crates/noc/src/lib.rs:
+crates/noc/src/stats.rs:
+crates/noc/src/torus.rs:

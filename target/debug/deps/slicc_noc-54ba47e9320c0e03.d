@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slicc_noc-54ba47e9320c0e03.d: crates/noc/src/lib.rs crates/noc/src/stats.rs crates/noc/src/torus.rs
+
+/root/repo/target/debug/deps/libslicc_noc-54ba47e9320c0e03.rlib: crates/noc/src/lib.rs crates/noc/src/stats.rs crates/noc/src/torus.rs
+
+/root/repo/target/debug/deps/libslicc_noc-54ba47e9320c0e03.rmeta: crates/noc/src/lib.rs crates/noc/src/stats.rs crates/noc/src/torus.rs
+
+crates/noc/src/lib.rs:
+crates/noc/src/stats.rs:
+crates/noc/src/torus.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/slicc_trace-61328b0d17211ac5.d: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/builder.rs crates/trace/src/codec.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/thread_gen.rs crates/trace/src/validate.rs crates/trace/src/workload.rs
+
+/root/repo/target/debug/deps/libslicc_trace-61328b0d17211ac5.rlib: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/builder.rs crates/trace/src/codec.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/thread_gen.rs crates/trace/src/validate.rs crates/trace/src/workload.rs
+
+/root/repo/target/debug/deps/libslicc_trace-61328b0d17211ac5.rmeta: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/builder.rs crates/trace/src/codec.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/thread_gen.rs crates/trace/src/validate.rs crates/trace/src/workload.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/access.rs:
+crates/trace/src/builder.rs:
+crates/trace/src/codec.rs:
+crates/trace/src/segment.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/thread_gen.rs:
+crates/trace/src/validate.rs:
+crates/trace/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/slicc_trace-e3d8becde599defb.d: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/builder.rs crates/trace/src/codec.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/thread_gen.rs crates/trace/src/validate.rs crates/trace/src/workload.rs
+
+/root/repo/target/debug/deps/slicc_trace-e3d8becde599defb: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/builder.rs crates/trace/src/codec.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/thread_gen.rs crates/trace/src/validate.rs crates/trace/src/workload.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/access.rs:
+crates/trace/src/builder.rs:
+crates/trace/src/codec.rs:
+crates/trace/src/segment.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/thread_gen.rs:
+crates/trace/src/validate.rs:
+crates/trace/src/workload.rs:

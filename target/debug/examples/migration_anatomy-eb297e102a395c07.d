@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/migration_anatomy-eb297e102a395c07.d: crates/sim/../../examples/migration_anatomy.rs
+
+/root/repo/target/debug/examples/migration_anatomy-eb297e102a395c07: crates/sim/../../examples/migration_anatomy.rs
+
+crates/sim/../../examples/migration_anatomy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_explorer-81d24be83113eb62.d: crates/sim/../../examples/policy_explorer.rs
+
+/root/repo/target/debug/examples/policy_explorer-81d24be83113eb62: crates/sim/../../examples/policy_explorer.rs
+
+crates/sim/../../examples/policy_explorer.rs:

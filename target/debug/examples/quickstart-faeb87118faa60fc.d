@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-faeb87118faa60fc.d: crates/sim/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-faeb87118faa60fc: crates/sim/../../examples/quickstart.rs
+
+crates/sim/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/steps_vs_slicc-a8d8181c1a6a029e.d: crates/sim/../../examples/steps_vs_slicc.rs
+
+/root/repo/target/debug/examples/steps_vs_slicc-a8d8181c1a6a029e: crates/sim/../../examples/steps_vs_slicc.rs
+
+crates/sim/../../examples/steps_vs_slicc.rs:

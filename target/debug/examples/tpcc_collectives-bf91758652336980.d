@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tpcc_collectives-bf91758652336980.d: crates/sim/../../examples/tpcc_collectives.rs
+
+/root/repo/target/debug/examples/tpcc_collectives-bf91758652336980: crates/sim/../../examples/tpcc_collectives.rs
+
+crates/sim/../../examples/tpcc_collectives.rs:

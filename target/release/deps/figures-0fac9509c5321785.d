@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-0fac9509c5321785.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-0fac9509c5321785: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator-7718d7640522e284.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/release/deps/simulator-7718d7640522e284: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

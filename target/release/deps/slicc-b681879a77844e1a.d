@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/slicc-b681879a77844e1a.d: crates/sim/src/bin/slicc.rs
+
+/root/repo/target/release/deps/slicc-b681879a77844e1a: crates/sim/src/bin/slicc.rs
+
+crates/sim/src/bin/slicc.rs:

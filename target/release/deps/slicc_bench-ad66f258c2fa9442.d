@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/slicc_bench-ad66f258c2fa9442.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/microbench.rs
+
+/root/repo/target/release/deps/libslicc_bench-ad66f258c2fa9442.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/microbench.rs
+
+/root/repo/target/release/deps/libslicc_bench-ad66f258c2fa9442.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/microbench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:
+crates/bench/src/microbench.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/slicc_cache-ef659269cb2803bc.d: crates/cache/src/lib.rs crates/cache/src/bloom.rs crates/cache/src/cache.rs crates/cache/src/classify.rs crates/cache/src/lru_list.rs crates/cache/src/mshr.rs crates/cache/src/pif.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs
+
+/root/repo/target/release/deps/libslicc_cache-ef659269cb2803bc.rlib: crates/cache/src/lib.rs crates/cache/src/bloom.rs crates/cache/src/cache.rs crates/cache/src/classify.rs crates/cache/src/lru_list.rs crates/cache/src/mshr.rs crates/cache/src/pif.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs
+
+/root/repo/target/release/deps/libslicc_cache-ef659269cb2803bc.rmeta: crates/cache/src/lib.rs crates/cache/src/bloom.rs crates/cache/src/cache.rs crates/cache/src/classify.rs crates/cache/src/lru_list.rs crates/cache/src/mshr.rs crates/cache/src/pif.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/bloom.rs:
+crates/cache/src/cache.rs:
+crates/cache/src/classify.rs:
+crates/cache/src/lru_list.rs:
+crates/cache/src/mshr.rs:
+crates/cache/src/pif.rs:
+crates/cache/src/policy.rs:
+crates/cache/src/prefetch.rs:
+crates/cache/src/stats.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/slicc_core-0d20db2802f653b3.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/hw_cost.rs crates/core/src/mask.rs crates/core/src/mc.rs crates/core/src/msv.rs crates/core/src/mtq.rs crates/core/src/params.rs crates/core/src/scout.rs crates/core/src/team.rs
+
+/root/repo/target/release/deps/libslicc_core-0d20db2802f653b3.rlib: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/hw_cost.rs crates/core/src/mask.rs crates/core/src/mc.rs crates/core/src/msv.rs crates/core/src/mtq.rs crates/core/src/params.rs crates/core/src/scout.rs crates/core/src/team.rs
+
+/root/repo/target/release/deps/libslicc_core-0d20db2802f653b3.rmeta: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/hw_cost.rs crates/core/src/mask.rs crates/core/src/mc.rs crates/core/src/msv.rs crates/core/src/mtq.rs crates/core/src/params.rs crates/core/src/scout.rs crates/core/src/team.rs
+
+crates/core/src/lib.rs:
+crates/core/src/agent.rs:
+crates/core/src/hw_cost.rs:
+crates/core/src/mask.rs:
+crates/core/src/mc.rs:
+crates/core/src/msv.rs:
+crates/core/src/mtq.rs:
+crates/core/src/params.rs:
+crates/core/src/scout.rs:
+crates/core/src/team.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/slicc_cpu-611bed43df0ec743.d: crates/cpu/src/lib.rs crates/cpu/src/migration.rs crates/cpu/src/timing.rs crates/cpu/src/tlb.rs
+
+/root/repo/target/release/deps/libslicc_cpu-611bed43df0ec743.rlib: crates/cpu/src/lib.rs crates/cpu/src/migration.rs crates/cpu/src/timing.rs crates/cpu/src/tlb.rs
+
+/root/repo/target/release/deps/libslicc_cpu-611bed43df0ec743.rmeta: crates/cpu/src/lib.rs crates/cpu/src/migration.rs crates/cpu/src/timing.rs crates/cpu/src/tlb.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/migration.rs:
+crates/cpu/src/timing.rs:
+crates/cpu/src/tlb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/slicc_mem-20acaf9b985e5a7f.d: crates/mem/src/lib.rs crates/mem/src/dram.rs crates/mem/src/l2.rs
+
+/root/repo/target/release/deps/libslicc_mem-20acaf9b985e5a7f.rlib: crates/mem/src/lib.rs crates/mem/src/dram.rs crates/mem/src/l2.rs
+
+/root/repo/target/release/deps/libslicc_mem-20acaf9b985e5a7f.rmeta: crates/mem/src/lib.rs crates/mem/src/dram.rs crates/mem/src/l2.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/l2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/slicc_noc-ca5607ec1623ffa3.d: crates/noc/src/lib.rs crates/noc/src/stats.rs crates/noc/src/torus.rs
+
+/root/repo/target/release/deps/libslicc_noc-ca5607ec1623ffa3.rlib: crates/noc/src/lib.rs crates/noc/src/stats.rs crates/noc/src/torus.rs
+
+/root/repo/target/release/deps/libslicc_noc-ca5607ec1623ffa3.rmeta: crates/noc/src/lib.rs crates/noc/src/stats.rs crates/noc/src/torus.rs
+
+crates/noc/src/lib.rs:
+crates/noc/src/stats.rs:
+crates/noc/src/torus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/structures-cba488840cb59e66.d: crates/bench/benches/structures.rs
+
+/root/repo/target/release/deps/structures-cba488840cb59e66: crates/bench/benches/structures.rs
+
+crates/bench/benches/structures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-559bc0b02ac014ee.d: crates/sim/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-559bc0b02ac014ee: crates/sim/../../examples/quickstart.rs
+
+crates/sim/../../examples/quickstart.rs:

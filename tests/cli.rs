@@ -1,0 +1,78 @@
+//! Smoke tests for the `slicc` binary: the CLI must keep exiting 0 with
+//! parseable output on a tiny workload, printing real help, and naming the
+//! offending option on usage errors.
+
+use std::process::Command;
+
+fn slicc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_slicc"))
+}
+
+#[test]
+fn tiny_run_exits_zero_with_parseable_output() {
+    let out = slicc()
+        .args(["--workload", "tpcc1", "--scale", "tiny", "--mode", "slicc", "--tasks", "4"])
+        .output()
+        .expect("failed to spawn slicc");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("stdout must be UTF-8");
+
+    // Every report line is `key value`; pick out the counters and check
+    // they parse as numbers.
+    let field = |name: &str| -> String {
+        stdout
+            .lines()
+            .find(|l| l.starts_with(name))
+            .unwrap_or_else(|| panic!("missing '{name}' in output:\n{stdout}"))
+            .split_whitespace()
+            .nth(1)
+            .expect("field has a value")
+            .to_string()
+    };
+    assert_eq!(field("workload"), "TPC-C-1");
+    assert_eq!(field("mode"), "SLICC");
+    let instructions: u64 = field("instructions").parse().expect("instructions is a number");
+    assert!(instructions > 0);
+    let cycles: u64 = field("cycles").parse().expect("cycles is a number");
+    assert!(cycles > 0);
+    let i_mpki: f64 = field("I-MPKI").parse().expect("I-MPKI is a number");
+    assert!(i_mpki >= 0.0);
+}
+
+#[test]
+fn help_exits_zero_and_lists_options() {
+    let out = slicc().arg("--help").output().expect("failed to spawn slicc");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for opt in ["--workload", "--mode", "--scale", "--baseline-compare"] {
+        assert!(stdout.contains(opt), "help must document {opt}");
+    }
+}
+
+#[test]
+fn unknown_option_exits_two_and_names_it() {
+    let out = slicc().arg("--frobnicate").output().expect("failed to spawn slicc");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--frobnicate"), "stderr must name the option, got: {stderr}");
+}
+
+#[test]
+fn bad_value_exits_two_and_names_the_option() {
+    let out = slicc().args(["--tasks", "lots"]).output().expect("failed to spawn slicc");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--tasks"), "stderr must name the option, got: {stderr}");
+    assert!(stderr.contains("lots"), "stderr must echo the bad value, got: {stderr}");
+}
+
+#[test]
+fn baseline_compare_reports_speedup() {
+    let out = slicc()
+        .args(["--scale", "tiny", "--tasks", "4", "--baseline-compare"])
+        .output()
+        .expect("failed to spawn slicc");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("speedup"), "missing speedup line:\n{stdout}");
+}

@@ -12,7 +12,6 @@
 //! (T1 returning to A hits the core that still caches A), inter-thread
 //! reuse (T2 reuses the blocks T1 loaded), and collective assembly.
 
-use slicc_common::ThreadId;
 use slicc_sim::{run, Engine, SchedulerMode, SimConfig};
 use slicc_trace::{TraceScale, WorkloadBuilder, WorkloadSpec};
 

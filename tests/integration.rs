@@ -1,27 +1,46 @@
 //! End-to-end integration tests across the whole workspace: workload
 //! generation -> full-system simulation -> metrics, for every scheduling
 //! mode and every Table-1 workload, at miniature scale.
+//!
+//! Every run is constructed through the typed [`RunRequest`] entry point
+//! (with [`SimConfigBuilder`] for non-preset machines), the same path the
+//! CLI and the figure harness use.
 
 use slicc_cache::PolicyKind;
-use slicc_sim::{run, RunMetrics, SchedulerMode, SimConfig};
+use slicc_sim::{RunMetrics, RunRequest, SchedulerMode, SimConfig, SimConfigBuilder};
 use slicc_trace::{TraceScale, Workload};
 
-fn tiny(mode: SchedulerMode) -> SimConfig {
-    SimConfig::tiny_test().with_mode(mode)
+/// Executes one request and returns its metrics.
+fn sim(req: RunRequest) -> RunMetrics {
+    req.execute().metrics
+}
+
+/// A tiny-machine, tiny-trace request for `workload` under `mode`.
+fn tiny(workload: Workload, mode: SchedulerMode) -> RunRequest {
+    RunRequest::new(workload, TraceScale::tiny(), SimConfig::tiny_test().with_mode(mode))
 }
 
 fn run_tiny(workload: Workload, mode: SchedulerMode) -> RunMetrics {
-    let spec = workload.spec(TraceScale::tiny());
-    run(&spec, &tiny(mode))
+    sim(tiny(workload, mode))
+}
+
+/// The tiny-machine PIF analogue: far more capacity than the whole
+/// workload's code, at unchanged latency.
+fn tiny_pif_bound() -> SimConfig {
+    SimConfigBuilder::tiny_test()
+        .l1i_size(256 * 1024)
+        .tweak(|c| c.l1i_latency_override = Some(3))
+        .build()
+        .expect("PIF-bound machine is valid")
 }
 
 #[test]
 fn every_workload_completes_under_every_mode() {
     for w in Workload::ALL {
-        let spec = w.spec(TraceScale::tiny());
+        let tasks = w.spec(TraceScale::tiny()).num_tasks;
         for mode in SchedulerMode::ALL {
-            let m = run(&spec, &tiny(mode));
-            assert_eq!(m.completed_threads, spec.num_tasks as u64, "{w} under {mode}");
+            let m = run_tiny(w, mode);
+            assert_eq!(m.completed_threads, tasks as u64, "{w} under {mode}");
             assert!(m.instructions > 0, "{w} under {mode}");
             assert!(m.cycles > 0, "{w} under {mode}");
             assert_eq!(m.workload, w.name());
@@ -36,9 +55,9 @@ fn slicc_reduces_instruction_misses_on_oltp() {
     // aggregate L1-I is overcommitted by the tiny presets' code and
     // cannot show the effect.
     for w in [Workload::TpcC1, Workload::TpcE] {
-        let spec = w.spec(TraceScale::small());
-        let base = run(&spec, &SimConfig::paper_baseline());
-        let sw = run(&spec, &SimConfig::paper_baseline().with_mode(SchedulerMode::SliccSw));
+        let req = RunRequest::new(w, TraceScale::small(), SimConfig::paper_baseline());
+        let base = sim(req.clone());
+        let sw = sim(req.with_mode(SchedulerMode::SliccSw));
         assert!(
             sw.i_mpki() < 0.7 * base.i_mpki(),
             "{w}: SLICC-SW should cut I-MPKI by >30%: base {:.1} vs {:.1}",
@@ -71,10 +90,9 @@ fn mapreduce_is_practically_unaffected() {
     // nor slows down meaningfully. Like the paper's 300-task MapReduce,
     // the machine is loaded (tasks > cores): an underloaded machine
     // tempts SLICC into pointless idle-core spreading during warm-up.
-    let spec = Workload::MapReduce.spec(TraceScale::tiny().with_tasks(48));
-    let base = run(&spec, &tiny(SchedulerMode::Baseline));
+    let base = sim(tiny(Workload::MapReduce, SchedulerMode::Baseline).with_tasks(48));
     for mode in [SchedulerMode::Slicc, SchedulerMode::SliccSw] {
-        let m = run(&spec, &tiny(mode));
+        let m = sim(tiny(Workload::MapReduce, mode).with_tasks(48));
         let spd = m.speedup_over(&base);
         assert!((0.85..1.15).contains(&spd), "{mode}: MapReduce speedup {spd:.2} should be ~1.0");
     }
@@ -83,38 +101,39 @@ fn mapreduce_is_practically_unaffected() {
 #[test]
 fn pif_upper_bound_beats_baseline_on_oltp() {
     // Enough tasks that cold misses amortize and the PIF bound shines.
-    let spec = Workload::TpcC1.spec(TraceScale::tiny().with_tasks(64));
-    let base = run(&spec, &SimConfig::tiny_test());
-    // The tiny-machine PIF analogue: far more capacity than the whole
-    // workload's code, at unchanged latency.
-    let mut pif_cfg = SimConfig::tiny_test();
-    pif_cfg.l1i_size = 256 * 1024;
-    pif_cfg.l1i_latency_override = Some(3);
-    let pif = run(&spec, &pif_cfg);
+    let base = sim(tiny(Workload::TpcC1, SchedulerMode::Baseline).with_tasks(64));
+    let pif = sim(
+        RunRequest::new(Workload::TpcC1, TraceScale::tiny(), tiny_pif_bound()).with_tasks(64),
+    );
     assert!(pif.i_mpki() < 0.4 * base.i_mpki(), "PIF model should nearly eliminate I-misses");
     assert!(pif.speedup_over(&base) > 1.1);
 }
 
 #[test]
 fn next_line_prefetch_reduces_misses_but_less_than_pif() {
-    let spec = Workload::TpcC1.spec(TraceScale::tiny().with_tasks(64));
-    let base = run(&spec, &SimConfig::tiny_test());
-    let nl = run(&spec, &SimConfig::tiny_test().with_next_line(1));
+    let base = sim(tiny(Workload::TpcC1, SchedulerMode::Baseline).with_tasks(64));
+    let nl = sim(
+        RunRequest::new(Workload::TpcC1, TraceScale::tiny(), SimConfig::tiny_test().with_next_line(1))
+            .with_tasks(64),
+    );
     assert!(nl.i_mpki() < base.i_mpki(), "next-line should cover some sequential misses");
-    let mut pif_cfg = SimConfig::tiny_test();
-    pif_cfg.l1i_size = 256 * 1024;
-    pif_cfg.l1i_latency_override = Some(3);
-    let pif = run(&spec, &pif_cfg);
+    let pif = sim(
+        RunRequest::new(Workload::TpcC1, TraceScale::tiny(), tiny_pif_bound()).with_tasks(64),
+    );
     assert!(pif.i_mpki() < nl.i_mpki(), "the PIF bound beats next-line");
 }
 
 #[test]
 fn every_replacement_policy_runs_and_stays_sane() {
-    let spec = Workload::TpcC1.spec(TraceScale::tiny());
-    let lru = run(&spec, &SimConfig::tiny_test());
+    let tasks = Workload::TpcC1.spec(TraceScale::tiny()).num_tasks;
+    let lru = run_tiny(Workload::TpcC1, SchedulerMode::Baseline);
     for policy in PolicyKind::ALL {
-        let m = run(&spec, &SimConfig::tiny_test().with_policy(policy));
-        assert_eq!(m.completed_threads, spec.num_tasks as u64, "{policy}");
+        let m = sim(RunRequest::new(
+            Workload::TpcC1,
+            TraceScale::tiny(),
+            SimConfig::tiny_test().with_policy(policy),
+        ));
+        assert_eq!(m.completed_threads, tasks as u64, "{policy}");
         // No policy should be wildly different from LRU on this trace.
         assert!(
             m.i_mpki() < 2.0 * lru.i_mpki() + 1.0,
@@ -140,8 +159,11 @@ fn runs_are_deterministic_per_mode() {
 
 #[test]
 fn classification_partitions_every_miss() {
-    let spec = Workload::TpcC1.spec(TraceScale::tiny());
-    let m = run(&spec, &SimConfig::tiny_test().with_classification());
+    let m = sim(RunRequest::new(
+        Workload::TpcC1,
+        TraceScale::tiny(),
+        SimConfig::tiny_test().with_classification(),
+    ));
     let i_bd = m.i_breakdown.expect("classification enabled");
     let d_bd = m.d_breakdown.expect("classification enabled");
     assert_eq!(i_bd.total(), m.i_misses, "every instruction miss classified exactly once");
@@ -211,8 +233,8 @@ fn stray_fractions_match_workload_structure() {
     // threads" — rare transaction types become strays. At tiny scale the
     // exact numbers differ, but TPC-C must have more strays than
     // MapReduce (single type, zero strays).
-    let tpcc = run(&Workload::TpcC1.spec(TraceScale::tiny().with_tasks(64)), &tiny(SchedulerMode::SliccSw));
-    let mr = run(&Workload::MapReduce.spec(TraceScale::tiny().with_tasks(64)), &tiny(SchedulerMode::SliccSw));
+    let tpcc = sim(tiny(Workload::TpcC1, SchedulerMode::SliccSw).with_tasks(64));
+    let mr = sim(tiny(Workload::MapReduce, SchedulerMode::SliccSw).with_tasks(64));
     assert_eq!(mr.stray_fraction, 0.0, "single-type workload has no strays");
     assert!(tpcc.stray_fraction > 0.0, "TPC-C rare types produce strays");
     assert!(tpcc.stray_fraction < 0.5, "most TPC-C threads are in teams");
@@ -221,17 +243,24 @@ fn stray_fractions_match_workload_structure() {
 #[test]
 fn bigger_l1i_reduces_misses_but_latency_tempers_speedup() {
     // The Figure 1 trade-off at miniature scale.
-    let spec = Workload::TpcC1.spec(TraceScale::tiny().with_tasks(64));
-    let small = run(&spec, &SimConfig::tiny_test());
+    let small = sim(tiny(Workload::TpcC1, SchedulerMode::Baseline).with_tasks(64));
     // 32x the cache at +4 cycles of latency.
-    let mut big_cfg = SimConfig::tiny_test().with_l1i_size(128 * 1024);
-    big_cfg.latency_table = slicc_common::LatencyTable::from_entries(vec![(4 * 1024, 3), (128 * 1024, 7)]);
-    let big = run(&spec, &big_cfg);
+    let big_cfg = SimConfigBuilder::tiny_test()
+        .l1i_size(128 * 1024)
+        .latency_table(slicc_common::LatencyTable::from_entries(vec![(4 * 1024, 3), (128 * 1024, 7)]))
+        .build()
+        .expect("big-L1I machine is valid");
+    let big = sim(
+        RunRequest::new(Workload::TpcC1, TraceScale::tiny(), big_cfg.clone()).with_tasks(64),
+    );
     assert!(big.i_mpki() < 0.5 * small.i_mpki(), "32x capacity must slash misses");
     // And the same cache at the small cache's latency is faster still.
-    let mut ideal_cfg = big_cfg.clone();
-    ideal_cfg.l1i_latency_override = Some(3);
-    let ideal = run(&spec, &ideal_cfg);
+    let ideal_cfg = SimConfigBuilder::from_config(big_cfg)
+        .tweak(|c| c.l1i_latency_override = Some(3))
+        .build()
+        .expect("ideal-latency machine is valid");
+    let ideal =
+        sim(RunRequest::new(Workload::TpcC1, TraceScale::tiny(), ideal_cfg).with_tasks(64));
     assert!(ideal.cycles <= big.cycles, "removing the latency penalty can only help");
 }
 
@@ -245,8 +274,7 @@ fn dram_and_l2_see_traffic() {
 
 #[test]
 fn steps_mode_switches_instead_of_migrating() {
-    let spec = Workload::TpcC1.spec(TraceScale::tiny().with_tasks(32));
-    let m = run(&spec, &tiny(SchedulerMode::Steps));
+    let m = sim(tiny(Workload::TpcC1, SchedulerMode::Steps).with_tasks(32));
     assert_eq!(m.completed_threads, 32);
     assert!(m.context_switches > 0, "STEPS must context switch");
     assert_eq!(m.migrations, 0, "STEPS never migrates between cores");
@@ -257,9 +285,8 @@ fn steps_mode_switches_instead_of_migrating() {
 
 #[test]
 fn steps_cuts_instruction_misses_via_time_domain_reuse() {
-    let spec = Workload::TpcC1.spec(TraceScale::tiny().with_tasks(32));
-    let base = run(&spec, &tiny(SchedulerMode::Baseline));
-    let steps = run(&spec, &tiny(SchedulerMode::Steps));
+    let base = sim(tiny(Workload::TpcC1, SchedulerMode::Baseline).with_tasks(32));
+    let steps = sim(tiny(Workload::TpcC1, SchedulerMode::Steps).with_tasks(32));
     assert!(
         steps.i_mpki() < 0.8 * base.i_mpki(),
         "teammates must reuse chunks: base {:.1} vs steps {:.1}",
@@ -270,13 +297,14 @@ fn steps_cuts_instruction_misses_via_time_domain_reuse() {
 
 #[test]
 fn real_pif_lands_between_baseline_and_its_upper_bound() {
-    let spec = Workload::TpcC1.spec(TraceScale::tiny().with_tasks(48));
-    let base = run(&spec, &SimConfig::tiny_test());
-    let real = run(&spec, &SimConfig::tiny_test().with_real_pif());
-    let mut bound_cfg = SimConfig::tiny_test();
-    bound_cfg.l1i_size = 256 * 1024;
-    bound_cfg.l1i_latency_override = Some(3);
-    let bound = run(&spec, &bound_cfg);
+    let base = sim(tiny(Workload::TpcC1, SchedulerMode::Baseline).with_tasks(48));
+    let real = sim(
+        RunRequest::new(Workload::TpcC1, TraceScale::tiny(), SimConfig::tiny_test().with_real_pif())
+            .with_tasks(48),
+    );
+    let bound = sim(
+        RunRequest::new(Workload::TpcC1, TraceScale::tiny(), tiny_pif_bound()).with_tasks(48),
+    );
     assert!(real.i_mpki() < base.i_mpki(), "real PIF must cover some misses");
     assert!(bound.i_mpki() < real.i_mpki(), "the upper bound beats the real prefetcher");
 }
@@ -284,20 +312,23 @@ fn real_pif_lands_between_baseline_and_its_upper_bound() {
 #[test]
 fn tlb_statistics_follow_the_paper_pattern() {
     // §5.5: D-TLB misses rise under migration; I-TLB misses stay flat.
-    let spec = Workload::TpcC1.spec(TraceScale::tiny().with_tasks(32));
-    let base = run(&spec, &tiny(SchedulerMode::Baseline));
-    let sw = run(&spec, &tiny(SchedulerMode::SliccSw));
+    let base = sim(tiny(Workload::TpcC1, SchedulerMode::Baseline).with_tasks(32));
+    let sw = sim(tiny(Workload::TpcC1, SchedulerMode::SliccSw).with_tasks(32));
     assert!(sw.d_tlb_misses >= base.d_tlb_misses, "migration re-walks data pages");
     assert!(base.i_tlb_misses > 0 && sw.i_tlb_misses > 0);
 }
 
 #[test]
 fn disabling_work_stealing_changes_makespan_not_correctness() {
-    let spec = Workload::TpcC1.spec(TraceScale::tiny().with_tasks(32));
-    let mut no_steal = tiny(SchedulerMode::SliccSw);
-    no_steal.work_stealing = false;
-    let a = run(&spec, &tiny(SchedulerMode::SliccSw));
-    let b = run(&spec, &no_steal);
+    let no_steal_cfg = SimConfigBuilder::tiny_test()
+        .mode(SchedulerMode::SliccSw)
+        .work_stealing(false)
+        .build()
+        .expect("no-steal machine is valid");
+    let a = sim(tiny(Workload::TpcC1, SchedulerMode::SliccSw).with_tasks(32));
+    let b = sim(
+        RunRequest::new(Workload::TpcC1, TraceScale::tiny(), no_steal_cfg).with_tasks(32),
+    );
     assert_eq!(a.completed_threads, b.completed_threads);
     assert_eq!(a.instructions, b.instructions);
     assert_ne!(a.cycles, b.cycles, "the knob must do something");
@@ -305,8 +336,7 @@ fn disabling_work_stealing_changes_makespan_not_correctness() {
 
 #[test]
 fn transaction_latency_metrics_are_populated() {
-    let spec = Workload::TpcC1.spec(TraceScale::tiny());
-    let m = run(&spec, &SimConfig::tiny_test());
+    let m = run_tiny(Workload::TpcC1, SchedulerMode::Baseline);
     assert!(m.mean_txn_latency > 0.0);
     assert!(m.p95_txn_latency as f64 >= m.mean_txn_latency * 0.5);
     assert!((m.p95_txn_latency as u64) <= m.cycles);

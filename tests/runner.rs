@@ -1,0 +1,74 @@
+//! Parallel-runner determinism: fanning a figure's point set across worker
+//! threads must not change a single metric, and the run cache must
+//! deduplicate repeated points.
+
+use slicc_sim::{RunRequest, Runner, SchedulerMode, SimConfig};
+use slicc_trace::{TraceScale, Workload};
+
+/// A Figure-11-shaped point set at tiny scale: every workload under the
+/// baseline and the SLICC variants, plus a repeated baseline point per
+/// workload (figures re-use baselines, which is what the cache dedupes).
+fn fig11_like_points() -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for w in [Workload::TpcC1, Workload::TpcE, Workload::MapReduce] {
+        let base = RunRequest::new(w, TraceScale::tiny(), SimConfig::tiny_test());
+        for mode in [
+            SchedulerMode::Baseline,
+            SchedulerMode::Slicc,
+            SchedulerMode::SliccSw,
+            SchedulerMode::SliccPp,
+        ] {
+            reqs.push(base.clone().with_mode(mode));
+        }
+        // The duplicated baseline every figure re-requests.
+        reqs.push(base.clone().with_mode(SchedulerMode::Baseline));
+    }
+    reqs
+}
+
+#[test]
+fn parallel_metrics_are_byte_identical_to_serial() {
+    let points = fig11_like_points();
+    let serial = Runner::new(1).run_all(&points);
+    let parallel = Runner::new(4).run_all(&points);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        // RunMetrics has no PartialEq (it carries floats); the Debug
+        // rendering covers every field, so byte-identical output means
+        // byte-identical metrics.
+        assert_eq!(
+            format!("{:?}", s.metrics),
+            format!("{:?}", p.metrics),
+            "point {i} diverged between jobs=1 and jobs=4"
+        );
+    }
+}
+
+#[test]
+fn run_cache_deduplicates_shared_points_across_figures() {
+    let runner = Runner::new(4);
+    let points = fig11_like_points();
+    let distinct = 3 * 4; // 3 workloads x 4 modes; the 5th point per workload repeats Baseline
+    runner.run_all(&points);
+    let after_first = runner.stats();
+    assert_eq!(after_first.cache_misses, distinct as u64);
+    assert_eq!(after_first.cache_hits, (points.len() - distinct) as u64);
+
+    // A second figure re-requesting the same points simulates nothing.
+    runner.run_all(&points);
+    let after_second = runner.stats();
+    assert_eq!(after_second.cache_misses, distinct as u64, "second pass must be fully cached");
+    assert_eq!(runner.cached_points(), distinct);
+}
+
+#[test]
+fn cached_results_match_fresh_ones() {
+    let req = RunRequest::new(Workload::TpcC1, TraceScale::tiny(), SimConfig::tiny_test())
+        .with_mode(SchedulerMode::Slicc);
+    let runner = Runner::new(2);
+    let fresh = runner.run(&req);
+    let cached = runner.run(&req);
+    assert!(!fresh.from_cache);
+    assert!(cached.from_cache);
+    assert_eq!(format!("{:?}", fresh.metrics), format!("{:?}", cached.metrics));
+}
