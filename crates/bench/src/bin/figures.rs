@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [EXPERIMENT ...] [--scale small|paper] [--jobs N]
+//! figures [EXPERIMENT ...] [--scale small|paper] [--jobs N] [--checkpoint PATH]
 //!
 //! EXPERIMENT: fig1 fig2 fig3 fig7 fig8 fig9 fig10 fig11
 //!             table1 table2 table3 bpki ablations extensions scaling all
@@ -14,12 +14,18 @@
 //! host cores). One [`Runner`] is shared across the selected experiments,
 //! so points repeated between figures — every figure's baselines — are
 //! simulated once and served from the run cache afterwards.
+//!
+//! `--checkpoint PATH` persists every completed point to PATH as it
+//! finishes; rerunning with the same path after an interruption
+//! re-simulates only the points that are not in the file yet.
 
 use slicc_bench::{Experiment, ExperimentScale};
 use slicc_sim::Runner;
 
 fn usage() -> ! {
-    eprintln!("usage: figures [EXPERIMENT ...] [--scale small|paper] [--jobs N]");
+    eprintln!(
+        "usage: figures [EXPERIMENT ...] [--scale small|paper] [--jobs N] [--checkpoint PATH]"
+    );
     eprintln!("experiments:");
     for e in Experiment::ALL {
         eprintln!("  {}", e.name());
@@ -32,6 +38,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = ExperimentScale::Paper;
     let mut jobs = Runner::default_parallelism();
+    let mut checkpoint: Option<std::path::PathBuf> = None;
     let mut selected: Vec<Experiment> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -51,6 +58,13 @@ fn main() {
                     _ => usage(),
                 };
             }
+            "--checkpoint" => {
+                i += 1;
+                checkpoint = match args.get(i) {
+                    Some(p) if !p.is_empty() => Some(std::path::PathBuf::from(p)),
+                    _ => usage(),
+                };
+            }
             "all" => selected.extend(Experiment::ALL),
             name => match Experiment::parse(name) {
                 Some(e) => selected.push(e),
@@ -64,6 +78,26 @@ fn main() {
     }
 
     let runner = Runner::new(jobs);
+    if let Some(path) = &checkpoint {
+        match runner.attach_checkpoint(path) {
+            Ok(load) => {
+                eprintln!(
+                    "checkpoint {}: {} completed point(s) loaded{}",
+                    path.display(),
+                    load.loaded,
+                    if load.truncated() {
+                        format!(" ({} corrupt tail byte(s) dropped)", load.dropped_bytes)
+                    } else {
+                        String::new()
+                    },
+                );
+            }
+            Err(e) => {
+                eprintln!("error: cannot use checkpoint {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
     println!("# SLICC reproduction — experiment output");
     println!();
     println!("scale: {scale:?}");

@@ -51,9 +51,9 @@ impl Table {
         let mut out = String::new();
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
             let mut line = String::from("|");
-            for i in 0..cols {
+            for (i, &width) in widths.iter().enumerate().take(cols) {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!(" {:>width$} |", cell, width = widths[i]));
+                line.push_str(&format!(" {cell:>width$} |"));
             }
             line.push('\n');
             line

@@ -261,9 +261,9 @@ impl Cache {
     /// eviction-collision check).
     pub fn blocks_in_set(&self, set: usize) -> impl Iterator<Item = BlockAddr> + '_ {
         let base = set * self.assoc();
-        (0..self.assoc()).filter_map(move |w| {
-            (self.valid[base + w]).then(|| self.geom.block_from_parts(set, self.tags[base + w]))
-        })
+        (0..self.assoc())
+            .filter(move |w| self.valid[base + w])
+            .map(move |w| self.geom.block_from_parts(set, self.tags[base + w]))
     }
 
     /// Iterates every valid block in the cache. O(num_blocks).

@@ -119,18 +119,12 @@ impl DuelMonitor {
     fn new(num_sets: usize) -> Self {
         // With 64-set L1s a stride of 32 gives two leader sets per
         // component, mirroring the constrained budget of real set-dueling.
-        let stride = if num_sets >= 32 {
-            32
-        } else if num_sets < 2 {
-            2
-        } else {
-            num_sets
-        };
+        let stride = num_sets.clamp(2, 32);
         DuelMonitor { psel: 512, psel_max: 1023, stride }
     }
 
     fn leader(&self, set: usize) -> Option<Leader> {
-        if set % self.stride == 0 {
+        if set.is_multiple_of(self.stride) {
             Some(Leader::Primary)
         } else if set % self.stride == self.stride / 2 {
             Some(Leader::Bimodal)

@@ -101,8 +101,8 @@ impl<T> RingFifo<T> {
     /// Removes and returns the first entry matching `pred`, preserving the
     /// order of the rest. Models a CAM-style removal (used when a queued
     /// thread is cancelled or re-routed).
-    pub fn remove_first_where(&mut self, mut pred: impl FnMut(&T) -> bool) -> Option<T> {
-        let idx = self.buf.iter().position(|x| pred(x))?;
+    pub fn remove_first_where(&mut self, pred: impl FnMut(&T) -> bool) -> Option<T> {
+        let idx = self.buf.iter().position(pred)?;
         self.buf.remove(idx)
     }
 

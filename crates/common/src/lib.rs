@@ -12,6 +12,7 @@
 //! - a fixed-capacity ring-buffer FIFO ([`RingFifo`]) — see [`fifo`];
 //! - stable hashing for experiment memoization keys ([`StableHash`]) —
 //!   see [`hash`];
+//! - poison-recovering mutex access ([`lock_unpoisoned`]) — see [`sync`];
 //! - the [`Merge`] trait unifying statistics aggregation — see [`merge`].
 //!
 //! # Example
@@ -43,6 +44,7 @@ pub mod merge;
 #[cfg(all(test, feature = "proptest"))]
 mod proptests;
 pub mod rng;
+pub mod sync;
 
 pub use addr::{Addr, BlockAddr, BLOCK_SIZE};
 pub use fifo::RingFifo;
@@ -52,6 +54,7 @@ pub use ids::{CoreId, ThreadId, TxnTypeId};
 pub use latency::{l1_latency_for_size, LatencyTable};
 pub use merge::Merge;
 pub use rng::SplitMix64;
+pub use sync::lock_unpoisoned;
 
 /// Simulated clock cycles.
 ///

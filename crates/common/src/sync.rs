@@ -1,0 +1,42 @@
+//! Small synchronization helpers shared across the workspace.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+///
+/// The shared state guarded this way in the workspace (the runner's
+/// memoized run cache, its checkpoint writer, the worker-pool job queue)
+/// consists of maps and counters whose individual updates are atomic with
+/// respect to the lock: a panic mid-simulation cannot leave them
+/// half-written in a way a later reader would misinterpret. Poisoning is
+/// therefore pure downside — one crashed simulation point would wedge
+/// every subsequent `cached_points()`/`stats()` call — so we strip it.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_a_poisoned_mutex() {
+        let m = Mutex::new(7u32);
+        // Poison it: panic while holding the guard.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison");
+        }));
+        assert!(result.is_err());
+        assert!(m.lock().is_err(), "mutex must actually be poisoned");
+        assert_eq!(*lock_unpoisoned(&m), 7, "value survives the poison");
+        *lock_unpoisoned(&m) += 1;
+        assert_eq!(*lock_unpoisoned(&m), 8);
+    }
+
+    #[test]
+    fn plain_lock_passes_through() {
+        let m = Mutex::new(String::from("ok"));
+        assert_eq!(&*lock_unpoisoned(&m), "ok");
+    }
+}

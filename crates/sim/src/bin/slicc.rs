@@ -7,8 +7,9 @@
 //! option list.
 
 use slicc_cache::PolicyKind;
-use slicc_sim::{RunRequest, Runner, SchedulerMode, SimConfigBuilder};
+use slicc_sim::{RunError, RunRequest, RunResult, Runner, SchedulerMode, SimConfigBuilder};
 use slicc_trace::{TraceScale, Workload};
+use std::path::PathBuf;
 
 const USAGE: &str = "slicc — SLICC chip-multiprocessor simulator
 
@@ -36,9 +37,18 @@ OPTIONS:
     --classify            enable 3C miss classification
     --baseline-compare    also run the same machine under baseline
                           scheduling and report speedup
+    --fuel-steps N        abort the run after N event-loop steps
+                          (forward-progress watchdog)
+    --fuel-cycles N       abort the run once any core passes cycle N
+    --checkpoint PATH     load completed points from PATH and append
+                          each newly completed point to it
+    --keep-going          on failure, still run the remaining points
+                          before exiting
     --help                print this help
 
-Exit status is 0 on success and 2 on a usage error.";
+Exit status is 0 on success, 1 if any simulation point fails (the
+failing point's workload/scale/seed and stable key are printed to
+stderr), and 2 on a usage error.";
 
 /// A rejected command line: which option went wrong, and why.
 #[derive(Debug)]
@@ -56,7 +66,14 @@ impl CliError {
 #[derive(Debug)]
 enum Command {
     Help,
-    Run { request: RunRequest, compare: bool },
+    Run {
+        // Boxed: a RunRequest embeds a full SimConfig, and clippy rightly
+        // objects to a ~600-byte spread between the variants.
+        request: Box<RunRequest>,
+        compare: bool,
+        keep_going: bool,
+        checkpoint: Option<PathBuf>,
+    },
 }
 
 fn parse_args(args: &[String]) -> Result<Command, CliError> {
@@ -67,6 +84,8 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut seed: Option<u64> = None;
     let mut builder = SimConfigBuilder::paper_baseline();
     let mut compare = false;
+    let mut keep_going = false;
+    let mut checkpoint: Option<PathBuf> = None;
 
     let mut i = 0;
     fn value(args: &[String], i: &mut usize, opt: &str) -> Result<String, CliError> {
@@ -130,6 +149,14 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--dilution" => builder = builder.dilution(number(&opt, &value(args, &mut i, &opt)?)?),
             "--classify" => builder = builder.classify_3c(),
             "--baseline-compare" => compare = true,
+            "--fuel-steps" => {
+                builder = builder.watchdog_steps(number(&opt, &value(args, &mut i, &opt)?)?)
+            }
+            "--fuel-cycles" => {
+                builder = builder.watchdog_cycles(number(&opt, &value(args, &mut i, &opt)?)?)
+            }
+            "--checkpoint" => checkpoint = Some(PathBuf::from(value(args, &mut i, &opt)?)),
+            "--keep-going" => keep_going = true,
             other => return Err(CliError::new(other, "unknown option")),
         }
         i += 1;
@@ -149,10 +176,10 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
     if let Some(s) = seed {
         request = request.with_seed(s);
     }
-    Ok(Command::Run { request, compare })
+    Ok(Command::Run { request: Box::new(request), compare, keep_going, checkpoint })
 }
 
-fn report(result: &slicc_sim::RunResult, baseline: Option<&slicc_sim::RunResult>) {
+fn report(result: &RunResult, baseline: Option<&RunResult>) {
     let m = &result.metrics;
     println!("workload        {}", m.workload);
     println!("mode            {}", m.mode);
@@ -195,23 +222,78 @@ fn main() {
         eprintln!("run 'slicc --help' for the option list");
         std::process::exit(2);
     });
-    let (request, compare) = match command {
+    let (request, compare, keep_going, checkpoint) = match command {
         Command::Help => {
             println!("{USAGE}");
             return;
         }
-        Command::Run { request, compare } => (request, compare),
+        Command::Run { request, compare, keep_going, checkpoint } => {
+            (*request, compare, keep_going, checkpoint)
+        }
     };
 
     // Two points (the run and its baseline) are independent jobs, so even
     // the CLI benefits from the runner's pool and cache.
     let runner = Runner::with_default_parallelism();
+    if let Some(path) = &checkpoint {
+        match runner.attach_checkpoint(path) {
+            Ok(load) => {
+                if load.loaded > 0 || load.truncated() {
+                    eprintln!(
+                        "checkpoint: {} point(s) loaded from {}{}",
+                        load.loaded,
+                        path.display(),
+                        if load.truncated() {
+                            format!(" ({} corrupt tail bytes discarded)", load.dropped_bytes)
+                        } else {
+                            String::new()
+                        },
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("error: --checkpoint: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut points = vec![request.clone()];
     if compare {
-        let baseline = request.clone().with_mode(SchedulerMode::Baseline);
-        let results = runner.run_all(&[request, baseline]);
-        report(&results[0], Some(&results[1]));
+        points.push(request.with_mode(SchedulerMode::Baseline));
+    }
+
+    // With --keep-going the whole batch runs regardless of failures;
+    // without it, points run in order and the first failure stops the
+    // remainder (the baseline of a --baseline-compare is pointless if the
+    // run itself died).
+    let results: Vec<Result<RunResult, RunError>> = if keep_going {
+        runner.run_all(&points)
     } else {
-        report(&runner.run(&request), None);
+        let mut out = Vec::new();
+        for point in &points {
+            let outcome = runner.run(point);
+            let failed = outcome.is_err();
+            out.push(outcome);
+            if failed {
+                break;
+            }
+        }
+        out
+    };
+
+    if let Some(Ok(result)) = results.first() {
+        report(result, results.get(1).and_then(|r| r.as_ref().ok()));
+    }
+    let mut failed = false;
+    for outcome in &results {
+        if let Err(e) = outcome {
+            failed = true;
+            eprintln!("error: {e}");
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 
@@ -227,13 +309,39 @@ mod tests {
     #[test]
     fn defaults_build_a_slicc_sw_request() {
         match parse(&[]).unwrap() {
-            Command::Run { request, compare } => {
+            Command::Run { request, compare, keep_going, checkpoint } => {
                 assert_eq!(request.workload, Workload::TpcC1);
                 assert_eq!(request.mode(), SchedulerMode::SliccSw);
                 assert!(!compare);
+                assert!(!keep_going);
+                assert!(checkpoint.is_none());
             }
             Command::Help => panic!("empty args must run, not print help"),
         }
+    }
+
+    #[test]
+    fn fault_isolation_flags_reach_the_config() {
+        match parse(&["--fuel-steps", "5", "--fuel-cycles", "100", "--keep-going", "--checkpoint", "/tmp/ck.bin"])
+            .unwrap()
+        {
+            Command::Run { request, keep_going, checkpoint, .. } => {
+                assert_eq!(request.config.watchdog.max_heap_steps, Some(5));
+                assert_eq!(request.config.watchdog.max_cycles, Some(100));
+                assert!(keep_going);
+                assert_eq!(checkpoint.as_deref(), Some(std::path::Path::new("/tmp/ck.bin")));
+            }
+            Command::Help => panic!("expected a run"),
+        }
+    }
+
+    #[test]
+    fn fuel_flags_reject_garbage() {
+        let err = parse(&["--fuel-steps", "plenty"]).unwrap_err();
+        assert_eq!(err.option, "--fuel-steps");
+        let err = parse(&["--checkpoint"]).unwrap_err();
+        assert_eq!(err.option, "--checkpoint");
+        assert!(err.message.contains("missing"));
     }
 
     #[test]

@@ -1,0 +1,609 @@
+//! Incremental run-cache checkpointing: sweep results that survive the
+//! process.
+//!
+//! A checkpoint file is an append-only log of completed simulation
+//! points, written after *each* point finishes so an interrupted sweep
+//! loses at most the points in flight. On open, the valid prefix is
+//! loaded back into the runner's cache and any corrupt tail (a crash
+//! mid-append, a truncated copy) is discarded and overwritten — resume
+//! then re-simulates only the missing or failed points.
+//!
+//! # File format (version 1)
+//!
+//! ```text
+//! header:  magic "SLCCKPT1" (8 bytes) | version u32-LE (= 1)
+//! record:  tag 0xA5 | key u64-LE | len u32-LE | payload[len] | hash u64-LE
+//! ```
+//!
+//! `key` is [`crate::RunRequest::stable_key`]; the payload is the
+//! hand-rolled little-endian encoding of the [`RunResult`] (the workspace
+//! builds with no external dependencies, so there is no serde — see
+//! DESIGN.md §5); `hash` is the workspace's stable FNV-1a over the key
+//! and payload bytes, so a torn or bit-flipped record is detected and
+//! dropped rather than resurrected as a wrong result. Results are
+//! deterministic per key, which is what makes "drop the tail, re-simulate
+//! the rest" a correct recovery strategy.
+
+use crate::metrics::RunMetrics;
+use crate::runner::RunResult;
+use slicc_cache::MissBreakdown;
+use slicc_common::StableHasher;
+use slicc_cpu::CoreStats;
+use slicc_mem::{DramStats, L2Stats};
+use slicc_noc::NocStats;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const MAGIC: &[u8; 8] = b"SLCCKPT1";
+const VERSION: u32 = 1;
+const RECORD_TAG: u8 = 0xA5;
+/// Sanity bound on one record's payload; real encoded results are a few
+/// hundred bytes, so anything past this is corruption, not data.
+const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// Why a checkpoint file could not be used at all. Corruption *within* a
+/// well-formed file is not an error — the valid prefix is kept and the
+/// tail re-simulated — but a file that is not a checkpoint (bad magic) or
+/// comes from an incompatible future version is refused rather than
+/// clobbered.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The underlying file operation failed.
+    Io(io::Error),
+    /// The file exists but does not start with the checkpoint magic.
+    BadMagic,
+    /// The file is a checkpoint of an unknown format version.
+    UnsupportedVersion(u32),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            CheckpointError::BadMagic => {
+                write!(f, "not a checkpoint file (bad magic); refusing to overwrite it")
+            }
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "checkpoint format version {v} is not supported (this build reads {VERSION})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// What [`Checkpoint::open`] recovered from disk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointLoad {
+    /// Valid records loaded.
+    pub loaded: usize,
+    /// Bytes of corrupt tail discarded (0 for a clean file).
+    pub dropped_bytes: u64,
+}
+
+impl CheckpointLoad {
+    /// Whether a corrupt tail was detected and discarded.
+    pub fn truncated(&self) -> bool {
+        self.dropped_bytes > 0
+    }
+}
+
+/// An open checkpoint file, positioned for appending.
+pub struct Checkpoint {
+    file: File,
+    path: PathBuf,
+}
+
+/// What [`Checkpoint::open`] recovers: the append handle, the valid
+/// `(stable_key, result)` records, and a report of the recovery.
+pub type OpenedCheckpoint = (Checkpoint, Vec<(u64, RunResult)>, CheckpointLoad);
+
+impl Checkpoint {
+    /// Opens (or creates) the checkpoint at `path`.
+    ///
+    /// Returns the append handle, the valid records recovered from an
+    /// existing file, and a [`CheckpointLoad`] describing the recovery. A
+    /// corrupt or truncated tail is cut back to the last valid record; a
+    /// file that is not a checkpoint at all is refused.
+    pub fn open(path: &Path) -> Result<OpenedCheckpoint, CheckpointError> {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+
+        let header_len = MAGIC.len() + 4;
+        let mut entries = Vec::new();
+        let mut load = CheckpointLoad::default();
+        let mut write_header = false;
+        let valid_end = if bytes.len() < header_len {
+            // Empty file, or a header torn by an interrupted create. Torn
+            // is only recoverable when what's there is our magic prefix;
+            // anything else is a foreign file we refuse to clobber.
+            if !MAGIC.starts_with(&bytes[..bytes.len().min(MAGIC.len())]) {
+                return Err(CheckpointError::BadMagic);
+            }
+            load.dropped_bytes = bytes.len() as u64;
+            write_header = true;
+            header_len
+        } else {
+            if bytes[..MAGIC.len()] != MAGIC[..] {
+                return Err(CheckpointError::BadMagic);
+            }
+            let version =
+                u32::from_le_bytes(bytes[MAGIC.len()..header_len].try_into().expect("4 bytes"));
+            if version != VERSION {
+                return Err(CheckpointError::UnsupportedVersion(version));
+            }
+            let mut pos = header_len;
+            while let Some((key, result, next)) = read_record(&bytes, pos) {
+                entries.push((key, result));
+                pos = next;
+            }
+            load.dropped_bytes = (bytes.len() - pos) as u64;
+            pos
+        };
+        load.loaded = entries.len();
+
+        let mut file = OpenOptions::new().create(true).truncate(false).write(true).open(path)?;
+        if write_header {
+            file.set_len(0)?;
+            file.write_all(MAGIC)?;
+            file.write_all(&VERSION.to_le_bytes())?;
+            file.flush()?;
+        } else if load.truncated() {
+            // Cut the corrupt tail so future appends extend a valid log.
+            file.set_len(valid_end as u64)?;
+        }
+        file.seek(SeekFrom::Start(valid_end as u64))?;
+        Ok((Checkpoint { file, path: path.to_path_buf() }, entries, load))
+    }
+
+    /// Appends one completed point and flushes it to disk, so the record
+    /// survives even if the process dies on the very next point.
+    pub fn append(&mut self, key: u64, result: &RunResult) -> Result<(), CheckpointError> {
+        let payload = encode_result(result);
+        let mut record = Vec::with_capacity(1 + 8 + 4 + payload.len() + 8);
+        record.push(RECORD_TAG);
+        record.extend_from_slice(&key.to_le_bytes());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&payload);
+        record.extend_from_slice(&record_hash(key, &payload).to_le_bytes());
+        self.file.write_all(&record)?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// The file this checkpoint appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// The integrity hash over one record: the workspace's stable FNV-1a so
+/// the format is identical on every host.
+fn record_hash(key: u64, payload: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(key);
+    h.write_bytes(payload);
+    h.finish()
+}
+
+/// Parses the record at `pos`, returning `(key, result, next_pos)`, or
+/// `None` if the bytes from `pos` are not a complete valid record (end of
+/// file or a corrupt tail — the caller cannot distinguish, and does not
+/// need to: both mean "stop here and truncate").
+fn read_record(bytes: &[u8], pos: usize) -> Option<(u64, RunResult, usize)> {
+    let header_end = pos.checked_add(1 + 8 + 4)?;
+    if header_end > bytes.len() || bytes[pos] != RECORD_TAG {
+        return None;
+    }
+    let key = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().ok()?);
+    let len = u32::from_le_bytes(bytes[pos + 9..pos + 13].try_into().ok()?);
+    if len > MAX_PAYLOAD {
+        return None;
+    }
+    let payload_end = header_end.checked_add(len as usize)?;
+    let hash_end = payload_end.checked_add(8)?;
+    if hash_end > bytes.len() {
+        return None;
+    }
+    let payload = &bytes[header_end..payload_end];
+    let stored = u64::from_le_bytes(bytes[payload_end..hash_end].try_into().ok()?);
+    if stored != record_hash(key, payload) {
+        return None;
+    }
+    let result = decode_result(payload)?;
+    Some((key, result, hash_end))
+}
+
+// ---------------------------------------------------------------------
+// RunResult payload codec: explicit field-by-field little-endian
+// encoding. Field order is part of the version-1 format; changing it (or
+// RunMetrics' shape) requires bumping VERSION.
+
+fn encode_result(result: &RunResult) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    put_u64(&mut out, result.wall.as_nanos() as u64);
+    put_f64(&mut out, result.sim_ips);
+    let m = &result.metrics;
+    put_str(&mut out, &m.workload);
+    put_str(&mut out, &m.mode);
+    for v in [
+        m.instructions,
+        m.cycles,
+        m.i_misses,
+        m.d_misses,
+        m.i_accesses,
+        m.d_accesses,
+        m.migrations,
+        m.context_switches,
+        m.matched_migrations,
+        m.idle_migrations,
+        m.blocked_migrations,
+        m.completed_threads,
+        m.i_tlb_misses,
+        m.d_tlb_misses,
+        m.p95_txn_latency,
+    ] {
+        put_u64(&mut out, v);
+    }
+    for v in core_stats_fields(&m.core_stats) {
+        put_u64(&mut out, v);
+    }
+    for v in [m.noc.unicasts, m.noc.broadcasts, m.noc.unicast_hops] {
+        put_u64(&mut out, v);
+    }
+    for v in [m.l2.hits, m.l2.misses, m.l2.store_invalidations, m.l2.downgrades, m.l2.back_invalidations]
+    {
+        put_u64(&mut out, v);
+    }
+    for v in [m.dram.row_hits, m.dram.row_closed, m.dram.row_conflicts, m.dram.reads, m.dram.writes] {
+        put_u64(&mut out, v);
+    }
+    put_breakdown(&mut out, &m.i_breakdown);
+    put_breakdown(&mut out, &m.d_breakdown);
+    match m.bloom_accuracy {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_f64(&mut out, v);
+        }
+    }
+    put_f64(&mut out, m.mean_cores_per_thread);
+    put_f64(&mut out, m.stray_fraction);
+    put_f64(&mut out, m.mean_txn_latency);
+    out
+}
+
+fn decode_result(payload: &[u8]) -> Option<RunResult> {
+    let mut cur = Cursor { bytes: payload, pos: 0 };
+    let wall = Duration::from_nanos(cur.u64()?);
+    let sim_ips = cur.f64()?;
+    let mut m = RunMetrics {
+        workload: cur.str()?,
+        mode: cur.str()?,
+        ..Default::default()
+    };
+    m.instructions = cur.u64()?;
+    m.cycles = cur.u64()?;
+    m.i_misses = cur.u64()?;
+    m.d_misses = cur.u64()?;
+    m.i_accesses = cur.u64()?;
+    m.d_accesses = cur.u64()?;
+    m.migrations = cur.u64()?;
+    m.context_switches = cur.u64()?;
+    m.matched_migrations = cur.u64()?;
+    m.idle_migrations = cur.u64()?;
+    m.blocked_migrations = cur.u64()?;
+    m.completed_threads = cur.u64()?;
+    m.i_tlb_misses = cur.u64()?;
+    m.d_tlb_misses = cur.u64()?;
+    m.p95_txn_latency = cur.u64()?;
+    m.core_stats = CoreStats {
+        instructions: cur.u64()?,
+        base_cycles: cur.u64()?,
+        ifetch_stall_cycles: cur.u64()?,
+        fetch_latency_cycles: cur.u64()?,
+        tlb_walk_cycles: cur.u64()?,
+        data_stall_cycles: cur.u64()?,
+        migration_cycles: cur.u64()?,
+        idle_cycles: cur.u64()?,
+    };
+    m.noc = NocStats { unicasts: cur.u64()?, broadcasts: cur.u64()?, unicast_hops: cur.u64()? };
+    m.l2 = L2Stats {
+        hits: cur.u64()?,
+        misses: cur.u64()?,
+        store_invalidations: cur.u64()?,
+        downgrades: cur.u64()?,
+        back_invalidations: cur.u64()?,
+    };
+    m.dram = DramStats {
+        row_hits: cur.u64()?,
+        row_closed: cur.u64()?,
+        row_conflicts: cur.u64()?,
+        reads: cur.u64()?,
+        writes: cur.u64()?,
+    };
+    m.i_breakdown = cur.breakdown()?;
+    m.d_breakdown = cur.breakdown()?;
+    m.bloom_accuracy = match cur.u8()? {
+        0 => None,
+        1 => Some(cur.f64()?),
+        _ => return None,
+    };
+    m.mean_cores_per_thread = cur.f64()?;
+    m.stray_fraction = cur.f64()?;
+    m.mean_txn_latency = cur.f64()?;
+    if cur.pos != payload.len() {
+        return None; // trailing garbage inside a "valid" record
+    }
+    // A checkpointed result is, by definition, served from disk rather
+    // than freshly simulated; the flag is recomputed per batch anyway.
+    Some(RunResult { metrics: m, wall, sim_ips, from_cache: true })
+}
+
+fn core_stats_fields(s: &CoreStats) -> [u64; 8] {
+    [
+        s.instructions,
+        s.base_cycles,
+        s.ifetch_stall_cycles,
+        s.fetch_latency_cycles,
+        s.tlb_walk_cycles,
+        s.data_stall_cycles,
+        s.migration_cycles,
+        s.idle_cycles,
+    ]
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_breakdown(out: &mut Vec<u8>, b: &Option<MissBreakdown>) {
+    match b {
+        None => out.push(0),
+        Some(b) => {
+            out.push(1);
+            put_u64(out, b.compulsory);
+            put_u64(out, b.conflict);
+            put_u64(out, b.capacity);
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = u32::from_le_bytes(self.take(4)?.try_into().ok()?);
+        let bytes = self.take(len as usize)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn breakdown(&mut self) -> Option<Option<MissBreakdown>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(MissBreakdown {
+                compulsory: self.u64()?,
+                conflict: self.u64()?,
+                capacity: self.u64()?,
+            })),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique temp path per test (no tempfile crate in the workspace).
+    fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("slicc-ckpt-{tag}-{}-{n}.bin", std::process::id()))
+    }
+
+    /// A result with every field populated distinctly, so a codec that
+    /// swaps or drops any field fails the round trip.
+    fn dense_result() -> RunResult {
+        let mut m = RunMetrics { workload: "TPC-C-1".into(), mode: "SLICC".into(), ..Default::default() };
+        m.instructions = 1;
+        m.cycles = 2;
+        m.i_misses = 3;
+        m.d_misses = 4;
+        m.i_accesses = 5;
+        m.d_accesses = 6;
+        m.migrations = 7;
+        m.context_switches = 8;
+        m.matched_migrations = 9;
+        m.idle_migrations = 10;
+        m.blocked_migrations = 11;
+        m.completed_threads = 12;
+        m.i_tlb_misses = 13;
+        m.d_tlb_misses = 14;
+        m.p95_txn_latency = 15;
+        m.core_stats = CoreStats {
+            instructions: 16,
+            base_cycles: 17,
+            ifetch_stall_cycles: 18,
+            fetch_latency_cycles: 19,
+            tlb_walk_cycles: 20,
+            data_stall_cycles: 21,
+            migration_cycles: 22,
+            idle_cycles: 23,
+        };
+        m.noc = NocStats { unicasts: 24, broadcasts: 25, unicast_hops: 26 };
+        m.l2 = L2Stats {
+            hits: 27,
+            misses: 28,
+            store_invalidations: 29,
+            downgrades: 30,
+            back_invalidations: 31,
+        };
+        m.dram =
+            DramStats { row_hits: 32, row_closed: 33, row_conflicts: 34, reads: 35, writes: 36 };
+        m.i_breakdown = Some(MissBreakdown { compulsory: 37, conflict: 38, capacity: 39 });
+        m.d_breakdown = None;
+        m.bloom_accuracy = Some(0.25);
+        m.mean_cores_per_thread = 1.5;
+        m.stray_fraction = 0.125;
+        m.mean_txn_latency = 42.5;
+        RunResult { metrics: m, wall: Duration::from_nanos(12345), sim_ips: 678.0, from_cache: false }
+    }
+
+    fn assert_same_result(a: &RunResult, b: &RunResult) {
+        assert_eq!(format!("{:?}", a.metrics), format!("{:?}", b.metrics));
+        assert_eq!(a.wall, b.wall);
+        assert_eq!(a.sim_ips, b.sim_ips);
+    }
+
+    #[test]
+    fn payload_round_trips_every_field() {
+        let original = dense_result();
+        let decoded = decode_result(&encode_result(&original)).expect("payload decodes");
+        assert_same_result(&original, &decoded);
+        assert!(decoded.from_cache, "a decoded result is by definition cached");
+    }
+
+    #[test]
+    fn file_round_trips_and_reopens() {
+        let path = temp_path("roundtrip");
+        let (mut ckpt, entries, load) = Checkpoint::open(&path).unwrap();
+        assert!(entries.is_empty());
+        assert_eq!(load, CheckpointLoad::default());
+        ckpt.append(0xABCD, &dense_result()).unwrap();
+        ckpt.append(0xEF01, &dense_result()).unwrap();
+        drop(ckpt);
+
+        let (_ckpt, entries, load) = Checkpoint::open(&path).unwrap();
+        assert_eq!(load.loaded, 2);
+        assert!(!load.truncated());
+        assert_eq!(entries[0].0, 0xABCD);
+        assert_eq!(entries[1].0, 0xEF01);
+        assert_same_result(&entries[0].1, &dense_result());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_and_healed() {
+        let path = temp_path("truncate");
+        let (mut ckpt, _, _) = Checkpoint::open(&path).unwrap();
+        ckpt.append(1, &dense_result()).unwrap();
+        ckpt.append(2, &dense_result()).unwrap();
+        drop(ckpt);
+
+        // Simulate a crash mid-append: cut the last few bytes.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+
+        let (mut ckpt, entries, load) = Checkpoint::open(&path).unwrap();
+        assert_eq!(load.loaded, 1, "only the intact record survives");
+        assert!(load.truncated());
+        assert_eq!(entries[0].0, 1);
+        // The log is healed: appending after recovery yields a clean file.
+        ckpt.append(3, &dense_result()).unwrap();
+        drop(ckpt);
+        let (_ckpt, entries, load) = Checkpoint::open(&path).unwrap();
+        assert_eq!(load.loaded, 2);
+        assert!(!load.truncated());
+        assert_eq!(entries.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![1, 3]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_fails_the_hash_and_drops_the_record() {
+        let path = temp_path("bitflip");
+        let (mut ckpt, _, _) = Checkpoint::open(&path).unwrap();
+        ckpt.append(1, &dense_result()).unwrap();
+        drop(ckpt);
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = MAGIC.len() + 4 + 20; // somewhere inside the payload
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_ckpt, entries, load) = Checkpoint::open(&path).unwrap();
+        assert!(entries.is_empty(), "a corrupt record must not be served");
+        assert!(load.truncated());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn foreign_file_is_refused_not_clobbered() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+        match Checkpoint::open(&path) {
+            Err(CheckpointError::BadMagic) => {}
+            other => panic!("expected BadMagic, got {:?}", other.map(|_| ())),
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), b"definitely not a checkpoint");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn future_version_is_refused() {
+        let path = temp_path("version");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match Checkpoint::open(&path) {
+            Err(CheckpointError::UnsupportedVersion(99)) => {}
+            other => panic!("expected UnsupportedVersion, got {:?}", other.map(|_| ())),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

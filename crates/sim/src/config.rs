@@ -90,6 +90,64 @@ impl StableHash for SchedulerMode {
     }
 }
 
+/// Forward-progress watchdog for the engine's event loop.
+///
+/// A fuel budget: the run is aborted with
+/// [`crate::SimError::Livelock`] (plus a diagnostic
+/// [`crate::LivelockSnapshot`]) once it exceeds either bound. `None`
+/// disables the corresponding bound; the default disables both, so
+/// published figures never change under the watchdog. A budget of zero is
+/// legal and trips on the first event-loop step — tests use this to
+/// exercise the abort path deterministically.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Abort once any core's local clock passes this cycle count.
+    pub max_cycles: Option<Cycle>,
+    /// Abort once the event loop has taken this many heap steps (each
+    /// step executes up to one batch of trace records on one core).
+    pub max_heap_steps: Option<u64>,
+}
+
+impl WatchdogConfig {
+    /// Both bounds disabled (the default).
+    pub const fn disabled() -> Self {
+        WatchdogConfig { max_cycles: None, max_heap_steps: None }
+    }
+
+    /// Whether any bound is armed.
+    pub const fn is_enabled(&self) -> bool {
+        self.max_cycles.is_some() || self.max_heap_steps.is_some()
+    }
+}
+
+impl StableHash for WatchdogConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.max_cycles.stable_hash(h);
+        self.max_heap_steps.stable_hash(h);
+    }
+}
+
+/// Deterministic fault injection, for exercising the runner's fault
+/// isolation (tests, CI drills). The preset workloads cannot legitimately
+/// fail, so the only way to demonstrate panic containment end-to-end is
+/// to ask for a failure explicitly. Injected faults participate in the
+/// run-cache key: a faulty point and its healthy twin never collide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Panic at the start of execution (models a simulator bug).
+    Panic,
+}
+
+impl StableHash for InjectedFault {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        // Explicit ordinals so run-cache keys survive declaration reorder.
+        let ordinal: u64 = match self {
+            InjectedFault::Panic => 0,
+        };
+        ordinal.stable_hash(h);
+    }
+}
+
 /// Full machine + algorithm configuration.
 ///
 /// [`SimConfig::paper_baseline`] reproduces Table 2; the `with_*` methods
@@ -188,6 +246,10 @@ pub struct SimConfig {
     pub work_stealing: bool,
     /// Seed for the stochastic cache policies.
     pub seed: u64,
+    /// Forward-progress fuel budget (disabled by default).
+    pub watchdog: WatchdogConfig,
+    /// Deterministic fault injection (none by default).
+    pub fault_injection: Option<InjectedFault>,
 }
 
 impl SimConfig {
@@ -234,6 +296,8 @@ impl SimConfig {
             exact_search: false,
             work_stealing: true,
             seed: 0x5eed,
+            watchdog: WatchdogConfig::disabled(),
+            fault_injection: None,
         }
     }
 
@@ -396,7 +460,7 @@ fn check_cache_shape(cache: &'static str, size: u64, assoc: u32) -> Result<(), C
         return Err(ConfigError::ZeroSizeCache { cache });
     }
     let way_bytes = u64::from(assoc) * slicc_common::BLOCK_SIZE;
-    if size % way_bytes != 0 {
+    if !size.is_multiple_of(way_bytes) {
         return Err(ConfigError::UnalignedCache { cache, size, assoc });
     }
     let sets = size / way_bytes;
@@ -563,6 +627,8 @@ impl StableHash for SimConfig {
         self.exact_search.stable_hash(h);
         self.work_stealing.stable_hash(h);
         self.seed.stable_hash(h);
+        self.watchdog.stable_hash(h);
+        self.fault_injection.stable_hash(h);
     }
 }
 
@@ -770,6 +836,30 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Replaces the watchdog fuel budget wholesale.
+    pub fn watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.cfg.watchdog = watchdog;
+        self
+    }
+
+    /// Arms the watchdog's cycle bound.
+    pub fn watchdog_cycles(mut self, max_cycles: Cycle) -> Self {
+        self.cfg.watchdog.max_cycles = Some(max_cycles);
+        self
+    }
+
+    /// Arms the watchdog's heap-step bound.
+    pub fn watchdog_steps(mut self, max_heap_steps: u64) -> Self {
+        self.cfg.watchdog.max_heap_steps = Some(max_heap_steps);
+        self
+    }
+
+    /// Injects a deterministic fault (fault-isolation drills).
+    pub fn inject_fault(mut self, fault: InjectedFault) -> Self {
+        self.cfg.fault_injection = Some(fault);
+        self
+    }
+
     /// Applies an arbitrary mutation for knobs without a dedicated setter.
     /// Validation still runs at [`SimConfigBuilder::build`], so this
     /// cannot smuggle an invalid configuration past the rule set.
@@ -882,6 +972,30 @@ mod tests {
         assert_ne!(stable_hash_of(&base), stable_hash_of(&slicc));
         let seeded = SimConfigBuilder::paper_baseline().seed(1).build().unwrap();
         assert_ne!(stable_hash_of(&base), stable_hash_of(&seeded));
+    }
+
+    #[test]
+    fn watchdog_and_fault_injection_change_the_stable_hash() {
+        // Both knobs change the *outcome* of a run (abort vs. success), so
+        // leaving them out of the key would alias a livelocking point with
+        // its healthy twin and corrupt checkpoint resume.
+        use slicc_common::stable_hash_of;
+        let base = SimConfig::paper_baseline();
+        let fueled = SimConfigBuilder::paper_baseline().watchdog_steps(10).build().unwrap();
+        assert_ne!(stable_hash_of(&base), stable_hash_of(&fueled));
+        let cycles = SimConfigBuilder::paper_baseline().watchdog_cycles(10).build().unwrap();
+        assert_ne!(stable_hash_of(&base), stable_hash_of(&cycles));
+        assert_ne!(stable_hash_of(&fueled), stable_hash_of(&cycles));
+        let faulty = SimConfigBuilder::paper_baseline().inject_fault(InjectedFault::Panic).build().unwrap();
+        assert_ne!(stable_hash_of(&base), stable_hash_of(&faulty));
+    }
+
+    #[test]
+    fn watchdog_defaults_disabled() {
+        let c = SimConfig::paper_baseline();
+        assert!(!c.watchdog.is_enabled());
+        assert!(c.fault_injection.is_none());
+        assert!(SimConfigBuilder::tiny_test().watchdog_steps(0).build().unwrap().watchdog.is_enabled());
     }
 
     #[test]

@@ -24,7 +24,8 @@
 //!   the SLICC agent detects, reusing instructions in the time domain
 //!   instead of the space domain.
 
-use crate::config::{SchedulerMode, SimConfig};
+use crate::config::{InjectedFault, SchedulerMode, SimConfig, WatchdogConfig};
+use crate::error::{HotThread, LivelockSnapshot, SimError};
 use crate::metrics::RunMetrics;
 use crate::system::System;
 use slicc_common::{BlockAddr, CoreId, Cycle, RingFifo, ThreadId, TxnTypeId};
@@ -99,9 +100,17 @@ struct Team {
 /// through [`crate::RunRequest`] and [`crate::Runner`], which add
 /// parallel fan-out and run-cache memoization on top of this exact call.
 pub fn run(spec: &WorkloadSpec, cfg: &SimConfig) -> RunMetrics {
-    let mut engine = Engine::new(spec, cfg);
-    engine.execute();
-    engine.into_metrics()
+    try_run(spec, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`run`], but reports failures — an invalid configuration, a
+/// stalled event loop, an exhausted watchdog fuel budget — as typed
+/// [`SimError`]s instead of panicking. [`crate::Runner`] builds its
+/// per-point fault isolation on this entry point.
+pub fn try_run(spec: &WorkloadSpec, cfg: &SimConfig) -> Result<RunMetrics, SimError> {
+    let mut engine = Engine::try_new(spec, cfg)?;
+    engine.try_execute()?;
+    Ok(engine.into_metrics())
 }
 
 /// The simulation engine. Most callers should use [`run`]; the engine is
@@ -152,14 +161,26 @@ pub struct Engine<'a> {
     /// would overwrite the freshest member of a forming collective.
     vacate_clock: u64,
     vacated_seq: Vec<u64>,
+    watchdog: WatchdogConfig,
+    fault: Option<InjectedFault>,
 }
 
 impl<'a> Engine<'a> {
     /// Builds the engine: constructs all thread traces, runs the scout
     /// phase (SLICC-Pp), and forms teams (type-aware modes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation; [`Engine::try_new`] reports that
+    /// as a typed error instead.
     pub fn new(spec: &'a WorkloadSpec, cfg: &SimConfig) -> Self {
-        cfg.validate();
-        let sys = System::new(cfg);
+        Engine::try_new(spec, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the engine, rejecting invalid configurations as typed
+    /// errors instead of panicking.
+    pub fn try_new(spec: &'a WorkloadSpec, cfg: &SimConfig) -> Result<Self, SimError> {
+        let sys = System::try_new(cfg)?;
         let n = cfg.cores;
         let mode = cfg.mode;
         let scout_core = (mode == SchedulerMode::SliccPp).then(|| CoreId::new((n - 1) as u16));
@@ -229,6 +250,8 @@ impl<'a> Engine<'a> {
             events: Vec::new(),
             vacate_clock: 0,
             vacated_seq: vec![0; n],
+            watchdog: cfg.watchdog,
+            fault: cfg.fault_injection,
         };
 
         match mode {
@@ -248,7 +271,7 @@ impl<'a> Engine<'a> {
                 engine.form_steps_groups(&types);
             }
         }
-        engine
+        Ok(engine)
     }
 
     /// STEPS grouping: same-type thread groups of bounded size, each
@@ -351,8 +374,29 @@ impl<'a> Engine<'a> {
     }
 
     /// Runs the event loop to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event loop stalls or the watchdog fires;
+    /// [`Engine::try_execute`] reports those as typed errors instead.
     pub fn execute(&mut self) {
+        if let Err(e) = self.try_execute() {
+            panic!("{e}");
+        }
+    }
+
+    /// Runs the event loop to completion, reporting a stalled loop or an
+    /// exhausted watchdog fuel budget as a typed [`SimError`].
+    ///
+    /// On error the engine is left at the failure point: metrics and
+    /// state accessors still work, which is what lets the livelock
+    /// snapshot describe the stuck machine.
+    pub fn try_execute(&mut self) -> Result<(), SimError> {
+        if let Some(InjectedFault::Panic) = self.fault {
+            panic!("injected fault: panic on execute (SimConfig::fault_injection)");
+        }
         let total = self.threads.len();
+        let mut heap_steps: u64 = 0;
         self.try_dispatch();
         while self.completed < total {
             let Some(core) = self.pop_next_core() else {
@@ -360,13 +404,56 @@ impl<'a> Engine<'a> {
                 if self.pop_next_core_peek() {
                     continue;
                 }
-                panic!(
-                    "engine stalled: {}/{} threads complete, {} in flight",
-                    self.completed, total, self.in_flight
-                );
+                return Err(SimError::Stalled {
+                    completed: self.completed as u64,
+                    total: total as u64,
+                    in_flight: self.in_flight as u64,
+                });
             };
+            heap_steps += 1;
+            if self.fuel_exhausted(heap_steps, core) {
+                return Err(SimError::Livelock(Box::new(self.livelock_snapshot(heap_steps, core))));
+            }
             self.step(core);
             self.try_dispatch();
+        }
+        Ok(())
+    }
+
+    /// Whether the watchdog's fuel budget is spent. A budget of N heap
+    /// steps admits exactly N steps (so zero trips immediately); the
+    /// cycle bound compares against the popped core's local clock, which
+    /// is the global progress floor under the min-heap discipline.
+    fn fuel_exhausted(&self, heap_steps: u64, core: CoreId) -> bool {
+        self.watchdog.max_heap_steps.is_some_and(|budget| heap_steps > budget)
+            || self.watchdog.max_cycles.is_some_and(|budget| self.sys.timer(core).now() > budget)
+    }
+
+    /// Captures the machine's state for the [`SimError::Livelock`]
+    /// diagnostic: queue depths, migration counters, and the unfinished
+    /// thread that has executed the most instructions.
+    fn livelock_snapshot(&self, heap_steps: u64, core: CoreId) -> LivelockSnapshot {
+        let hottest_thread = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state != ThreadState::Done && t.trace.emitted() > 0)
+            .max_by_key(|(idx, t)| (t.trace.emitted(), std::cmp::Reverse(*idx)))
+            .map(|(idx, t)| HotThread {
+                thread: idx as u32,
+                instructions: t.trace.emitted(),
+                cores_visited: t.cores_visited.len() as usize,
+            });
+        LivelockSnapshot {
+            heap_steps,
+            cycles: self.sys.timer(core).now(),
+            completed: self.completed as u64,
+            total: self.threads.len() as u64,
+            in_flight: self.in_flight as u64,
+            migrations: self.migrations,
+            blocked_migrations: self.blocked_migrations,
+            queue_depths: self.queues.iter().map(|q| q.len()).collect(),
+            hottest_thread,
         }
     }
 

@@ -1,0 +1,319 @@
+//! Typed simulation failures: engine-level [`SimError`] and point-level
+//! [`RunError`].
+//!
+//! The layering mirrors the call stack. The engine reports *what went
+//! wrong inside one simulation* ([`SimError`]: invalid configuration, a
+//! stalled event loop, an exhausted watchdog fuel budget). The runner
+//! wraps that — plus panics caught at the worker boundary — into a
+//! [`RunError`] that also identifies *which point* failed
+//! ([`PointSummary`]: workload, scale, seed, and the stable run-cache
+//! key), so a failed point in a hundred-point sweep can be reproduced
+//! with one `slicc` invocation.
+
+use crate::config::ConfigError;
+use crate::runner::RunRequest;
+use slicc_common::Cycle;
+use std::fmt;
+
+/// A failure inside one simulation (engine/system/config level).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The configuration violates an invariant.
+    Config(ConfigError),
+    /// The event loop ran out of runnable cores before every thread
+    /// completed — a scheduling invariant was violated.
+    Stalled {
+        /// Threads that did complete.
+        completed: u64,
+        /// Threads the workload dispatched in total.
+        total: u64,
+        /// Threads dispatched but never finished.
+        in_flight: u64,
+    },
+    /// The forward-progress watchdog exhausted its fuel budget (see
+    /// [`crate::WatchdogConfig`]). Boxed: the snapshot is large and this
+    /// variant is rare.
+    Livelock(Box<LivelockSnapshot>),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SimError::Stalled { completed, total, in_flight } => write!(
+                f,
+                "engine stalled: {completed}/{total} threads complete, {in_flight} in flight"
+            ),
+            SimError::Livelock(snap) => write!(f, "watchdog fired: {snap}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+/// Diagnostic state captured when the watchdog aborts a run: enough to
+/// tell a migration ping-pong (high migration count, hot thread bouncing)
+/// from a starved queue (deep queues, low completion count) without
+/// re-running the point under a debugger.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LivelockSnapshot {
+    /// Event-loop heap steps executed before the abort.
+    pub heap_steps: u64,
+    /// Local time of the core that tripped the budget.
+    pub cycles: Cycle,
+    /// Threads completed before the abort.
+    pub completed: u64,
+    /// Threads the workload dispatched in total.
+    pub total: u64,
+    /// Threads dispatched and still unfinished.
+    pub in_flight: u64,
+    /// Migrations performed before the abort.
+    pub migrations: u64,
+    /// Migration attempts that had nowhere to go.
+    pub blocked_migrations: u64,
+    /// Waiting threads per core (excludes the running thread).
+    pub queue_depths: Vec<usize>,
+    /// The unfinished thread that has executed the most instructions.
+    pub hottest_thread: Option<HotThread>,
+}
+
+/// The busiest unfinished thread at watchdog time (see
+/// [`LivelockSnapshot`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HotThread {
+    /// Raw thread id.
+    pub thread: u32,
+    /// Instructions the thread had executed.
+    pub instructions: u64,
+    /// Distinct cores the thread had visited.
+    pub cores_visited: usize,
+}
+
+impl fmt::Display for LivelockSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no forward progress after {} heap steps / {} cycles; \
+             {}/{} threads complete ({} in flight), {} migrations \
+             ({} blocked), max queue depth {}",
+            self.heap_steps,
+            self.cycles,
+            self.completed,
+            self.total,
+            self.in_flight,
+            self.migrations,
+            self.blocked_migrations,
+            self.queue_depths.iter().copied().max().unwrap_or(0),
+        )?;
+        if let Some(hot) = &self.hottest_thread {
+            write!(
+                f,
+                "; hottest thread {} ({} instructions over {} cores)",
+                hot.thread, hot.instructions, hot.cores_visited
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Identifies one experiment point in error reports: everything needed to
+/// reproduce it from the command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PointSummary {
+    /// The stable run-cache key ([`RunRequest::stable_key`]).
+    pub key: u64,
+    /// Workload name.
+    pub workload: String,
+    /// Mode label (Base / SLICC / ...).
+    pub mode: String,
+    /// Effective transaction count (after overrides).
+    pub tasks: u32,
+    /// Effective trace seed (after overrides).
+    pub seed: u64,
+    /// Trace segment size in blocks.
+    pub segment_blocks: u32,
+}
+
+impl PointSummary {
+    /// Summarizes `req` for error reporting.
+    pub fn of(req: &RunRequest) -> Self {
+        let scale = req.effective_scale();
+        PointSummary {
+            key: req.stable_key(),
+            workload: req.workload.name().to_string(),
+            mode: req.mode().name().to_string(),
+            tasks: scale.tasks,
+            seed: scale.seed,
+            segment_blocks: scale.segment_blocks,
+        }
+    }
+}
+
+impl fmt::Display for PointSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] tasks={} seg={} seed={} key={:#018x}",
+            self.workload, self.mode, self.tasks, self.segment_blocks, self.seed, self.key
+        )
+    }
+}
+
+/// A failed experiment point, as reported by [`crate::Runner::run_all`].
+/// Every variant carries the [`PointSummary`] of the point that failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunError {
+    /// The simulation panicked; the panic message is preserved.
+    Panicked {
+        /// The failed point.
+        point: PointSummary,
+        /// The panic payload, rendered to a string.
+        payload: String,
+    },
+    /// The watchdog aborted the point for lack of forward progress.
+    Livelock {
+        /// The failed point.
+        point: PointSummary,
+        /// Diagnostic state at abort time.
+        snapshot: Box<LivelockSnapshot>,
+    },
+    /// The event loop stalled with threads still in flight.
+    Stalled {
+        /// The failed point.
+        point: PointSummary,
+        /// Threads that did complete.
+        completed: u64,
+        /// Threads the workload dispatched in total.
+        total: u64,
+        /// Threads dispatched but never finished.
+        in_flight: u64,
+    },
+    /// The point's configuration violates an invariant.
+    Config {
+        /// The failed point.
+        point: PointSummary,
+        /// The violated invariant.
+        error: ConfigError,
+    },
+    /// The worker executing the point died without reporting a result
+    /// (a runner bug; never expected under panic containment).
+    Lost {
+        /// The failed point.
+        point: PointSummary,
+    },
+}
+
+impl RunError {
+    /// Wraps an engine-level error with the identity of the failed point.
+    pub fn from_sim(point: PointSummary, error: SimError) -> Self {
+        match error {
+            SimError::Config(error) => RunError::Config { point, error },
+            SimError::Stalled { completed, total, in_flight } => {
+                RunError::Stalled { point, completed, total, in_flight }
+            }
+            SimError::Livelock(snapshot) => RunError::Livelock { point, snapshot },
+        }
+    }
+
+    /// The identity of the failed point.
+    pub fn point(&self) -> &PointSummary {
+        match self {
+            RunError::Panicked { point, .. }
+            | RunError::Livelock { point, .. }
+            | RunError::Stalled { point, .. }
+            | RunError::Config { point, .. }
+            | RunError::Lost { point } => point,
+        }
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Panicked { point, payload } => {
+                write!(f, "point {point} panicked: {payload}")
+            }
+            RunError::Livelock { point, snapshot } => {
+                write!(f, "point {point} livelocked: {snapshot}")
+            }
+            RunError::Stalled { point, completed, total, in_flight } => write!(
+                f,
+                "point {point} stalled: {completed}/{total} threads complete, {in_flight} in flight"
+            ),
+            RunError::Config { point, error } => {
+                write!(f, "point {point} rejected: {error}")
+            }
+            RunError::Lost { point } => {
+                write!(f, "point {point} lost: worker died without reporting a result")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Config { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use slicc_trace::{TraceScale, Workload};
+
+    fn point() -> PointSummary {
+        let req = RunRequest::new(Workload::TpcC1, TraceScale::tiny(), SimConfig::tiny_test());
+        PointSummary::of(&req)
+    }
+
+    #[test]
+    fn point_summary_names_the_point() {
+        let req = RunRequest::new(Workload::TpcC1, TraceScale::tiny(), SimConfig::tiny_test())
+            .with_tasks(3)
+            .with_seed(42);
+        let p = PointSummary::of(&req);
+        assert_eq!(p.key, req.stable_key());
+        assert_eq!(p.tasks, 3);
+        assert_eq!(p.seed, 42);
+        let rendered = p.to_string();
+        assert!(rendered.contains("TPC-C-1"), "got: {rendered}");
+        assert!(rendered.contains("seed=42"), "got: {rendered}");
+        assert!(rendered.contains("key=0x"), "got: {rendered}");
+    }
+
+    #[test]
+    fn sim_errors_wrap_into_run_errors() {
+        let e = RunError::from_sim(point(), SimError::Stalled { completed: 1, total: 4, in_flight: 2 });
+        assert!(matches!(e, RunError::Stalled { completed: 1, total: 4, in_flight: 2, .. }));
+        let snap = Box::new(LivelockSnapshot { heap_steps: 9, ..Default::default() });
+        let e = RunError::from_sim(point(), SimError::Livelock(snap));
+        assert!(matches!(e, RunError::Livelock { .. }));
+        assert!(e.to_string().contains("9 heap steps"), "got: {e}");
+    }
+
+    #[test]
+    fn displays_carry_the_reproduction_key() {
+        let e = RunError::Panicked { point: point(), payload: "boom".into() };
+        let rendered = e.to_string();
+        assert!(rendered.contains("boom"), "got: {rendered}");
+        assert!(rendered.contains("key=0x"), "got: {rendered}");
+        assert_eq!(e.point().key, point().key);
+    }
+}

@@ -30,9 +30,17 @@
 //! let base = RunRequest::new(Workload::TpcC1, TraceScale::small(), SimConfig::paper_baseline());
 //! let slicc = base.clone().with_mode(SchedulerMode::SliccSw);
 //! let results = runner.run_all(&[base, slicc]);
-//! let speedup = results[0].metrics.cycles as f64 / results[1].metrics.cycles as f64;
+//! let (base, slicc) = (results[0].as_ref().unwrap(), results[1].as_ref().unwrap());
+//! let speedup = base.metrics.cycles as f64 / slicc.metrics.cycles as f64;
 //! println!("speedup: {speedup:.2}x");
 //! ```
+//!
+//! Each point is fault-isolated: `run_all` returns one
+//! `Result<RunResult, RunError>` per request, so a panicking or
+//! livelocking point (see [`WatchdogConfig`]) reports a typed [`RunError`]
+//! while the rest of the batch completes, and
+//! [`Runner::attach_checkpoint`] persists completed points incrementally
+//! so interrupted sweeps resume where they left off.
 //!
 //! Configurations are built through [`SimConfigBuilder`], which validates
 //! cross-field invariants and reports violations as typed
@@ -40,14 +48,20 @@
 //! for custom [`slicc_trace::WorkloadSpec`]s that no preset
 //! [`slicc_trace::Workload`] describes.
 
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod metrics;
 pub mod runner;
 pub mod system;
 
-pub use config::{ConfigError, SchedulerMode, SimConfig, SimConfigBuilder};
-pub use engine::{run, Engine, MigrationEvent};
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointLoad, OpenedCheckpoint};
+pub use config::{
+    ConfigError, InjectedFault, SchedulerMode, SimConfig, SimConfigBuilder, WatchdogConfig,
+};
+pub use engine::{run, try_run, Engine, MigrationEvent};
+pub use error::{HotThread, LivelockSnapshot, PointSummary, RunError, SimError};
 pub use metrics::RunMetrics;
 pub use runner::{RunRequest, RunResult, Runner, RunnerStats};
 pub use system::System;

@@ -1,9 +1,9 @@
 //! Parallel experiment runner: typed run descriptors, a std::thread job
-//! pool, and a memoizing run cache.
+//! pool, a memoizing run cache, and per-point fault isolation.
 //!
 //! Every simulation point is an independent, deterministic, single-threaded
 //! job, so a figure's point set can fan out across host cores. This module
-//! provides the three pieces:
+//! provides the pieces:
 //!
 //! - [`RunRequest`] — the typed experiment-point descriptor (workload,
 //!   scale, config; the mode lives in the config). It is simultaneously
@@ -15,6 +15,14 @@
 //!   work queue. Results always come back in submission order, and
 //!   completed points are memoized, so a Baseline point shared by several
 //!   figures simulates once per process.
+//!
+//! Failures are contained per point: each worker runs its simulation
+//! under `catch_unwind`, so a panicking or livelocking point becomes a
+//! typed [`RunError`] in that point's slot of the batch while every other
+//! point completes normally. Attaching a checkpoint file
+//! ([`Runner::attach_checkpoint`]) persists each completed point as it
+//! finishes, so an interrupted or partially-failed sweep resumes with
+//! only the missing points re-simulated.
 //!
 //! The pool is plain `std::thread::scope` + `std::sync::mpsc` — the
 //! workspace builds with no external dependencies (DESIGN.md §5), and a
@@ -35,16 +43,22 @@
 //!     })
 //!     .collect();
 //! let results = runner.run_all(&reqs);
-//! let speedup = results[0].metrics.cycles as f64 / results[1].metrics.cycles as f64;
-//! println!("SLICC speedup: {speedup:.2}x over {:.0} sim-insn/s", results[1].sim_ips);
+//! let base = results[0].as_ref().expect("baseline point completed");
+//! let slicc = results[1].as_ref().expect("SLICC point completed");
+//! let speedup = base.metrics.cycles as f64 / slicc.metrics.cycles as f64;
+//! println!("SLICC speedup: {speedup:.2}x over {:.0} sim-insn/s", slicc.sim_ips);
 //! ```
 
+use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointLoad};
 use crate::config::{SchedulerMode, SimConfig};
 use crate::engine;
+use crate::error::{PointSummary, RunError, SimError};
 use crate::metrics::RunMetrics;
-use slicc_common::{StableHash, StableHasher};
+use slicc_common::{lock_unpoisoned, StableHash, StableHasher};
 use slicc_trace::{TraceScale, Workload, WorkloadSpec};
 use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
@@ -113,7 +127,10 @@ impl RunRequest {
     }
 
     /// The run-cache key: a stable hash of everything that can influence
-    /// the metrics. Identical on every host and in every process.
+    /// the outcome — including the watchdog fuel budget and any injected
+    /// fault, so an aborted point never aliases its healthy twin in the
+    /// cache or a checkpoint file. Identical on every host and in every
+    /// process.
     pub fn stable_key(&self) -> u64 {
         let mut h = StableHasher::new();
         self.workload.stable_hash(&mut h);
@@ -126,16 +143,21 @@ impl RunRequest {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration violates an invariant; construct
-    /// configs through [`crate::SimConfigBuilder`] to catch that early as
-    /// a [`crate::ConfigError`].
+    /// Panics on any [`SimError`]; [`RunRequest::try_execute`] reports
+    /// those as typed errors instead.
     pub fn execute(&self) -> RunResult {
+        self.try_execute().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs this point now, on the calling thread, bypassing any cache,
+    /// reporting simulation failures as typed errors.
+    pub fn try_execute(&self) -> Result<RunResult, SimError> {
         let spec = self.spec();
         let started = Instant::now();
-        let metrics = engine::run(&spec, &self.config);
+        let metrics = engine::try_run(&spec, &self.config)?;
         let wall = started.elapsed();
         let sim_ips = if wall.as_secs_f64() > 0.0 { metrics.instructions as f64 / wall.as_secs_f64() } else { 0.0 };
-        RunResult { metrics, wall, sim_ips, from_cache: false }
+        Ok(RunResult { metrics, wall, sim_ips, from_cache: false })
     }
 }
 
@@ -159,10 +181,15 @@ pub struct RunResult {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RunnerStats {
     /// Requests served from the memoized run cache (including duplicates
-    /// within one batch).
+    /// within one batch and points seeded from a checkpoint).
     pub cache_hits: u64,
-    /// Requests that required a fresh simulation.
+    /// Requests that required a fresh simulation attempt (successful or
+    /// not).
     pub cache_misses: u64,
+    /// Fresh simulation attempts that failed with a [`RunError`]. Failed
+    /// points are never cached, so they are re-attempted by every batch
+    /// that names them.
+    pub failed_points: u64,
     /// Total instructions simulated by fresh runs.
     pub simulated_instructions: u64,
     /// Total CPU time spent inside fresh simulations (sums across worker
@@ -190,11 +217,18 @@ impl RunnerStats {
 /// simulate exactly once. Results are returned in submission order
 /// regardless of completion order, so output is deterministic for any
 /// `jobs` value.
+///
+/// Faults are isolated per point: a panic or watchdog abort in one
+/// simulation yields a [`RunError`] for that point only. All shared state
+/// is accessed with poison recovery, so a panicked worker never wedges
+/// [`Runner::cached_points`] or [`Runner::stats`].
 pub struct Runner {
     jobs: usize,
     cache: Mutex<HashMap<u64, RunResult>>,
+    checkpoint: Mutex<Option<Checkpoint>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    failures: AtomicU64,
     simulated_instructions: AtomicU64,
     busy_nanos: AtomicU64,
 }
@@ -205,8 +239,10 @@ impl Runner {
         Runner {
             jobs: jobs.max(1),
             cache: Mutex::new(HashMap::new()),
+            checkpoint: Mutex::new(None),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
             simulated_instructions: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
         }
@@ -227,8 +263,26 @@ impl Runner {
         self.jobs
     }
 
+    /// Attaches a checkpoint file: previously completed points are seeded
+    /// into the run cache (they will be served as cache hits), and every
+    /// point completed from now on is appended to the file as it
+    /// finishes. A corrupt tail in an existing file is discarded — see
+    /// [`Checkpoint::open`]. Attach before the first `run_all` call:
+    /// points that are already memoized are not retroactively written.
+    pub fn attach_checkpoint(&self, path: impl AsRef<Path>) -> Result<CheckpointLoad, CheckpointError> {
+        let (ckpt, entries, load) = Checkpoint::open(path.as_ref())?;
+        {
+            let mut cache = lock_unpoisoned(&self.cache);
+            for (key, result) in entries {
+                cache.entry(key).or_insert(result);
+            }
+        }
+        *lock_unpoisoned(&self.checkpoint) = Some(ckpt);
+        Ok(load)
+    }
+
     /// Runs one point, serving it from the run cache when possible.
-    pub fn run(&self, req: &RunRequest) -> RunResult {
+    pub fn run(&self, req: &RunRequest) -> Result<RunResult, RunError> {
         self.run_all(std::slice::from_ref(req)).pop().expect("one request yields one result")
     }
 
@@ -237,7 +291,13 @@ impl Runner {
     /// Returns one result per request, in submission order. Duplicate
     /// points — within the batch or across earlier calls — simulate once;
     /// their repeats are marked [`RunResult::from_cache`].
-    pub fn run_all(&self, reqs: &[RunRequest]) -> Vec<RunResult> {
+    ///
+    /// Failures are per point: a panicking, livelocking, or misconfigured
+    /// point yields a [`RunError`] in its slot while the rest of the
+    /// batch completes. Failed points are not cached (and not
+    /// checkpointed), so a later batch — e.g. a resumed sweep — attempts
+    /// them again.
+    pub fn run_all(&self, reqs: &[RunRequest]) -> Vec<Result<RunResult, RunError>> {
         let keys: Vec<u64> = reqs.iter().map(RunRequest::stable_key).collect();
 
         // Serve whatever the cache already has, and collect the distinct
@@ -245,7 +305,7 @@ impl Runner {
         // scheduling is reproducible).
         let mut fresh: Vec<(u64, &RunRequest)> = Vec::new();
         {
-            let cache = self.cache.lock().expect("run cache poisoned");
+            let cache = lock_unpoisoned(&self.cache);
             for (&key, req) in keys.iter().zip(reqs) {
                 if !cache.contains_key(&key) && fresh.iter().all(|&(k, _)| k != key) {
                     fresh.push((key, req));
@@ -255,20 +315,34 @@ impl Runner {
 
         let computed = self.simulate_batch(&fresh);
 
-        let mut cache = self.cache.lock().expect("run cache poisoned");
-        for ((key, _), result) in fresh.iter().zip(computed) {
+        let mut failed: HashMap<u64, RunError> = HashMap::new();
+        let mut cache = lock_unpoisoned(&self.cache);
+        for ((key, _), outcome) in fresh.iter().zip(computed) {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            self.simulated_instructions.fetch_add(result.metrics.instructions, Ordering::Relaxed);
-            self.busy_nanos.fetch_add(result.wall.as_nanos() as u64, Ordering::Relaxed);
-            cache.insert(*key, result);
+            match outcome {
+                Ok(result) => {
+                    self.simulated_instructions.fetch_add(result.metrics.instructions, Ordering::Relaxed);
+                    self.busy_nanos.fetch_add(result.wall.as_nanos() as u64, Ordering::Relaxed);
+                    cache.insert(*key, result);
+                }
+                Err(error) => {
+                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    failed.insert(*key, error);
+                }
+            }
         }
 
         // Assemble results in submission order. The first occurrence of a
         // freshly simulated point reports from_cache = false; everything
         // else (cache hits and intra-batch duplicates) reports true.
+        // Failed points are reported (cloned for duplicates) and counted
+        // neither as hits nor as extra misses.
         let mut first_use: Vec<u64> = Vec::new();
         keys.iter()
             .map(|key| {
+                if let Some(error) = failed.get(key) {
+                    return Err(error.clone());
+                }
                 let mut result = cache.get(key).expect("every key was simulated or cached").clone();
                 let fresh_now = fresh.iter().any(|&(k, _)| k == *key) && !first_use.contains(key);
                 if fresh_now {
@@ -277,14 +351,26 @@ impl Runner {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                 }
                 result.from_cache = !fresh_now;
-                result
+                Ok(result)
             })
             .collect()
     }
 
-    /// Convenience over [`Runner::run_all`] when only the metrics matter.
+    /// Convenience over [`Runner::run_all`] when only the metrics matter
+    /// and failure should be fatal (the figure pipeline: a figure with a
+    /// missing point is not a figure).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`RunError`] report of the first failed point.
     pub fn run_metrics(&self, reqs: &[RunRequest]) -> Vec<RunMetrics> {
-        self.run_all(reqs).into_iter().map(|r| r.metrics).collect()
+        self.run_all(reqs)
+            .into_iter()
+            .map(|r| match r {
+                Ok(result) => result.metrics,
+                Err(e) => panic!("simulation point failed: {e}"),
+            })
+            .collect()
     }
 
     /// Aggregate cache and throughput counters.
@@ -292,46 +378,93 @@ impl Runner {
         RunnerStats {
             cache_hits: self.hits.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),
+            failed_points: self.failures.load(Ordering::Relaxed),
             simulated_instructions: self.simulated_instructions.load(Ordering::Relaxed),
             busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
         }
     }
 
-    /// Points currently memoized.
+    /// Points currently memoized (including any seeded from a
+    /// checkpoint).
     pub fn cached_points(&self) -> usize {
-        self.cache.lock().expect("run cache poisoned").len()
+        lock_unpoisoned(&self.cache).len()
     }
 
-    /// Simulates the given distinct points, returning results in the same
-    /// order. Runs inline for one worker, otherwise fans out over an mpsc
-    /// work queue shared by `min(jobs, points)` threads.
-    fn simulate_batch(&self, fresh: &[(u64, &RunRequest)]) -> Vec<RunResult> {
+    /// Executes one point with panic containment: a panic anywhere in the
+    /// simulation (or an engine-level [`SimError`]) becomes a [`RunError`]
+    /// carrying the point's identity, instead of unwinding into the pool.
+    fn execute_point(req: &RunRequest) -> Result<RunResult, RunError> {
+        let point = PointSummary::of(req);
+        match panic::catch_unwind(AssertUnwindSafe(|| req.try_execute())) {
+            Ok(Ok(result)) => Ok(result),
+            Ok(Err(sim_error)) => Err(RunError::from_sim(point, sim_error)),
+            // `as_ref` matters: `&payload` would coerce the Box itself into
+            // the `dyn Any`, and the downcasts below would never match.
+            Err(payload) => {
+                Err(RunError::Panicked { point, payload: panic_message(payload.as_ref()) })
+            }
+        }
+    }
+
+    /// Appends a completed point to the attached checkpoint, if any. A
+    /// write failure disables checkpointing for the rest of the process
+    /// (with one warning) rather than failing the batch: the results in
+    /// memory are still good.
+    fn checkpoint_store(&self, key: u64, result: &RunResult) {
+        let mut guard = lock_unpoisoned(&self.checkpoint);
+        if let Some(ckpt) = guard.as_mut() {
+            if let Err(e) = ckpt.append(key, result) {
+                eprintln!(
+                    "warning: checkpoint write to {} failed ({e}); checkpointing disabled",
+                    ckpt.path().display()
+                );
+                *guard = None;
+            }
+        }
+    }
+
+    /// Simulates the given distinct points, returning outcomes in the
+    /// same order. Runs inline for one worker, otherwise fans out over an
+    /// mpsc work queue shared by `min(jobs, points)` threads. Each
+    /// completed point is checkpointed as it finishes, not at batch end,
+    /// so an interrupted sweep keeps its completed prefix.
+    fn simulate_batch(&self, fresh: &[(u64, &RunRequest)]) -> Vec<Result<RunResult, RunError>> {
         let workers = self.jobs.min(fresh.len());
         if workers <= 1 {
-            return fresh.iter().map(|&(_, req)| req.execute()).collect();
+            return fresh
+                .iter()
+                .map(|&(key, req)| {
+                    let outcome = Runner::execute_point(req);
+                    if let Ok(result) = &outcome {
+                        self.checkpoint_store(key, result);
+                    }
+                    outcome
+                })
+                .collect();
         }
 
         let (job_tx, job_rx) = mpsc::channel::<(usize, &RunRequest)>();
         let job_rx = Mutex::new(job_rx);
-        let (result_tx, result_rx) = mpsc::channel::<(usize, RunResult)>();
+        let (result_tx, result_rx) = mpsc::channel::<(usize, Result<RunResult, RunError>)>();
         for (idx, &(_, req)) in fresh.iter().enumerate() {
             job_tx.send((idx, req)).expect("receiver outlives submission");
         }
         drop(job_tx);
 
-        let mut results: Vec<Option<RunResult>> = vec![None; fresh.len()];
+        let mut results: Vec<Option<Result<RunResult, RunError>>> = vec![None; fresh.len()];
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let job_rx = &job_rx;
                 let result_tx = result_tx.clone();
                 scope.spawn(move || loop {
                     // Hold the queue lock only for the dequeue, not the
-                    // simulation.
-                    let job = job_rx.lock().expect("job queue poisoned").recv();
+                    // simulation. Poison recovery: another worker dying
+                    // while holding the lock must not cascade.
+                    let job = lock_unpoisoned(job_rx).recv();
                     match job {
                         Ok((idx, req)) => {
-                            let result = req.execute();
-                            if result_tx.send((idx, result)).is_err() {
+                            let outcome = Runner::execute_point(req);
+                            if result_tx.send((idx, outcome)).is_err() {
                                 return;
                             }
                         }
@@ -340,12 +473,37 @@ impl Runner {
                 });
             }
             drop(result_tx);
-            // Reassemble in submission order as workers finish.
-            for (idx, result) in result_rx {
-                results[idx] = Some(result);
+            // Reassemble in submission order as workers finish,
+            // checkpointing each success immediately.
+            for (idx, outcome) in result_rx {
+                if let Ok(result) = &outcome {
+                    self.checkpoint_store(fresh[idx].0, result);
+                }
+                results[idx] = Some(outcome);
             }
         });
-        results.into_iter().map(|r| r.expect("every job completed")).collect()
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(idx, outcome)| {
+                // A missing slot means a worker died without even a panic
+                // report — contained, but diagnosable.
+                outcome.unwrap_or_else(|| Err(RunError::Lost { point: PointSummary::of(fresh[idx].1) }))
+            })
+            .collect()
+    }
+}
+
+/// Renders a caught panic payload for [`RunError::Panicked`]. Panics
+/// almost always carry `&str` or `String`; anything else is reported by
+/// type only.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -358,9 +516,14 @@ impl Default for Runner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{InjectedFault, SimConfigBuilder};
 
     fn tiny_request() -> RunRequest {
         RunRequest::new(Workload::TpcC1, TraceScale::tiny(), SimConfig::tiny_test())
+    }
+
+    fn expect_ok(r: Result<RunResult, RunError>) -> RunResult {
+        r.expect("point must complete")
     }
 
     #[test]
@@ -390,14 +553,15 @@ mod tests {
     fn cache_hits_identical_request() {
         let runner = Runner::new(1);
         let req = tiny_request();
-        let first = runner.run(&req);
-        let second = runner.run(&req);
+        let first = expect_ok(runner.run(&req));
+        let second = expect_ok(runner.run(&req));
         assert!(!first.from_cache);
         assert!(second.from_cache);
         assert_eq!(format!("{:?}", first.metrics), format!("{:?}", second.metrics));
         let stats = runner.stats();
         assert_eq!(stats.cache_misses, 1);
         assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.failed_points, 0);
         assert_eq!(runner.cached_points(), 1);
     }
 
@@ -405,12 +569,12 @@ mod tests {
     fn cache_misses_when_any_field_differs() {
         let runner = Runner::new(1);
         let base = tiny_request();
-        runner.run(&base);
-        runner.run(&base.clone().with_mode(SchedulerMode::Slicc));
-        runner.run(&base.clone().with_seed(123));
+        expect_ok(runner.run(&base));
+        expect_ok(runner.run(&base.clone().with_mode(SchedulerMode::Slicc)));
+        expect_ok(runner.run(&base.clone().with_seed(123)));
         let mut policy_seed = base.clone();
         policy_seed.config.seed ^= 1;
-        runner.run(&policy_seed);
+        expect_ok(runner.run(&policy_seed));
         let stats = runner.stats();
         assert_eq!(stats.cache_misses, 4, "each distinct request must simulate");
         assert_eq!(stats.cache_hits, 0);
@@ -421,7 +585,11 @@ mod tests {
         let runner = Runner::new(2);
         let base = tiny_request();
         let slicc = base.clone().with_mode(SchedulerMode::Slicc);
-        let results = runner.run_all(&[base.clone(), slicc.clone(), base.clone(), slicc]);
+        let results: Vec<RunResult> = runner
+            .run_all(&[base.clone(), slicc.clone(), base.clone(), slicc])
+            .into_iter()
+            .map(expect_ok)
+            .collect();
         assert_eq!(results.len(), 4);
         assert_eq!(runner.stats().cache_misses, 2, "two distinct points in the batch");
         assert!(!results[0].from_cache);
@@ -446,6 +614,7 @@ mod tests {
         .collect();
         let results = runner.run_all(&reqs);
         for (req, result) in reqs.iter().zip(&results) {
+            let result = result.as_ref().expect("point must complete");
             assert_eq!(result.metrics.mode, req.mode().name(), "result out of submission order");
         }
     }
@@ -453,10 +622,60 @@ mod tests {
     #[test]
     fn observability_counters_accumulate() {
         let runner = Runner::new(1);
-        let result = runner.run(&tiny_request());
+        let result = expect_ok(runner.run(&tiny_request()));
         let stats = runner.stats();
         assert_eq!(stats.simulated_instructions, result.metrics.instructions);
         assert!(stats.busy_nanos > 0);
         assert!(stats.sim_ips() > 0.0);
+    }
+
+    fn panicking_request() -> RunRequest {
+        let config = SimConfigBuilder::tiny_test()
+            .inject_fault(InjectedFault::Panic)
+            .build()
+            .expect("fault injection is a valid config");
+        RunRequest::new(Workload::TpcC1, TraceScale::tiny(), config)
+    }
+
+    #[test]
+    fn a_panicking_point_is_contained_and_identified() {
+        let runner = Runner::new(2);
+        let bad = panicking_request();
+        let err = runner.run(&bad).expect_err("injected panic must surface");
+        match &err {
+            RunError::Panicked { point, payload } => {
+                assert_eq!(point.key, bad.stable_key());
+                assert!(payload.contains("injected fault"), "got payload: {payload}");
+            }
+            other => panic!("expected Panicked, got {other}"),
+        }
+        assert_eq!(runner.stats().failed_points, 1);
+        // The runner is still fully usable after the panic.
+        assert_eq!(runner.cached_points(), 0);
+        expect_ok(runner.run(&tiny_request()));
+    }
+
+    #[test]
+    fn failed_points_are_not_cached_and_retry() {
+        let runner = Runner::new(1);
+        let bad = panicking_request();
+        assert!(runner.run(&bad).is_err());
+        assert!(runner.run(&bad).is_err(), "failures are re-attempted, not cached");
+        let stats = runner.stats();
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.failed_points, 2);
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn duplicate_failed_points_in_one_batch_share_the_error() {
+        let runner = Runner::new(2);
+        let bad = panicking_request();
+        let results = runner.run_all(&[bad.clone(), tiny_request(), bad.clone()]);
+        assert!(results[0].is_err());
+        assert!(results[1].is_ok());
+        assert!(results[2].is_err());
+        assert_eq!(runner.stats().cache_misses, 2, "the duplicate failure simulates once");
+        assert_eq!(runner.stats().failed_points, 1);
     }
 }

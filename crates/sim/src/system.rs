@@ -51,9 +51,16 @@ impl System {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg` fails [`SimConfig::validate`].
+    /// Panics if `cfg` fails [`SimConfig::validate`]. Fallible callers
+    /// (the engine's error path) use [`System::try_new`].
     pub fn new(cfg: &SimConfig) -> Self {
-        cfg.validate();
+        System::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the machine described by `cfg`, rejecting invalid
+    /// configurations as typed errors instead of panicking.
+    pub fn try_new(cfg: &SimConfig) -> Result<Self, crate::ConfigError> {
+        cfg.try_validate()?;
         let l1i_geom = cfg.l1i_geometry();
         let l1d_geom = cfg.l1d_geometry();
         let cores = (0..cfg.cores)
@@ -70,7 +77,7 @@ impl System {
                 d_classifier: cfg.classify_3c.then(|| ThreeCClassifier::new(l1d_geom.num_blocks() as usize)),
             })
             .collect();
-        System {
+        Ok(System {
             noc: Torus::new(cfg.noc_cols, cfg.noc_rows),
             noc_stats: NocStats::default(),
             l2: L2Nuca::new(
@@ -84,7 +91,7 @@ impl System {
             l1i_latency: cfg.l1i_latency(),
             bloom_accuracy: SignatureAccuracy::default(),
             cfg: cfg.clone(),
-        }
+        })
     }
 
     /// The configuration this machine was built from.

@@ -22,6 +22,7 @@
 //! ```
 
 use crate::access::{DataAccess, Record};
+use crate::validate::{validate_records, RecordIssue};
 use slicc_common::{Addr, ThreadId, TxnTypeId};
 use std::io::{self, Read, Write};
 
@@ -30,6 +31,12 @@ const TAG_COMPUTE: u8 = 0;
 const TAG_LOAD: u8 = 1;
 const TAG_STORE: u8 = 2;
 const TAG_END: u8 = 0xFF;
+
+/// Default per-trace record cap for [`decode_trace`]: far above any
+/// trace the generator emits (the paper-like scale peaks in the low
+/// millions), but small enough that a corrupt or adversarial stream
+/// cannot balloon the decoder's allocation unboundedly.
+pub const MAX_TRACE_RECORDS: usize = 1 << 24;
 
 /// Errors produced while decoding a trace.
 #[derive(Debug)]
@@ -42,6 +49,14 @@ pub enum DecodeTraceError {
     BadTag(u8),
     /// The stream ended without an end marker.
     Truncated,
+    /// The stream holds more records than the decoder's limit.
+    TooLong {
+        /// The record limit that was exceeded.
+        limit: usize,
+    },
+    /// The stream decoded cleanly but a record is structurally
+    /// impossible (see [`validate_records`]).
+    Invalid(RecordIssue),
 }
 
 impl std::fmt::Display for DecodeTraceError {
@@ -51,6 +66,10 @@ impl std::fmt::Display for DecodeTraceError {
             DecodeTraceError::BadMagic => write!(f, "stream is not a SLICC trace (bad magic)"),
             DecodeTraceError::BadTag(t) => write!(f, "unknown record tag {t:#x}"),
             DecodeTraceError::Truncated => write!(f, "trace ended without an end marker"),
+            DecodeTraceError::TooLong { limit } => {
+                write!(f, "trace exceeds the record limit of {limit}")
+            }
+            DecodeTraceError::Invalid(issue) => write!(f, "trace failed validation: {issue}"),
         }
     }
 }
@@ -59,8 +78,15 @@ impl std::error::Error for DecodeTraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DecodeTraceError::Io(e) => Some(e),
+            DecodeTraceError::Invalid(issue) => Some(issue),
             _ => None,
         }
+    }
+}
+
+impl From<RecordIssue> for DecodeTraceError {
+    fn from(issue: RecordIssue) -> Self {
+        DecodeTraceError::Invalid(issue)
     }
 }
 
@@ -142,10 +168,31 @@ fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
 
 /// Reads one thread's trace written by [`encode_trace`].
 ///
+/// Every decoded trace is validated: records are capped at
+/// [`MAX_TRACE_RECORDS`] and checked with [`validate_records`], so a
+/// corrupt or hand-forged stream is rejected here rather than producing
+/// impossible accesses inside the simulator.
+///
 /// # Errors
 ///
-/// Returns [`DecodeTraceError`] on malformed or truncated input.
-pub fn decode_trace<R: Read>(mut r: R) -> Result<DecodedTrace, DecodeTraceError> {
+/// Returns [`DecodeTraceError`] on malformed, truncated, oversized, or
+/// structurally invalid input.
+pub fn decode_trace<R: Read>(r: R) -> Result<DecodedTrace, DecodeTraceError> {
+    decode_trace_with_limit(r, MAX_TRACE_RECORDS)
+}
+
+/// [`decode_trace`] with a caller-chosen record limit, for contexts that
+/// know how large a legitimate trace can be (tiny-scale tests, embedded
+/// replay) and want to fail faster on runaway input.
+///
+/// # Errors
+///
+/// Returns [`DecodeTraceError::TooLong`] as soon as the stream yields
+/// more than `limit` records; otherwise as [`decode_trace`].
+pub fn decode_trace_with_limit<R: Read>(
+    mut r: R,
+    limit: usize,
+) -> Result<DecodedTrace, DecodeTraceError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -175,8 +222,12 @@ pub fn decode_trace<R: Read>(mut r: R) -> Result<DecodedTrace, DecodeTraceError>
             }
             t => return Err(DecodeTraceError::BadTag(t)),
         };
+        if records.len() >= limit {
+            return Err(DecodeTraceError::TooLong { limit });
+        }
         records.push(rec);
     }
+    validate_records(&records)?;
     Ok(DecodedTrace { thread, txn_type, records })
 }
 
@@ -244,5 +295,40 @@ mod tests {
         let e = DecodeTraceError::BadTag(0x42);
         assert!(e.to_string().contains("0x42"));
         assert!(DecodeTraceError::BadMagic.to_string().contains("magic"));
+        assert!(DecodeTraceError::TooLong { limit: 64 }.to_string().contains("64"));
+    }
+
+    #[test]
+    fn record_limit_is_enforced() {
+        let records = vec![Record::compute(Addr::new(0x10_0000)); 5];
+        let mut buf = Vec::new();
+        encode_trace(&mut buf, ThreadId::new(0), TxnTypeId::new(0), records).unwrap();
+        assert!(matches!(
+            decode_trace_with_limit(&mut buf.as_slice(), 4),
+            Err(DecodeTraceError::TooLong { limit: 4 })
+        ));
+        // At exactly the limit the trace decodes.
+        let decoded = decode_trace_with_limit(&mut buf.as_slice(), 5).unwrap();
+        assert_eq!(decoded.records.len(), 5);
+    }
+
+    #[test]
+    fn structurally_invalid_records_are_rejected() {
+        use crate::validate::RecordIssue;
+        let mut buf = Vec::new();
+        encode_trace(
+            &mut buf,
+            ThreadId::new(0),
+            TxnTypeId::new(0),
+            vec![
+                Record::compute(Addr::new(0x10_0000)),
+                Record::load(Addr::new(0x10_0040), Addr::new(0)),
+            ],
+        )
+        .unwrap();
+        assert!(matches!(
+            decode_trace(&mut buf.as_slice()),
+            Err(DecodeTraceError::Invalid(RecordIssue::ZeroDataAddr { index: 1 }))
+        ));
     }
 }

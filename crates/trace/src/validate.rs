@@ -6,8 +6,66 @@
 //! [`crate::WorkloadBuilder`]) can be verified before simulation, and so
 //! the presets are pinned to the paper's characterization by tests.
 
+use crate::access::Record;
 use crate::workload::WorkloadSpec;
 use slicc_common::{CacheGeometry, TxnTypeId};
+
+/// A structurally impossible record found in a decoded trace.
+///
+/// Every address space in the generator starts well above zero (the code
+/// region begins at `0x10_0000`, data regions higher still), so a zero
+/// address in a trace always means corruption or a foreign producer's
+/// bug — never a legitimate access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordIssue {
+    /// A record fetches from address zero.
+    ZeroPc {
+        /// Index of the offending record in the trace.
+        index: usize,
+    },
+    /// A load or store touches data address zero.
+    ZeroDataAddr {
+        /// Index of the offending record in the trace.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for RecordIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordIssue::ZeroPc { index } => {
+                write!(f, "record {index} fetches from address zero")
+            }
+            RecordIssue::ZeroDataAddr { index } => {
+                write!(f, "record {index} accesses data address zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordIssue {}
+
+/// Checks every record of a trace for structural impossibilities,
+/// reporting the first one found. [`crate::codec::decode_trace`] runs
+/// this on every decoded trace, so corrupt or hand-forged streams are
+/// rejected before they reach the simulator.
+///
+/// # Errors
+///
+/// Returns the first [`RecordIssue`] encountered, with the record index.
+pub fn validate_records(records: &[Record]) -> Result<(), RecordIssue> {
+    for (index, rec) in records.iter().enumerate() {
+        if rec.pc.raw() == 0 {
+            return Err(RecordIssue::ZeroPc { index });
+        }
+        if let Some(data) = rec.data {
+            if data.addr.raw() == 0 {
+                return Err(RecordIssue::ZeroDataAddr { index });
+            }
+        }
+    }
+    Ok(())
+}
 
 /// The result of checking one workload against the §2/§3 premises for a
 /// given L1-I shape and core count.
@@ -136,6 +194,32 @@ mod tests {
         let r = validate_structure(&spec, baseline_l1i(), 16);
         assert!(!r.segments_fit_l1);
         assert!(!r.all_hold());
+    }
+
+    #[test]
+    fn generated_traces_pass_record_validation() {
+        let spec = Workload::TpcC1.spec(TraceScale::tiny());
+        for t in spec.threads() {
+            let records: Vec<_> = spec.thread_trace(t).collect();
+            assert_eq!(validate_records(&records), Ok(()), "thread {t:?}");
+        }
+    }
+
+    #[test]
+    fn zero_addresses_are_flagged_with_their_index() {
+        use crate::access::Record;
+        use slicc_common::Addr;
+        let good = Record::load(Addr::new(0x10_0000), Addr::new(0x4000_0000));
+        assert_eq!(
+            validate_records(&[good, Record::compute(Addr::new(0))]),
+            Err(RecordIssue::ZeroPc { index: 1 })
+        );
+        assert_eq!(
+            validate_records(&[good, Record::store(Addr::new(0x10_0040), Addr::new(0))]),
+            Err(RecordIssue::ZeroDataAddr { index: 1 })
+        );
+        let msg = RecordIssue::ZeroDataAddr { index: 7 }.to_string();
+        assert!(msg.contains('7'), "message must carry the index: {msg}");
     }
 
     #[test]

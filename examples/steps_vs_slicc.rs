@@ -69,7 +69,7 @@ fn main() {
         "Instruction misses: STEPS {:.1} vs SLICC {:.1} MPKI; end-to-end: {:.2}x vs {:.2}x.",
         steps.i_mpki(),
         slicc.i_mpki(),
-        steps.speedup_over(&base),
-        slicc.speedup_over(&base),
+        steps.speedup_over(base),
+        slicc.speedup_over(base),
     );
 }

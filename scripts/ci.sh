@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# The full CI gate: release build, test suite, and lint-clean clippy.
+# Run from anywhere; operates on the workspace that contains this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-6870c0535115585b.d: crates/sim/../../tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-6870c0535115585b.rmeta: crates/sim/../../tests/cli.rs Cargo.toml
+
+crates/sim/../../tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_slicc=placeholder:slicc
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure4_scenario-e15f0cfa40da270e.d: crates/sim/../../tests/figure4_scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure4_scenario-e15f0cfa40da270e.rmeta: crates/sim/../../tests/figure4_scenario.rs Cargo.toml
+
+crates/sim/../../tests/figure4_scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-ce2cfd8b3b85096e.d: crates/bench/src/bin/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-ce2cfd8b3b85096e.rmeta: crates/bench/src/bin/figures.rs Cargo.toml
+
+crates/bench/src/bin/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-772f9e4f6a08cc88.d: crates/sim/../../tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-772f9e4f6a08cc88.rmeta: crates/sim/../../tests/integration.rs Cargo.toml
+
+crates/sim/../../tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runner-fd254d94c5a11f0b.d: crates/sim/../../tests/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/librunner-fd254d94c5a11f0b.rmeta: crates/sim/../../tests/runner.rs Cargo.toml
+
+crates/sim/../../tests/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slicc-42c20f67c17491d0.d: crates/sim/src/bin/slicc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslicc-42c20f67c17491d0.rmeta: crates/sim/src/bin/slicc.rs Cargo.toml
+
+crates/sim/src/bin/slicc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slicc-655a7f553e70d9a6.d: crates/sim/src/bin/slicc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslicc-655a7f553e70d9a6.rmeta: crates/sim/src/bin/slicc.rs Cargo.toml
+
+crates/sim/src/bin/slicc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/slicc_bench-098833236eb070fd.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslicc_bench-098833236eb070fd.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/microbench.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:
+crates/bench/src/microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

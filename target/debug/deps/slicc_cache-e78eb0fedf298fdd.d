@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/slicc_cache-e78eb0fedf298fdd.d: crates/cache/src/lib.rs crates/cache/src/bloom.rs crates/cache/src/cache.rs crates/cache/src/classify.rs crates/cache/src/lru_list.rs crates/cache/src/mshr.rs crates/cache/src/pif.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslicc_cache-e78eb0fedf298fdd.rmeta: crates/cache/src/lib.rs crates/cache/src/bloom.rs crates/cache/src/cache.rs crates/cache/src/classify.rs crates/cache/src/lru_list.rs crates/cache/src/mshr.rs crates/cache/src/pif.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+crates/cache/src/bloom.rs:
+crates/cache/src/cache.rs:
+crates/cache/src/classify.rs:
+crates/cache/src/lru_list.rs:
+crates/cache/src/mshr.rs:
+crates/cache/src/pif.rs:
+crates/cache/src/policy.rs:
+crates/cache/src/prefetch.rs:
+crates/cache/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

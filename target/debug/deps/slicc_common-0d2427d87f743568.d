@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/slicc_common-0d2427d87f743568.d: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/fifo.rs crates/common/src/geometry.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/latency.rs crates/common/src/merge.rs crates/common/src/rng.rs crates/common/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslicc_common-0d2427d87f743568.rmeta: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/fifo.rs crates/common/src/geometry.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/latency.rs crates/common/src/merge.rs crates/common/src/rng.rs crates/common/src/sync.rs Cargo.toml
+
+crates/common/src/lib.rs:
+crates/common/src/addr.rs:
+crates/common/src/fifo.rs:
+crates/common/src/geometry.rs:
+crates/common/src/hash.rs:
+crates/common/src/ids.rs:
+crates/common/src/latency.rs:
+crates/common/src/merge.rs:
+crates/common/src/rng.rs:
+crates/common/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

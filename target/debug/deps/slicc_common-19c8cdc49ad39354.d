@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/slicc_common-19c8cdc49ad39354.d: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/fifo.rs crates/common/src/geometry.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/latency.rs crates/common/src/merge.rs crates/common/src/rng.rs
+/root/repo/target/debug/deps/slicc_common-19c8cdc49ad39354.d: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/fifo.rs crates/common/src/geometry.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/latency.rs crates/common/src/merge.rs crates/common/src/rng.rs crates/common/src/sync.rs
 
-/root/repo/target/debug/deps/libslicc_common-19c8cdc49ad39354.rlib: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/fifo.rs crates/common/src/geometry.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/latency.rs crates/common/src/merge.rs crates/common/src/rng.rs
+/root/repo/target/debug/deps/libslicc_common-19c8cdc49ad39354.rlib: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/fifo.rs crates/common/src/geometry.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/latency.rs crates/common/src/merge.rs crates/common/src/rng.rs crates/common/src/sync.rs
 
-/root/repo/target/debug/deps/libslicc_common-19c8cdc49ad39354.rmeta: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/fifo.rs crates/common/src/geometry.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/latency.rs crates/common/src/merge.rs crates/common/src/rng.rs
+/root/repo/target/debug/deps/libslicc_common-19c8cdc49ad39354.rmeta: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/fifo.rs crates/common/src/geometry.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/latency.rs crates/common/src/merge.rs crates/common/src/rng.rs crates/common/src/sync.rs
 
 crates/common/src/lib.rs:
 crates/common/src/addr.rs:
@@ -13,3 +13,4 @@ crates/common/src/ids.rs:
 crates/common/src/latency.rs:
 crates/common/src/merge.rs:
 crates/common/src/rng.rs:
+crates/common/src/sync.rs:

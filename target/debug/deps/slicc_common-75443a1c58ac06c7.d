@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/slicc_common-75443a1c58ac06c7.d: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/fifo.rs crates/common/src/geometry.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/latency.rs crates/common/src/merge.rs crates/common/src/rng.rs
+/root/repo/target/debug/deps/slicc_common-75443a1c58ac06c7.d: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/fifo.rs crates/common/src/geometry.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/latency.rs crates/common/src/merge.rs crates/common/src/rng.rs crates/common/src/sync.rs
 
-/root/repo/target/debug/deps/slicc_common-75443a1c58ac06c7: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/fifo.rs crates/common/src/geometry.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/latency.rs crates/common/src/merge.rs crates/common/src/rng.rs
+/root/repo/target/debug/deps/slicc_common-75443a1c58ac06c7: crates/common/src/lib.rs crates/common/src/addr.rs crates/common/src/fifo.rs crates/common/src/geometry.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/latency.rs crates/common/src/merge.rs crates/common/src/rng.rs crates/common/src/sync.rs
 
 crates/common/src/lib.rs:
 crates/common/src/addr.rs:
@@ -11,3 +11,4 @@ crates/common/src/ids.rs:
 crates/common/src/latency.rs:
 crates/common/src/merge.rs:
 crates/common/src/rng.rs:
+crates/common/src/sync.rs:

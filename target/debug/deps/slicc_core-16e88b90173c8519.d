@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/slicc_core-16e88b90173c8519.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/hw_cost.rs crates/core/src/mask.rs crates/core/src/mc.rs crates/core/src/msv.rs crates/core/src/mtq.rs crates/core/src/params.rs crates/core/src/scout.rs crates/core/src/team.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslicc_core-16e88b90173c8519.rmeta: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/hw_cost.rs crates/core/src/mask.rs crates/core/src/mc.rs crates/core/src/msv.rs crates/core/src/mtq.rs crates/core/src/params.rs crates/core/src/scout.rs crates/core/src/team.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/agent.rs:
+crates/core/src/hw_cost.rs:
+crates/core/src/mask.rs:
+crates/core/src/mc.rs:
+crates/core/src/msv.rs:
+crates/core/src/mtq.rs:
+crates/core/src/params.rs:
+crates/core/src/scout.rs:
+crates/core/src/team.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/slicc_cpu-3895aaaa52a047e8.d: crates/cpu/src/lib.rs crates/cpu/src/migration.rs crates/cpu/src/timing.rs crates/cpu/src/tlb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslicc_cpu-3895aaaa52a047e8.rmeta: crates/cpu/src/lib.rs crates/cpu/src/migration.rs crates/cpu/src/timing.rs crates/cpu/src/tlb.rs Cargo.toml
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/migration.rs:
+crates/cpu/src/timing.rs:
+crates/cpu/src/tlb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/slicc_mem-7c51e78969d14719.d: crates/mem/src/lib.rs crates/mem/src/dram.rs crates/mem/src/l2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslicc_mem-7c51e78969d14719.rmeta: crates/mem/src/lib.rs crates/mem/src/dram.rs crates/mem/src/l2.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/l2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

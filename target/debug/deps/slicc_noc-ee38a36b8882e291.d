@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/slicc_noc-ee38a36b8882e291.d: crates/noc/src/lib.rs crates/noc/src/stats.rs crates/noc/src/torus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslicc_noc-ee38a36b8882e291.rmeta: crates/noc/src/lib.rs crates/noc/src/stats.rs crates/noc/src/torus.rs Cargo.toml
+
+crates/noc/src/lib.rs:
+crates/noc/src/stats.rs:
+crates/noc/src/torus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/slicc_sim-4ca20ca9793d861d.d: crates/sim/src/lib.rs crates/sim/src/checkpoint.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/runner.rs crates/sim/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslicc_sim-4ca20ca9793d861d.rmeta: crates/sim/src/lib.rs crates/sim/src/checkpoint.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/runner.rs crates/sim/src/system.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/checkpoint.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,10 +1,12 @@
-/root/repo/target/debug/deps/slicc_sim-794c138507f73a70.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/runner.rs crates/sim/src/system.rs
+/root/repo/target/debug/deps/slicc_sim-794c138507f73a70.d: crates/sim/src/lib.rs crates/sim/src/checkpoint.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/runner.rs crates/sim/src/system.rs
 
-/root/repo/target/debug/deps/slicc_sim-794c138507f73a70: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/runner.rs crates/sim/src/system.rs
+/root/repo/target/debug/deps/slicc_sim-794c138507f73a70: crates/sim/src/lib.rs crates/sim/src/checkpoint.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/runner.rs crates/sim/src/system.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/checkpoint.rs:
 crates/sim/src/config.rs:
 crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
 crates/sim/src/metrics.rs:
 crates/sim/src/runner.rs:
 crates/sim/src/system.rs:

@@ -1,12 +1,14 @@
-/root/repo/target/debug/deps/slicc_sim-b627b68bb6e39be8.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/runner.rs crates/sim/src/system.rs
+/root/repo/target/debug/deps/slicc_sim-b627b68bb6e39be8.d: crates/sim/src/lib.rs crates/sim/src/checkpoint.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/runner.rs crates/sim/src/system.rs
 
-/root/repo/target/debug/deps/libslicc_sim-b627b68bb6e39be8.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/runner.rs crates/sim/src/system.rs
+/root/repo/target/debug/deps/libslicc_sim-b627b68bb6e39be8.rlib: crates/sim/src/lib.rs crates/sim/src/checkpoint.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/runner.rs crates/sim/src/system.rs
 
-/root/repo/target/debug/deps/libslicc_sim-b627b68bb6e39be8.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/runner.rs crates/sim/src/system.rs
+/root/repo/target/debug/deps/libslicc_sim-b627b68bb6e39be8.rmeta: crates/sim/src/lib.rs crates/sim/src/checkpoint.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/runner.rs crates/sim/src/system.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/checkpoint.rs:
 crates/sim/src/config.rs:
 crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
 crates/sim/src/metrics.rs:
 crates/sim/src/runner.rs:
 crates/sim/src/system.rs:

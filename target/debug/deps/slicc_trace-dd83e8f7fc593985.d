@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/slicc_trace-dd83e8f7fc593985.d: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/builder.rs crates/trace/src/codec.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/thread_gen.rs crates/trace/src/validate.rs crates/trace/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslicc_trace-dd83e8f7fc593985.rmeta: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/builder.rs crates/trace/src/codec.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/thread_gen.rs crates/trace/src/validate.rs crates/trace/src/workload.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/access.rs:
+crates/trace/src/builder.rs:
+crates/trace/src/codec.rs:
+crates/trace/src/segment.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/thread_gen.rs:
+crates/trace/src/validate.rs:
+crates/trace/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/structures-d8a399434604509c.d: crates/bench/benches/structures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstructures-d8a399434604509c.rmeta: crates/bench/benches/structures.rs Cargo.toml
+
+crates/bench/benches/structures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

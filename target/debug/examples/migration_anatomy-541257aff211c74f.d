@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/migration_anatomy-541257aff211c74f.d: crates/sim/../../examples/migration_anatomy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmigration_anatomy-541257aff211c74f.rmeta: crates/sim/../../examples/migration_anatomy.rs Cargo.toml
+
+crates/sim/../../examples/migration_anatomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/policy_explorer-83a711e9515c7427.d: crates/sim/../../examples/policy_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolicy_explorer-83a711e9515c7427.rmeta: crates/sim/../../examples/policy_explorer.rs Cargo.toml
+
+crates/sim/../../examples/policy_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

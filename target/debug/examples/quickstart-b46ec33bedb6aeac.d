@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-b46ec33bedb6aeac.d: crates/sim/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-b46ec33bedb6aeac.rmeta: crates/sim/../../examples/quickstart.rs Cargo.toml
+
+crates/sim/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

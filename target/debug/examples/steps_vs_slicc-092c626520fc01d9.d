@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/steps_vs_slicc-092c626520fc01d9.d: crates/sim/../../examples/steps_vs_slicc.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsteps_vs_slicc-092c626520fc01d9.rmeta: crates/sim/../../examples/steps_vs_slicc.rs Cargo.toml
+
+crates/sim/../../examples/steps_vs_slicc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

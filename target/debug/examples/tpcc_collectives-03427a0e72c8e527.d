@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tpcc_collectives-03427a0e72c8e527.d: crates/sim/../../examples/tpcc_collectives.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtpcc_collectives-03427a0e72c8e527.rmeta: crates/sim/../../examples/tpcc_collectives.rs Cargo.toml
+
+crates/sim/../../examples/tpcc_collectives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

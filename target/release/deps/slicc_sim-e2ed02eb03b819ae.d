@@ -1,12 +1,14 @@
-/root/repo/target/release/deps/slicc_sim-e2ed02eb03b819ae.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/runner.rs crates/sim/src/system.rs
+/root/repo/target/release/deps/slicc_sim-e2ed02eb03b819ae.d: crates/sim/src/lib.rs crates/sim/src/checkpoint.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/runner.rs crates/sim/src/system.rs
 
-/root/repo/target/release/deps/libslicc_sim-e2ed02eb03b819ae.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/runner.rs crates/sim/src/system.rs
+/root/repo/target/release/deps/libslicc_sim-e2ed02eb03b819ae.rlib: crates/sim/src/lib.rs crates/sim/src/checkpoint.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/runner.rs crates/sim/src/system.rs
 
-/root/repo/target/release/deps/libslicc_sim-e2ed02eb03b819ae.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/runner.rs crates/sim/src/system.rs
+/root/repo/target/release/deps/libslicc_sim-e2ed02eb03b819ae.rmeta: crates/sim/src/lib.rs crates/sim/src/checkpoint.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/error.rs crates/sim/src/metrics.rs crates/sim/src/runner.rs crates/sim/src/system.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/checkpoint.rs:
 crates/sim/src/config.rs:
 crates/sim/src/engine.rs:
+crates/sim/src/error.rs:
 crates/sim/src/metrics.rs:
 crates/sim/src/runner.rs:
 crates/sim/src/system.rs:

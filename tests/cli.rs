@@ -67,6 +67,83 @@ fn bad_value_exits_two_and_names_the_option() {
 }
 
 #[test]
+fn exhausted_fuel_exits_one_and_identifies_the_point() {
+    let out = slicc()
+        .args(["--scale", "tiny", "--tasks", "4", "--fuel-steps", "1"])
+        .output()
+        .expect("failed to spawn slicc");
+    assert_eq!(out.status.code(), Some(1), "a failed point must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("livelock"), "stderr must name the failure mode, got: {stderr}");
+    assert!(stderr.contains("key=0x"), "stderr must print the stable key, got: {stderr}");
+    assert!(stderr.contains("seed="), "stderr must print the seed, got: {stderr}");
+    assert!(stderr.contains("TPC-C-1"), "stderr must name the workload, got: {stderr}");
+}
+
+#[test]
+fn keep_going_still_reports_the_healthy_point() {
+    // The baseline-compare batch is [point, baseline]; with a tiny fuel
+    // budget both fail, but --keep-going must attempt both and exit 1.
+    let out = slicc()
+        .args([
+            "--scale",
+            "tiny",
+            "--tasks",
+            "4",
+            "--fuel-steps",
+            "1",
+            "--keep-going",
+            "--baseline-compare",
+        ])
+        .output()
+        .expect("failed to spawn slicc");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("livelock"), "stderr must report the failure, got: {stderr}");
+}
+
+#[test]
+fn checkpoint_roundtrip_serves_the_second_run_from_disk() {
+    let path = std::env::temp_dir().join(format!("slicc-cli-ckpt-{}.bin", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    let args = ["--scale", "tiny", "--tasks", "4", "--checkpoint"];
+
+    let first = slicc()
+        .args(args)
+        .arg(&path)
+        .output()
+        .expect("failed to spawn slicc");
+    assert!(first.status.success(), "stderr: {}", String::from_utf8_lossy(&first.stderr));
+
+    let second = slicc()
+        .args(args)
+        .arg(&path)
+        .output()
+        .expect("failed to spawn slicc");
+    assert!(second.status.success(), "stderr: {}", String::from_utf8_lossy(&second.stderr));
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(
+        stderr.contains("1 point(s) loaded"),
+        "second run must load the checkpointed point, got: {stderr}"
+    );
+    // Both runs print identical metrics: the checkpoint round-trips them.
+    // (The throughput line carries wall time, which legitimately differs.)
+    let metrics_only = |bytes: &[u8]| -> String {
+        String::from_utf8_lossy(bytes)
+            .lines()
+            .filter(|l| !l.starts_with("sim throughput"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        metrics_only(&first.stdout),
+        metrics_only(&second.stdout),
+        "checkpoint-served metrics must match the fresh run"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn baseline_compare_reports_speedup() {
     let out = slicc()
         .args(["--scale", "tiny", "--tasks", "4", "--baseline-compare"])

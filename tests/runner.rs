@@ -1,9 +1,29 @@
-//! Parallel-runner determinism: fanning a figure's point set across worker
-//! threads must not change a single metric, and the run cache must
-//! deduplicate repeated points.
+//! Parallel-runner determinism and fault isolation: fanning a figure's
+//! point set across worker threads must not change a single metric, the
+//! run cache must deduplicate repeated points, and a faulty point —
+//! panicking or livelocking — must not take the batch (or a checkpointed
+//! sweep) down with it.
 
-use slicc_sim::{RunRequest, Runner, SchedulerMode, SimConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use slicc_sim::{
+    InjectedFault, RunError, RunRequest, RunResult, Runner, SchedulerMode, SimConfig,
+    SimConfigBuilder,
+};
 use slicc_trace::{TraceScale, Workload};
+
+/// A fresh checkpoint path per test, so parallel test threads never share
+/// a file.
+fn temp_checkpoint(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("slicc-it-{tag}-{}-{n}.ckpt", std::process::id()))
+}
+
+fn expect_ok(result: &Result<RunResult, RunError>) -> &RunResult {
+    result.as_ref().unwrap_or_else(|e| panic!("point failed: {e}"))
+}
 
 /// A Figure-11-shaped point set at tiny scale: every workload under the
 /// baseline and the SLICC variants, plus a repeated baseline point per
@@ -37,8 +57,8 @@ fn parallel_metrics_are_byte_identical_to_serial() {
         // rendering covers every field, so byte-identical output means
         // byte-identical metrics.
         assert_eq!(
-            format!("{:?}", s.metrics),
-            format!("{:?}", p.metrics),
+            format!("{:?}", expect_ok(s).metrics),
+            format!("{:?}", expect_ok(p).metrics),
             "point {i} diverged between jobs=1 and jobs=4"
         );
     }
@@ -66,9 +86,144 @@ fn cached_results_match_fresh_ones() {
     let req = RunRequest::new(Workload::TpcC1, TraceScale::tiny(), SimConfig::tiny_test())
         .with_mode(SchedulerMode::Slicc);
     let runner = Runner::new(2);
-    let fresh = runner.run(&req);
-    let cached = runner.run(&req);
+    let fresh = runner.run(&req).expect("fresh run succeeds");
+    let cached = runner.run(&req).expect("cached run succeeds");
     assert!(!fresh.from_cache);
     assert!(cached.from_cache);
     assert_eq!(format!("{:?}", fresh.metrics), format!("{:?}", cached.metrics));
+}
+
+/// The ISSUE-2 acceptance scenario: a batch containing one panicking and
+/// one livelocking point completes the remaining points and reports two
+/// typed `RunError`s; a second checkpoint-backed invocation re-simulates
+/// only those two points, verified by the cache-hit counters.
+#[test]
+fn faulty_points_are_isolated_and_checkpoint_resume_skips_completed_ones() {
+    let ok1 = RunRequest::new(Workload::TpcC1, TraceScale::tiny(), SimConfig::tiny_test());
+    let ok2 = ok1.clone().with_mode(SchedulerMode::Slicc);
+    let panicking = RunRequest::new(
+        Workload::TpcE,
+        TraceScale::tiny(),
+        SimConfigBuilder::tiny_test()
+            .inject_fault(InjectedFault::Panic)
+            .build()
+            .expect("tiny config with fault injection is valid"),
+    );
+    let livelocking = RunRequest::new(
+        Workload::MapReduce,
+        TraceScale::tiny(),
+        SimConfigBuilder::tiny_test()
+            .watchdog_steps(1)
+            .build()
+            .expect("tiny config with a 1-step fuel budget is valid"),
+    );
+    let batch = vec![ok1, ok2, panicking, livelocking];
+
+    let path = temp_checkpoint("acceptance");
+    let runner = Runner::new(2);
+    let load = runner.attach_checkpoint(&path).expect("fresh checkpoint opens");
+    assert_eq!(load.loaded, 0, "a fresh checkpoint starts empty");
+
+    let results = runner.run_all(&batch);
+    assert_eq!(results.len(), 4);
+    assert!(results[0].is_ok(), "healthy point 0 must survive the faulty neighbours");
+    assert!(results[1].is_ok(), "healthy point 1 must survive the faulty neighbours");
+    match &results[2] {
+        Err(RunError::Panicked { point, payload }) => {
+            assert_eq!(point.key, batch[2].stable_key());
+            assert!(
+                payload.contains("injected fault"),
+                "panic payload must carry the message, got: {payload}"
+            );
+        }
+        other => panic!("expected Panicked for point 2, got {other:?}"),
+    }
+    match &results[3] {
+        Err(RunError::Livelock { point, snapshot }) => {
+            assert_eq!(point.key, batch[3].stable_key());
+            assert!(snapshot.heap_steps > 0, "snapshot must record the consumed fuel");
+        }
+        other => panic!("expected Livelock for point 3, got {other:?}"),
+    }
+    let stats = runner.stats();
+    assert_eq!(stats.failed_points, 2);
+    assert_eq!(stats.cache_misses, 4, "all four points were fresh attempts");
+
+    // A second invocation resumes from the checkpoint: the two completed
+    // points come back as cache hits, only the two failed points are
+    // re-simulated (and fail the same way — the point is that nothing
+    // already banked is re-run).
+    let resumed = Runner::new(2);
+    let load = resumed.attach_checkpoint(&path).expect("checkpoint reopens");
+    assert_eq!(load.loaded, 2, "exactly the two completed points were persisted");
+    assert!(!load.truncated(), "a cleanly written checkpoint has no dropped bytes");
+
+    let results = resumed.run_all(&batch);
+    assert!(results[0].is_ok() && results[1].is_ok());
+    assert!(results[2].is_err() && results[3].is_err());
+    assert!(results[0].as_ref().unwrap().from_cache, "point 0 must come from the checkpoint");
+    assert!(results[1].as_ref().unwrap().from_cache, "point 1 must come from the checkpoint");
+    let stats = resumed.stats();
+    assert_eq!(stats.cache_hits, 2, "the checkpointed points are served from cache");
+    assert_eq!(stats.cache_misses, 2, "only the failed points are re-simulated");
+    assert_eq!(stats.failed_points, 2);
+
+    std::fs::remove_file(&path).ok();
+}
+
+/// Checkpoint-served results carry the same metrics the original
+/// simulation produced: round-trip through the on-disk codec and compare
+/// the full Debug rendering.
+#[test]
+fn checkpoint_round_trip_preserves_metrics() {
+    let req = RunRequest::new(Workload::TpcC1, TraceScale::tiny(), SimConfig::tiny_test())
+        .with_mode(SchedulerMode::SliccSw);
+    let path = temp_checkpoint("roundtrip");
+
+    let first = Runner::new(1);
+    first.attach_checkpoint(&path).expect("fresh checkpoint opens");
+    let fresh = first.run(&req).expect("simulation succeeds");
+
+    let second = Runner::new(1);
+    let load = second.attach_checkpoint(&path).expect("checkpoint reopens");
+    assert_eq!(load.loaded, 1);
+    let resumed = second.run(&req).expect("checkpointed run succeeds");
+    assert!(resumed.from_cache);
+    assert_eq!(format!("{:?}", fresh.metrics), format!("{:?}", resumed.metrics));
+    assert_eq!(second.stats().cache_misses, 0, "nothing is re-simulated on resume");
+
+    std::fs::remove_file(&path).ok();
+}
+
+/// A checkpoint whose tail was torn mid-record (a crash during `append`)
+/// heals on reopen: intact records load, the torn tail is dropped, and the
+/// dropped points are simply re-simulated.
+#[test]
+fn truncated_checkpoint_heals_and_resumes() {
+    let a = RunRequest::new(Workload::TpcC1, TraceScale::tiny(), SimConfig::tiny_test());
+    let b = a.clone().with_mode(SchedulerMode::Slicc);
+    let path = temp_checkpoint("truncated");
+
+    let writer = Runner::new(1);
+    writer.attach_checkpoint(&path).expect("fresh checkpoint opens");
+    writer.run_all(&[a.clone(), b.clone()]).into_iter().for_each(|r| {
+        r.expect("healthy points succeed");
+    });
+
+    // Tear the last record: drop 3 bytes from the file tail.
+    let bytes = std::fs::read(&path).expect("checkpoint readable");
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("checkpoint writable");
+
+    let reader = Runner::new(1);
+    let load = reader.attach_checkpoint(&path).expect("torn checkpoint still opens");
+    assert_eq!(load.loaded, 1, "the intact first record survives");
+    assert!(load.truncated(), "the torn tail is reported");
+
+    let results = reader.run_all(&[a, b]);
+    assert!(results.iter().all(|r| r.is_ok()));
+    let stats = reader.stats();
+    assert_eq!(stats.cache_hits, 1, "the surviving record is served from cache");
+    assert_eq!(stats.cache_misses, 1, "only the torn-off point is re-simulated");
+
+    std::fs::remove_file(&path).ok();
 }
