@@ -1,0 +1,228 @@
+//! The tracked performance baseline: times full small simulation points
+//! per scheduler mode plus the hot-structure microbenches, and emits
+//! machine-readable JSON so every PR has a perf trajectory to compare
+//! against (`BENCH_sim.json` at the repo root is the checked-in record).
+//!
+//! ```text
+//! cargo bench --bench baseline                      # table + JSON to stdout
+//! cargo bench --bench baseline -- --quick           # 1 sample per point
+//! cargo bench --bench baseline -- --out BENCH_sim.json
+//! cargo bench --bench baseline -- --before old.json --out BENCH_sim.json
+//! ```
+//!
+//! With `--before`, the previous JSON is embedded under `"before"` and the
+//! emitted document reports `"sim_ips_speedup"` — current aggregate
+//! simulated-instructions-per-second over the previous file's (its last
+//! `aggregate_sim_ips`, i.e. the "after" side of a nested document).
+
+use slicc_bench::{time_ns_per_iter, time_ns_per_run};
+use slicc_cache::{AccessKind, Cache, PolicyKind};
+use slicc_common::{BlockAddr, CacheGeometry, CoreId, SplitMix64};
+use slicc_mem::{L2AccessKind, L2Nuca};
+use slicc_sim::{RunRequest, SchedulerMode, SimConfig};
+use slicc_trace::{TraceScale, Workload};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Samples per whole-point timing (median reported).
+const POINT_SAMPLES: usize = 5;
+/// Measurement budget per microbench.
+const MICRO_TIME: Duration = Duration::from_millis(300);
+
+struct Options {
+    quick: bool,
+    out: Option<String>,
+    before: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options { quick: false, out: None, before: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bench" => {}
+            "--quick" => opts.quick = true,
+            "--out" => opts.out = args.next(),
+            "--before" => opts.before = args.next(),
+            other => {
+                eprintln!("usage: bench baseline [--quick] [--out PATH] [--before PATH]");
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+struct PointRow {
+    mode: &'static str,
+    instructions: u64,
+    cycles: u64,
+    median_wall_ns: u64,
+    sim_ips: f64,
+}
+
+/// Times every scheduler mode on the small TPC-C-1 point.
+fn bench_points(samples: usize) -> Vec<PointRow> {
+    SchedulerMode::WITH_STEPS
+        .into_iter()
+        .map(|mode| {
+            let req = RunRequest::new(
+                Workload::TpcC1,
+                TraceScale::small(),
+                SimConfig::paper_baseline().with_mode(mode),
+            );
+            let metrics = req.execute().metrics; // warm-up + metrics capture
+            let ns = time_ns_per_run(samples, || req.execute());
+            let sim_ips = metrics.instructions as f64 * 1e9 / ns;
+            eprintln!(
+                "point/{:<10} {:>10.2} ms/run {:>10.2} M sim-ips",
+                mode.name(),
+                ns / 1e6,
+                sim_ips / 1e6
+            );
+            PointRow {
+                mode: mode.name(),
+                instructions: metrics.instructions,
+                cycles: metrics.cycles,
+                median_wall_ns: ns as u64,
+                sim_ips,
+            }
+        })
+        .collect()
+}
+
+/// The hot-structure microbenches: L1 lookup, the L2 directory/response
+/// path, and a whole tiny engine run.
+fn bench_micro(measure: Duration, samples: usize) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+
+    let geom = CacheGeometry::new(32 * 1024, 8, 64);
+    for policy in [PolicyKind::Lru, PolicyKind::Drrip] {
+        let mut cache = Cache::new(geom, policy, 1);
+        let mut rng = SplitMix64::new(7);
+        let ns = time_ns_per_iter(measure, || {
+            cache.access(BlockAddr::new(rng.next_below(4096)), AccessKind::Read)
+        });
+        rows.push((format!("cache/access/{policy}"), ns));
+    }
+
+    let mut l2 = L2Nuca::new(CacheGeometry::new(256 * 1024, 8, 64), 4, 16, 1);
+    let mut rng = SplitMix64::new(21);
+    let ns = time_ns_per_iter(measure, || {
+        let core = CoreId::new(rng.next_below(8) as u16);
+        let block = BlockAddr::new(rng.next_below(16_384));
+        let kind = match rng.next_below(3) {
+            0 => L2AccessKind::IFetch,
+            1 => L2AccessKind::DataRead,
+            _ => L2AccessKind::DataWrite,
+        };
+        l2.access(core, block, kind).hit
+    });
+    rows.push(("l2/access".to_string(), ns));
+
+    let req = RunRequest::new(
+        Workload::TpcC1,
+        TraceScale::tiny(),
+        SimConfig::tiny_test().with_mode(SchedulerMode::Slicc),
+    );
+    let ns = time_ns_per_run(samples.max(3), || req.execute());
+    rows.push(("engine/tiny/SLICC".to_string(), ns));
+
+    for (name, ns) in &rows {
+        eprintln!("micro/{name:<30} {ns:>12.1} ns/iter");
+    }
+    rows
+}
+
+/// Renders the measurement document (without any `before` nesting).
+fn render_doc(samples: usize, points: &[PointRow], micro: &[(String, f64)]) -> String {
+    let total_instr: u64 = points.iter().map(|p| p.instructions).sum();
+    let total_ns: u64 = points.iter().map(|p| p.median_wall_ns).sum();
+    let aggregate = total_instr as f64 * 1e9 / total_ns as f64;
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": 1,");
+    let _ = writeln!(s, "  \"workload\": \"TPC-C-1\",");
+    let _ = writeln!(s, "  \"scale\": \"small\",");
+    let _ = writeln!(s, "  \"samples\": {samples},");
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"mode\": \"{}\", \"instructions\": {}, \"cycles\": {}, \"median_wall_ns\": {}, \"sim_ips\": {:.1}}}{comma}",
+            p.mode, p.instructions, p.cycles, p.median_wall_ns, p.sim_ips
+        );
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(s, "  \"aggregate_sim_ips\": {aggregate:.1},");
+    s.push_str("  \"micro_ns_per_iter\": {\n");
+    for (i, (name, ns)) in micro.iter().enumerate() {
+        let comma = if i + 1 < micro.len() { "," } else { "" };
+        let _ = writeln!(s, "    \"{name}\": {ns:.1}{comma}");
+    }
+    s.push_str("  }\n}");
+    s
+}
+
+/// Pulls the last `"aggregate_sim_ips"` value out of a JSON document (the
+/// "after" side when the document is itself a before/after nesting).
+fn last_aggregate(json: &str) -> Option<f64> {
+    let needle = "\"aggregate_sim_ips\":";
+    let at = json.rfind(needle)?;
+    let tail = &json[at + needle.len()..];
+    let num: String = tail
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == 'E' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+/// Indents every line of `block` by `indent` spaces (JSON nesting).
+fn indent_block(block: &str, indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    block
+        .trim_end()
+        .lines()
+        .map(|l| format!("{pad}{l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let opts = parse_args();
+    let samples = if opts.quick { 1 } else { POINT_SAMPLES };
+    let micro_time = if opts.quick { MICRO_TIME / 10 } else { MICRO_TIME };
+
+    let points = bench_points(samples);
+    let micro = bench_micro(micro_time, samples);
+    let doc = render_doc(samples, &points, &micro);
+
+    let rendered = match &opts.before {
+        None => doc,
+        Some(path) => {
+            let before = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read --before {path}: {e}"));
+            let speedup = match (last_aggregate(&before), last_aggregate(&doc)) {
+                (Some(b), Some(a)) if b > 0.0 => format!("{:.3}", a / b),
+                _ => "null".to_string(),
+            };
+            format!(
+                "{{\n  \"schema\": 1,\n  \"sim_ips_speedup\": {speedup},\n  \"before\":\n{},\n  \"after\":\n{}\n}}",
+                indent_block(&before, 2),
+                indent_block(&doc, 2)
+            )
+        }
+    };
+
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, format!("{rendered}\n"))
+                .unwrap_or_else(|e| panic!("cannot write --out {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        None => println!("{rendered}"),
+    }
+}

@@ -26,4 +26,4 @@ pub mod microbench;
 
 pub use experiments::{Experiment, ExperimentScale};
 pub use format::Table;
-pub use microbench::Harness;
+pub use microbench::{time_ns_per_iter, time_ns_per_run, Harness};

@@ -53,6 +53,11 @@ impl Harness {
         Group { harness: self, name: name.to_string(), elements: 1 }
     }
 
+    /// The per-benchmark measurement budget in effect (`--quick` aware).
+    pub fn measure_time(&self) -> Duration {
+        self.measure_time
+    }
+
     /// Prints the trailing summary line.
     pub fn finish(self) {
         println!("\n{} benchmarks run", self.ran);
@@ -88,6 +93,24 @@ impl Group<'_> {
         self.harness.ran += 1;
         self
     }
+}
+
+/// Times `f` with the harness's calibration discipline (batch growth until
+/// one batch fills `measure_time / SAMPLES`, then median-of-samples) and
+/// returns the median ns per iteration. Public for bench targets that
+/// report machine-readable output instead of the harness's table.
+pub fn time_ns_per_iter<T>(measure_time: Duration, mut f: impl FnMut() -> T) -> f64 {
+    median_ns_per_iter(measure_time, &mut f)
+}
+
+/// Times `f` for `samples` whole runs and returns the median ns per run.
+/// For macro-scale work (whole simulation points) where the calibrated
+/// batching of [`time_ns_per_iter`] would multiply seconds-long runs.
+pub fn time_ns_per_run<T>(samples: usize, mut f: impl FnMut() -> T) -> f64 {
+    let samples = samples.max(1);
+    let mut times: Vec<f64> = (0..samples).map(|_| time_batch(1, &mut f).as_secs_f64() * 1e9).collect();
+    times.sort_by(f64::total_cmp);
+    times[samples / 2]
 }
 
 /// Median over [`SAMPLES`] timed batches of a calibrated size.

@@ -87,8 +87,12 @@ pub struct Cache {
     geom: CacheGeometry,
     /// Flattened `num_sets * assoc` tag array.
     tags: Vec<u64>,
-    valid: Vec<bool>,
-    dirty: Vec<bool>,
+    /// Per-set bitmask of valid ways (bit `w` = way `w` holds a block).
+    valid: Vec<u64>,
+    /// Per-set bitmask of dirty ways.
+    dirty: Vec<u64>,
+    /// Mask with one bit per way (`assoc` low bits set).
+    all_ways: u64,
     policy: Policy,
     stats: CacheStats,
 }
@@ -97,14 +101,21 @@ impl Cache {
     /// Creates an empty cache. `seed` drives the stochastic insertion
     /// policies (BIP/BRRIP and their dueling parents); caches with the
     /// same seed behave identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the associativity exceeds 64 (one mask word per set).
     pub fn new(geom: CacheGeometry, policy: PolicyKind, seed: u64) -> Self {
-        let ways = geom.num_blocks() as usize;
+        let sets = geom.num_sets() as usize;
+        let assoc = geom.associativity() as usize;
+        assert!(assoc <= 64, "way masks hold at most 64 ways, got {assoc}");
         Cache {
             geom,
-            tags: vec![0; ways],
-            valid: vec![false; ways],
-            dirty: vec![false; ways],
-            policy: Policy::new(policy, geom.num_sets() as usize, geom.associativity() as usize, seed),
+            tags: vec![0; sets * assoc],
+            valid: vec![0; sets],
+            dirty: vec![0; sets],
+            all_ways: if assoc == 64 { u64::MAX } else { (1u64 << assoc) - 1 },
+            policy: Policy::new(policy, sets, assoc, seed),
             stats: CacheStats::default(),
         }
     }
@@ -134,9 +145,18 @@ impl Cache {
     }
 
     /// Finds the way holding `block` in `set`, if present and valid.
+    /// Scans only the valid ways, walking the set's mask bit by bit.
     fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
         let base = set * self.assoc();
-        (0..self.assoc()).find(|&w| self.valid[base + w] && self.tags[base + w] == tag)
+        let mut live = self.valid[set];
+        while live != 0 {
+            let w = live.trailing_zeros() as usize;
+            if self.tags[base + w] == tag {
+                return Some(w);
+            }
+            live &= live - 1;
+        }
+        None
     }
 
     /// Performs a demand access: returns hit/miss and installs the block
@@ -149,8 +169,7 @@ impl Cache {
             self.stats.hits += 1;
             self.policy.on_hit(set, way);
             if kind.is_write() {
-                let idx = set * self.assoc() + way;
-                self.dirty[idx] = true;
+                self.dirty[set] |= 1 << way;
             }
             return LookupResult::Hit;
         }
@@ -180,24 +199,28 @@ impl Cache {
     /// `(set, tag)` there.
     fn install(&mut self, set: usize, tag: u64, write: bool) -> Option<EvictedBlock> {
         let base = set * self.assoc();
-        let (way, evicted) = match (0..self.assoc()).find(|&w| !self.valid[base + w]) {
-            Some(way) => (way, None),
-            None => {
-                let way = self.policy.choose_victim(set);
-                let old = EvictedBlock {
-                    block: self.geom.block_from_parts(set, self.tags[base + way]),
-                    dirty: self.dirty[base + way],
-                };
-                self.stats.evictions += 1;
-                if old.dirty {
-                    self.stats.dirty_evictions += 1;
-                }
-                (way, Some(old))
+        let vacant = !self.valid[set] & self.all_ways;
+        let (way, evicted) = if vacant != 0 {
+            (vacant.trailing_zeros() as usize, None)
+        } else {
+            let way = self.policy.choose_victim(set);
+            let old = EvictedBlock {
+                block: self.geom.block_from_parts(set, self.tags[base + way]),
+                dirty: self.dirty[set] >> way & 1 != 0,
+            };
+            self.stats.evictions += 1;
+            if old.dirty {
+                self.stats.dirty_evictions += 1;
             }
+            (way, Some(old))
         };
         self.tags[base + way] = tag;
-        self.valid[base + way] = true;
-        self.dirty[base + way] = write;
+        self.valid[set] |= 1 << way;
+        if write {
+            self.dirty[set] |= 1 << way;
+        } else {
+            self.dirty[set] &= !(1 << way);
+        }
         self.policy.on_insert(set, way);
         evicted
     }
@@ -211,7 +234,7 @@ impl Cache {
     pub fn contains_dirty(&self, block: BlockAddr) -> bool {
         let set = self.geom.set_index(block);
         match self.find_way(set, self.geom.tag(block)) {
-            Some(way) => self.dirty[set * self.assoc() + way],
+            Some(way) => self.dirty[set] >> way & 1 != 0,
             None => false,
         }
     }
@@ -221,10 +244,9 @@ impl Cache {
     pub fn invalidate(&mut self, block: BlockAddr) -> Option<EvictedBlock> {
         let set = self.geom.set_index(block);
         let way = self.find_way(set, self.geom.tag(block))?;
-        let base = set * self.assoc();
-        let out = EvictedBlock { block, dirty: self.dirty[base + way] };
-        self.valid[base + way] = false;
-        self.dirty[base + way] = false;
+        let out = EvictedBlock { block, dirty: self.dirty[set] >> way & 1 != 0 };
+        self.valid[set] &= !(1 << way);
+        self.dirty[set] &= !(1 << way);
         self.stats.invalidations += 1;
         self.policy.on_invalidate(set, way);
         Some(out)
@@ -235,8 +257,7 @@ impl Cache {
     pub fn mark_dirty(&mut self, block: BlockAddr) -> bool {
         let set = self.geom.set_index(block);
         if let Some(way) = self.find_way(set, self.geom.tag(block)) {
-            let idx = set * self.assoc() + way;
-            self.dirty[idx] = true;
+            self.dirty[set] |= 1 << way;
             true
         } else {
             false
@@ -248,9 +269,8 @@ impl Cache {
     pub fn clean(&mut self, block: BlockAddr) -> bool {
         let set = self.geom.set_index(block);
         if let Some(way) = self.find_way(set, self.geom.tag(block)) {
-            let base = set * self.assoc();
-            let was_dirty = self.dirty[base + way];
-            self.dirty[base + way] = false;
+            let was_dirty = self.dirty[set] >> way & 1 != 0;
+            self.dirty[set] &= !(1 << way);
             was_dirty
         } else {
             false
@@ -261,8 +281,9 @@ impl Cache {
     /// eviction-collision check).
     pub fn blocks_in_set(&self, set: usize) -> impl Iterator<Item = BlockAddr> + '_ {
         let base = set * self.assoc();
+        let live = self.valid[set];
         (0..self.assoc())
-            .filter(move |w| self.valid[base + w])
+            .filter(move |w| live >> w & 1 != 0)
             .map(move |w| self.geom.block_from_parts(set, self.tags[base + w]))
     }
 
@@ -273,17 +294,20 @@ impl Cache {
 
     /// Number of valid blocks currently resident.
     pub fn occupancy(&self) -> usize {
-        self.valid.iter().filter(|&&v| v).count()
+        self.valid.iter().map(|v| v.count_ones() as usize).sum()
     }
 
     /// Invalidates everything (does not count as coherence invalidations).
     pub fn flush(&mut self) {
-        for i in 0..self.valid.len() {
-            if self.valid[i] {
-                self.valid[i] = false;
-                self.dirty[i] = false;
-                self.policy.on_invalidate(i / self.assoc(), i % self.assoc());
+        for set in 0..self.valid.len() {
+            let mut live = self.valid[set];
+            while live != 0 {
+                let way = live.trailing_zeros() as usize;
+                self.policy.on_invalidate(set, way);
+                live &= live - 1;
             }
+            self.valid[set] = 0;
+            self.dirty[set] = 0;
         }
     }
 }

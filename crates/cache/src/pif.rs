@@ -18,8 +18,7 @@
 //!   consumed.
 
 use crate::cache::{Cache, EvictedBlock};
-use slicc_common::BlockAddr;
-use std::collections::HashMap;
+use slicc_common::{BlockAddr, FastHashMap};
 
 /// One spatial footprint: a trigger block and the offsets (within
 /// [`Pif::region_blocks`] of it) that were touched.
@@ -72,7 +71,7 @@ pub struct Pif {
     config: PifConfig,
     history: Vec<Footprint>,
     head: usize,
-    index: HashMap<u64, usize>,
+    index: FastHashMap<u64, usize>,
     /// Forming footprint.
     current: Option<Footprint>,
     /// Active stream read-out position in the history, if any.
@@ -96,7 +95,7 @@ impl Pif {
             config,
             history: Vec::with_capacity(config.history_entries),
             head: 0,
-            index: HashMap::new(),
+            index: FastHashMap::default(),
             current: None,
             stream: None,
             prefetches: 0,
@@ -132,9 +131,22 @@ impl Pif {
 
     /// Observes one fetched block (`hit` is the L1-I outcome) and issues
     /// prefetches into `l1i`. Returns the blocks its fills displaced.
+    /// Convenience wrapper over [`Self::on_fetch_into`].
     pub fn on_fetch(&mut self, l1i: &mut Cache, block: BlockAddr, hit: bool) -> Vec<EvictedBlock> {
         let mut evicted = Vec::new();
+        self.on_fetch_into(l1i, block, hit, &mut evicted);
+        evicted
+    }
 
+    /// [`Self::on_fetch`] appending displaced blocks to a caller-owned
+    /// buffer, so the steady-state fetch path allocates nothing.
+    pub fn on_fetch_into(
+        &mut self,
+        l1i: &mut Cache,
+        block: BlockAddr,
+        hit: bool,
+        evicted: &mut Vec<EvictedBlock>,
+    ) {
         // --- Training: retire-order footprint formation.
         let trigger = self.region_trigger(block);
         let offset = (block.raw() - trigger) as u32;
@@ -159,7 +171,7 @@ impl Pif {
                 self.stream = Some(next);
                 // Keep the lookahead window full.
                 let ahead = (pos + self.config.lookahead) % self.history.len().max(1);
-                self.prefetch_entry(l1i, ahead, &mut evicted);
+                self.prefetch_entry(l1i, ahead, evicted);
             }
         }
         if !hit {
@@ -169,13 +181,12 @@ impl Pif {
                 let len = self.history.len().max(1);
                 self.stream = Some((pos + 1) % len);
                 for k in 1..=self.config.lookahead {
-                    self.prefetch_entry(l1i, (pos + k) % len, &mut evicted);
+                    self.prefetch_entry(l1i, (pos + k) % len, evicted);
                 }
             } else {
                 self.stream = None;
             }
         }
-        evicted
     }
 
     fn prefetch_entry(&mut self, l1i: &mut Cache, pos: usize, evicted: &mut Vec<EvictedBlock>) {

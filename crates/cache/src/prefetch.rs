@@ -49,10 +49,23 @@ impl NextLinePrefetcher {
     ///
     /// Returns the demand access result plus any blocks evicted by the
     /// prefetch fills (the caller must propagate those to bloom signatures
-    /// and the like).
+    /// and the like). Convenience wrapper over [`Self::access_into`].
     pub fn access(&mut self, cache: &mut Cache, block: BlockAddr) -> (LookupResult, Vec<EvictedBlock>) {
-        let result = cache.access(block, AccessKind::Read);
         let mut evicted = Vec::new();
+        let result = self.access_into(cache, block, &mut evicted);
+        (result, evicted)
+    }
+
+    /// [`Self::access`] appending prefetch-fill evictions to a
+    /// caller-owned buffer, so the steady-state fetch path allocates
+    /// nothing (the simulator reuses one scratch buffer per fetch).
+    pub fn access_into(
+        &mut self,
+        cache: &mut Cache,
+        block: BlockAddr,
+        evicted: &mut Vec<EvictedBlock>,
+    ) -> LookupResult {
+        let result = cache.access(block, AccessKind::Read);
         // Only issue prefetches when the fetch stream moves to a new
         // block; repeated fetches within a block issue nothing new.
         if self.last_fetched != Some(block) {
@@ -70,7 +83,7 @@ impl NextLinePrefetcher {
         if result.is_hit() {
             self.useful += 1;
         }
-        (result, evicted)
+        result
     }
 
     /// Prefetches issued so far.

@@ -1,0 +1,137 @@
+//! A fast, deterministic hasher for the simulator's hot maps.
+//!
+//! The per-access maps — the TLB's page table, the L2 directory, the
+//! PIF's temporal-stream index — are keyed by small integers and sit on
+//! the per-instruction hot path, where std's DoS-resistant SipHash costs
+//! more than the rest of the lookup combined. [`FxHasher`] is a
+//! multiply-fold hash in the style of rustc's: one rotate, one xor and
+//! one multiply per word. The odd multiplier makes `k * M` a bijection on
+//! the low bits, so dense integer keys (page numbers, block addresses)
+//! never collide in the buckets a `HashMap` derives from them.
+//!
+//! Unlike `RandomState`, hashing is the same in every process, which the
+//! run cache and golden-determinism tests rely on. Never use these maps
+//! for untrusted external input; simulated addresses are not adversarial.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc-fx odd constant: truncated golden-ratio expansion.
+const M: u64 = 0x517c_c1b7_2722_0a95;
+
+/// One-word-at-a-time multiply-fold hasher (deterministic, not
+/// DoS-resistant).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(M);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.fold(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.fold(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+}
+
+/// Deterministic `BuildHasher` for [`FxHasher`].
+pub type FastBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]; drop-in for hot integer-keyed maps.
+pub type FastHashMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FastHashSet<T> = HashSet<T, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        FastBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(0xdead_beefu64), hash_of(0xdead_beefu64));
+        assert_eq!(hash_of("slicc"), hash_of("slicc"));
+    }
+
+    #[test]
+    fn dense_integer_keys_do_not_collide_in_low_bits() {
+        // Sequential page numbers must land in distinct buckets: k * M is
+        // a bijection modulo any power of two, so 1024 keys fill 1024
+        // distinct low-10-bit slots.
+        let mut buckets: Vec<u64> = (0..1024u64).map(|k| hash_of(k) & 0x3ff).collect();
+        buckets.sort_unstable();
+        buckets.dedup();
+        assert_eq!(buckets.len(), 1024);
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut m: FastHashMap<u64, u32> = FastHashMap::default();
+        for k in 0..100 {
+            m.insert(k, (k * 3) as u32);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&42), Some(&126));
+        m.remove(&42);
+        assert_eq!(m.get(&42), None);
+    }
+
+    #[test]
+    fn byte_slices_hash_by_content() {
+        let a = hash_of([1u8, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let b = hash_of([1u8, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let c = hash_of([1u8, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

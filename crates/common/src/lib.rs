@@ -7,11 +7,14 @@
 //!   see [`ids`];
 //! - byte and cache-block addresses ([`Addr`], [`BlockAddr`]) — see [`addr`];
 //! - cache shape arithmetic ([`CacheGeometry`]) — see [`geometry`];
+//! - core sets as one machine word ([`CoreMask`]) — see [`mask`];
 //! - the CACTI-substitute access-latency table — see [`latency`];
 //! - a tiny, fast, deterministic RNG ([`SplitMix64`]) — see [`rng`];
 //! - a fixed-capacity ring-buffer FIFO ([`RingFifo`]) — see [`fifo`];
 //! - stable hashing for experiment memoization keys ([`StableHash`]) —
 //!   see [`hash`];
+//! - a fast deterministic hasher for hot maps ([`FastHashMap`]) — see
+//!   [`fasthash`];
 //! - poison-recovering mutex access ([`lock_unpoisoned`]) — see [`sync`];
 //! - the [`Merge`] trait unifying statistics aggregation — see [`merge`].
 //!
@@ -31,11 +34,13 @@
 //! ```
 
 pub mod addr;
+pub mod fasthash;
 pub mod fifo;
 pub mod geometry;
 pub mod hash;
 pub mod ids;
 pub mod latency;
+pub mod mask;
 pub mod merge;
 // Property tests reference the external `proptest` crate, which is kept out
 // of the manifest so the workspace resolves offline (see DESIGN.md §5). To
@@ -47,11 +52,13 @@ pub mod rng;
 pub mod sync;
 
 pub use addr::{Addr, BlockAddr, BLOCK_SIZE};
+pub use fasthash::{FastBuildHasher, FastHashMap, FastHashSet, FxHasher};
 pub use fifo::RingFifo;
 pub use geometry::CacheGeometry;
 pub use hash::{stable_hash_of, StableHash, StableHasher};
 pub use ids::{CoreId, ThreadId, TxnTypeId};
 pub use latency::{l1_latency_for_size, LatencyTable};
+pub use mask::CoreMask;
 pub use merge::Merge;
 pub use rng::SplitMix64;
 pub use sync::lock_unpoisoned;

@@ -1,0 +1,169 @@
+//! Core bitmasks: sets of cores as one machine word.
+//!
+//! Originally the remote-search answer vector of the SLICC agent (§4.2.3),
+//! now shared vocabulary: the L2 directory's sharer sets and the engine's
+//! idle/ready sets are `CoreMask`s too, so set operations on cores are
+//! branch-free bit arithmetic everywhere on the hot path.
+
+use crate::CoreId;
+use std::fmt;
+use std::ops::{BitAnd, BitOr};
+
+/// A set of cores, as a 32-bit mask (the paper's 16-core CMP needs 16).
+///
+/// The remote cache segment search (§4.2.3) produces one `CoreMask` per
+/// missed tag — "a logic-1 on bit index C for MTQ entry i indicates that
+/// the i-th recently missed cache block was cached at core C".
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct CoreMask(u32);
+
+impl CoreMask {
+    /// The empty set.
+    pub const fn empty() -> Self {
+        CoreMask(0)
+    }
+
+    /// The set containing every core in `0..count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn all(count: usize) -> Self {
+        assert!(count <= 32, "CoreMask supports at most 32 cores");
+        if count == 32 {
+            CoreMask(u32::MAX)
+        } else {
+            CoreMask((1u32 << count) - 1)
+        }
+    }
+
+    /// Builds a mask from raw bits.
+    pub const fn from_bits(bits: u32) -> Self {
+        CoreMask(bits)
+    }
+
+    /// The raw bits.
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Adds `core` to the set.
+    pub fn insert(&mut self, core: CoreId) {
+        self.0 |= 1 << core.index();
+    }
+
+    /// Removes `core` from the set.
+    pub fn remove(&mut self, core: CoreId) {
+        self.0 &= !(1 << core.index());
+    }
+
+    /// Whether `core` is in the set.
+    pub const fn contains(self, core: CoreId) -> bool {
+        self.0 & (1 << core.index()) != 0
+    }
+
+    /// Whether the set is empty.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of cores in the set.
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Returns the set without `core`.
+    pub fn without(self, core: CoreId) -> Self {
+        CoreMask(self.0 & !(1 << core.index()))
+    }
+
+    /// Iterates the member cores in ascending index order.
+    pub fn iter(self) -> impl Iterator<Item = CoreId> {
+        (0..32u16).filter(move |&i| self.0 & (1 << i) != 0).map(CoreId::new)
+    }
+}
+
+impl BitAnd for CoreMask {
+    type Output = CoreMask;
+    fn bitand(self, rhs: CoreMask) -> CoreMask {
+        CoreMask(self.0 & rhs.0)
+    }
+}
+
+impl BitOr for CoreMask {
+    type Output = CoreMask;
+    fn bitor(self, rhs: CoreMask) -> CoreMask {
+        CoreMask(self.0 | rhs.0)
+    }
+}
+
+impl FromIterator<CoreId> for CoreMask {
+    fn from_iter<I: IntoIterator<Item = CoreId>>(iter: I) -> Self {
+        let mut m = CoreMask::empty();
+        for c in iter {
+            m.insert(c);
+        }
+        m
+    }
+}
+
+impl fmt::Debug for CoreMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CoreMask({:#b})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut m = CoreMask::empty();
+        assert!(m.is_empty());
+        m.insert(CoreId::new(3));
+        assert!(m.contains(CoreId::new(3)));
+        assert!(!m.contains(CoreId::new(4)));
+        assert_eq!(m.len(), 1);
+        m.remove(CoreId::new(3));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn all_and_without() {
+        let m = CoreMask::all(16);
+        assert_eq!(m.len(), 16);
+        let m2 = m.without(CoreId::new(0));
+        assert_eq!(m2.len(), 15);
+        assert!(!m2.contains(CoreId::new(0)));
+        assert_eq!(CoreMask::all(32).len(), 32);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a: CoreMask = [CoreId::new(1), CoreId::new(2)].into_iter().collect();
+        let b: CoreMask = [CoreId::new(2), CoreId::new(3)].into_iter().collect();
+        assert_eq!((a & b).iter().collect::<Vec<_>>(), vec![CoreId::new(2)]);
+        assert_eq!((a | b).len(), 3);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let m: CoreMask = [CoreId::new(5), CoreId::new(1), CoreId::new(9)].into_iter().collect();
+        let ids: Vec<_> = m.iter().map(|c| c.index()).collect();
+        assert_eq!(ids, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn debug_is_binary() {
+        let mut m = CoreMask::empty();
+        m.insert(CoreId::new(1));
+        assert_eq!(format!("{m:?}"), "CoreMask(0b10)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 32")]
+    fn oversized_all_panics() {
+        let _ = CoreMask::all(33);
+    }
+}

@@ -7,8 +7,7 @@
 //! contents, like the L1s, are left behind on migration.
 
 use slicc_cache::LruList;
-use slicc_common::Addr;
-use std::collections::HashMap;
+use slicc_common::{Addr, FastHashMap};
 
 /// Default page size (4 KiB).
 pub const PAGE_BYTES: u64 = 4096;
@@ -30,12 +29,15 @@ pub const HUGE_PAGE_BYTES: u64 = 2 * 1024 * 1024;
 #[derive(Clone, Debug)]
 pub struct Tlb {
     /// Page number -> arena slot.
-    map: HashMap<u64, usize>,
+    map: FastHashMap<u64, usize>,
     lru: LruList,
     /// Arena slot -> page number.
     slot_page: Vec<u64>,
     free: Vec<usize>,
     page_bytes: u64,
+    /// `log2(page_bytes)` when the page size is a power of two, so the
+    /// per-access translation is a shift instead of a 64-bit divide.
+    page_shift: Option<u32>,
     hits: u64,
     misses: u64,
 }
@@ -59,12 +61,15 @@ impl Tlb {
     pub fn with_page_bytes(entries: usize, page_bytes: u64) -> Self {
         assert!(entries > 0, "TLB must have at least one entry");
         assert!(page_bytes > 0, "pages must be non-empty");
+        let mut map = FastHashMap::default();
+        map.reserve(entries);
         Tlb {
-            map: HashMap::with_capacity(entries),
+            map,
             lru: LruList::new(entries),
             slot_page: vec![0; entries],
             free: (0..entries).rev().collect(),
             page_bytes,
+            page_shift: page_bytes.is_power_of_two().then(|| page_bytes.trailing_zeros()),
             hits: 0,
             misses: 0,
         }
@@ -78,7 +83,10 @@ impl Tlb {
     /// Translates `addr`: returns whether the page was resident, filling
     /// it on miss.
     pub fn access(&mut self, addr: Addr) -> bool {
-        let page = addr.raw() / self.page_bytes;
+        let page = match self.page_shift {
+            Some(shift) => addr.raw() >> shift,
+            None => addr.raw() / self.page_bytes,
+        };
         if let Some(&slot) = self.map.get(&page) {
             self.lru.touch(slot);
             self.hits += 1;

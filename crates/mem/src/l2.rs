@@ -17,8 +17,7 @@
 //! hit/miss latencies using [`slicc_noc`]'s torus and [`crate::Dram`].
 
 use slicc_cache::{AccessKind, Cache, PolicyKind};
-use slicc_common::{BlockAddr, CacheGeometry, CoreId, Cycle};
-use std::collections::HashMap;
+use slicc_common::{BlockAddr, CacheGeometry, CoreId, CoreMask, Cycle, FastHashMap};
 
 /// How an L1 request accesses the L2.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,49 +40,53 @@ impl L2AccessKind {
 /// Directory entry: which L1s hold the block.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 struct DirEntry {
-    /// Bitmask of cores whose L1-I holds the block.
-    i_sharers: u32,
-    /// Bitmask of cores whose L1-D holds the block.
-    d_sharers: u32,
+    /// Cores whose L1-I holds the block.
+    i_sharers: CoreMask,
+    /// Cores whose L1-D holds the block.
+    d_sharers: CoreMask,
     /// Core whose L1-D holds the block modified, if any.
     dirty_owner: Option<u16>,
 }
 
 impl DirEntry {
     fn is_empty(&self) -> bool {
-        self.i_sharers == 0 && self.d_sharers == 0
+        self.i_sharers.is_empty() && self.d_sharers.is_empty()
     }
 }
 
 /// Coherence actions the requesting side must carry out, returned from
 /// [`L2Nuca::access`].
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Sharer sets are [`CoreMask`]s and a fill evicts at most one victim, so
+/// the whole response is a few machine words passed by value — the L2
+/// access path allocates nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct L2Response {
     /// Whether the block was present in the L2 (else it was fetched from
     /// memory and filled).
     pub hit: bool,
     /// L1-Ds (other cores) that must invalidate their copy because of
     /// this store.
-    pub invalidate_data: Vec<CoreId>,
+    pub invalidate_data: CoreMask,
     /// L1-D holding the block dirty that must downgrade (write back) so
     /// this read can proceed.
     pub downgrade: Option<CoreId>,
-    /// Blocks evicted from the L2 by this fill; each carries the L1-I and
-    /// L1-D sharer core lists that must be back-invalidated (inclusion).
-    pub back_invalidate: Vec<BackInvalidate>,
+    /// The block evicted from the L2 by this fill, if any, with the L1-I
+    /// and L1-D sharer sets that must be back-invalidated (inclusion).
+    pub back_invalidate: Option<BackInvalidate>,
     /// Whether the L2 victim (if any) was dirty and wrote back to memory.
     pub dirty_writeback: bool,
 }
 
 /// An inclusive-L2 back-invalidation order for one evicted block.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BackInvalidate {
     /// The evicted block.
     pub block: BlockAddr,
     /// Cores whose L1-I held it.
-    pub i_sharers: Vec<CoreId>,
+    pub i_sharers: CoreMask,
     /// Cores whose L1-D held it.
-    pub d_sharers: Vec<CoreId>,
+    pub d_sharers: CoreMask,
 }
 
 /// L2-side counters.
@@ -125,12 +128,13 @@ slicc_common::impl_merge_counters!(L2Stats {
 /// // Another core stores to the same block: core 0 must invalidate.
 /// let r1 = l2.access(CoreId::new(1), b, L2AccessKind::DataWrite);
 /// assert!(r1.hit);
-/// assert_eq!(r1.invalidate_data, vec![CoreId::new(0)]);
+/// assert!(r1.invalidate_data.contains(CoreId::new(0)));
+/// assert_eq!(r1.invalidate_data.len(), 1);
 /// ```
 #[derive(Clone, Debug)]
 pub struct L2Nuca {
     cache: Cache,
-    dir: HashMap<BlockAddr, DirEntry>,
+    dir: FastHashMap<BlockAddr, DirEntry>,
     num_banks: usize,
     hit_latency: Cycle,
     stats: L2Stats,
@@ -146,7 +150,7 @@ impl L2Nuca {
         assert!(num_banks > 0, "L2 must have at least one bank");
         L2Nuca {
             cache: Cache::new(geom, PolicyKind::Lru, seed),
-            dir: HashMap::new(),
+            dir: FastHashMap::default(),
             num_banks,
             hit_latency,
             stats: L2Stats::default(),
@@ -193,7 +197,6 @@ impl L2Nuca {
     /// Handles an L1 miss request from `core` for `block`.
     pub fn access(&mut self, core: CoreId, block: BlockAddr, kind: L2AccessKind) -> L2Response {
         let mut resp = L2Response::default();
-        let core_bit = 1u32 << core.index();
 
         // Storage lookup (fills on miss; inclusive).
         let result = self.cache.access(block, AccessKind::Read);
@@ -206,13 +209,13 @@ impl L2Nuca {
         if let Some(evicted) = result.evicted() {
             resp.dirty_writeback = evicted.dirty;
             if let Some(entry) = self.dir.remove(&evicted.block) {
-                let bi = BackInvalidate {
+                self.stats.back_invalidations +=
+                    (entry.i_sharers.len() + entry.d_sharers.len()) as u64;
+                resp.back_invalidate = Some(BackInvalidate {
                     block: evicted.block,
-                    i_sharers: mask_to_cores(entry.i_sharers),
-                    d_sharers: mask_to_cores(entry.d_sharers),
-                };
-                self.stats.back_invalidations += (bi.i_sharers.len() + bi.d_sharers.len()) as u64;
-                resp.back_invalidate.push(bi);
+                    i_sharers: entry.i_sharers,
+                    d_sharers: entry.d_sharers,
+                });
             }
         }
 
@@ -220,7 +223,7 @@ impl L2Nuca {
         let entry = self.dir.entry(block).or_default();
         match kind {
             L2AccessKind::IFetch => {
-                entry.i_sharers |= core_bit;
+                entry.i_sharers.insert(core);
             }
             L2AccessKind::DataRead => {
                 if let Some(owner) = entry.dirty_owner {
@@ -230,15 +233,16 @@ impl L2Nuca {
                         self.stats.downgrades += 1;
                     }
                 }
-                entry.d_sharers |= core_bit;
+                entry.d_sharers.insert(core);
             }
             L2AccessKind::DataWrite => {
-                let others = entry.d_sharers & !core_bit;
-                if others != 0 {
-                    resp.invalidate_data = mask_to_cores(others);
-                    self.stats.store_invalidations += resp.invalidate_data.len() as u64;
+                let others = entry.d_sharers.without(core);
+                if !others.is_empty() {
+                    resp.invalidate_data = others;
+                    self.stats.store_invalidations += others.len() as u64;
                 }
-                entry.d_sharers = core_bit;
+                entry.d_sharers = CoreMask::empty();
+                entry.d_sharers.insert(core);
                 entry.dirty_owner = Some(core.raw());
             }
         }
@@ -248,10 +252,9 @@ impl L2Nuca {
     /// Notifies the directory that `core`'s L1 evicted or invalidated its
     /// copy of `block`. `was_data` selects the L1-D vs L1-I sharer set.
     pub fn on_l1_evict(&mut self, core: CoreId, block: BlockAddr, was_data: bool, dirty: bool) {
-        let core_bit = 1u32 << core.index();
         if let Some(entry) = self.dir.get_mut(&block) {
             if was_data {
-                entry.d_sharers &= !core_bit;
+                entry.d_sharers.remove(core);
                 if entry.dirty_owner == Some(core.raw()) {
                     entry.dirty_owner = None;
                 }
@@ -260,7 +263,7 @@ impl L2Nuca {
                     self.cache.mark_dirty(block);
                 }
             } else {
-                entry.i_sharers &= !core_bit;
+                entry.i_sharers.remove(core);
             }
             if entry.is_empty() {
                 self.dir.remove(&block);
@@ -270,22 +273,18 @@ impl L2Nuca {
 
     /// The cores whose L1-D currently shares `block` (diagnostics).
     pub fn data_sharers(&self, block: BlockAddr) -> Vec<CoreId> {
-        self.dir.get(&block).map(|e| mask_to_cores(e.d_sharers)).unwrap_or_default()
+        self.dir.get(&block).map(|e| e.d_sharers.iter().collect()).unwrap_or_default()
     }
 
     /// The cores whose L1-I currently shares `block` (diagnostics).
     pub fn instruction_sharers(&self, block: BlockAddr) -> Vec<CoreId> {
-        self.dir.get(&block).map(|e| mask_to_cores(e.i_sharers)).unwrap_or_default()
+        self.dir.get(&block).map(|e| e.i_sharers.iter().collect()).unwrap_or_default()
     }
 
     /// Number of directory entries (blocks with at least one L1 sharer).
     pub fn directory_entries(&self) -> usize {
         self.dir.len()
     }
-}
-
-fn mask_to_cores(mask: u32) -> Vec<CoreId> {
-    (0..32).filter(|&i| mask & (1 << i) != 0).map(|i| CoreId::new(i as u16)).collect()
 }
 
 #[cfg(test)]
@@ -326,8 +325,7 @@ mod tests {
         l2.access(CoreId::new(0), b, L2AccessKind::DataRead);
         l2.access(CoreId::new(1), b, L2AccessKind::DataRead);
         let r = l2.access(CoreId::new(2), b, L2AccessKind::DataWrite);
-        let mut inv = r.invalidate_data.clone();
-        inv.sort();
+        let inv: Vec<_> = r.invalidate_data.iter().collect();
         assert_eq!(inv, vec![CoreId::new(0), CoreId::new(1)]);
         assert_eq!(l2.data_sharers(b), vec![CoreId::new(2)]);
         assert_eq!(l2.stats().store_invalidations, 2);
@@ -374,11 +372,10 @@ mod tests {
         l2.access(CoreId::new(4), b0, L2AccessKind::DataRead);
         l2.access(CoreId::new(5), b1, L2AccessKind::DataRead);
         let r = l2.access(CoreId::new(6), b2, L2AccessKind::DataRead);
-        assert_eq!(r.back_invalidate.len(), 1);
-        let bi = &r.back_invalidate[0];
+        let bi = r.back_invalidate.expect("fill must evict the shared block");
         assert_eq!(bi.block, b0);
-        assert_eq!(bi.i_sharers, vec![CoreId::new(3)]);
-        assert_eq!(bi.d_sharers, vec![CoreId::new(4)]);
+        assert_eq!(bi.i_sharers.iter().collect::<Vec<_>>(), vec![CoreId::new(3)]);
+        assert_eq!(bi.d_sharers.iter().collect::<Vec<_>>(), vec![CoreId::new(4)]);
         assert_eq!(l2.stats().back_invalidations, 2);
         // Directory entry gone.
         assert!(l2.data_sharers(b0).is_empty());
@@ -431,7 +428,7 @@ mod tests {
         l2.access(CoreId::new(0), b, L2AccessKind::DataRead);
         // A store invalidates the data copy but not the instruction copy.
         let r = l2.access(CoreId::new(1), b, L2AccessKind::DataWrite);
-        assert_eq!(r.invalidate_data, vec![CoreId::new(0)]);
+        assert_eq!(r.invalidate_data.iter().collect::<Vec<_>>(), vec![CoreId::new(0)]);
         assert_eq!(l2.instruction_sharers(b), vec![CoreId::new(0)]);
     }
 }
@@ -461,7 +458,7 @@ mod protocol_scenarios {
         assert_eq!(r.downgrade, Some(a));
         // (2) It writes on B: A's (clean) copy must be invalidated.
         let r = l2.access(c, b, L2AccessKind::DataWrite);
-        assert_eq!(r.invalidate_data, vec![a]);
+        assert_eq!(r.invalidate_data.iter().collect::<Vec<_>>(), vec![a]);
         // (3) It returns to A and reads again: B now holds it dirty.
         let r = l2.access(a, b, L2AccessKind::DataRead);
         assert_eq!(r.downgrade, Some(c));
@@ -501,13 +498,13 @@ mod protocol_scenarios {
         for k in 1..=16u64 {
             let other = BlockAddr::new(0xc0 + k * sets as u64);
             let r = l2.access(CoreId::new(4), other, L2AccessKind::DataRead);
-            if let Some(bi) = r.back_invalidate.iter().find(|bi| bi.block == b) {
-                back = Some(bi.clone());
+            if let Some(bi) = r.back_invalidate.filter(|bi| bi.block == b) {
+                back = Some(bi);
                 break;
             }
         }
         let bi = back.expect("b must eventually be evicted from its set");
-        assert_eq!(bi.i_sharers, vec![CoreId::new(2)]);
-        assert_eq!(bi.d_sharers, vec![CoreId::new(3)]);
+        assert_eq!(bi.i_sharers.iter().collect::<Vec<_>>(), vec![CoreId::new(2)]);
+        assert_eq!(bi.d_sharers.iter().collect::<Vec<_>>(), vec![CoreId::new(3)]);
     }
 }

@@ -126,6 +126,17 @@ pub struct Engine<'a> {
     agents: Vec<SliccAgent>,
     heap: BinaryHeap<Reverse<(Cycle, u64, usize)>>,
     stamps: Vec<u64>,
+    /// Whether each core's freshest stamp is present in the heap, plus the
+    /// count of such live entries: answers "is any core runnable?" in O(1)
+    /// instead of scanning the heap for a non-stale entry.
+    in_heap: Vec<bool>,
+    live_heap: usize,
+    /// Cores with nothing running and an empty queue (scout excluded),
+    /// maintained incrementally at every queue/running-slot mutation so
+    /// idle-target selection and wake-ups never sweep all cores.
+    idle: CoreMask,
+    /// Cores whose thread queue is non-empty (the steal victims).
+    queued: CoreMask,
     in_flight: usize,
     pool_limit: usize,
     completed: usize,
@@ -150,6 +161,9 @@ pub struct Engine<'a> {
     last_iblock: Vec<Option<BlockAddr>>,
     migration_queue_limit: usize,
     work_stealing: bool,
+    /// `SLICC_DEBUG_STEAL` presence, read once at construction: the env
+    /// lookup must not sit inside the steal path.
+    debug_steal: bool,
     steps_switch_cycles: u64,
     steps_team_size: usize,
     context_switches: u64,
@@ -224,6 +238,10 @@ impl<'a> Engine<'a> {
             agents: CoreId::all(n).map(|c| SliccAgent::new(c, cfg.slicc)).collect(),
             heap: BinaryHeap::new(),
             stamps: vec![0; n],
+            in_heap: vec![false; n],
+            live_heap: 0,
+            idle: exec_cores,
+            queued: CoreMask::empty(),
             in_flight: 0,
             pool_limit,
             completed: 0,
@@ -243,6 +261,7 @@ impl<'a> Engine<'a> {
             last_iblock: vec![None; n],
             migration_queue_limit: cfg.migration_queue_limit,
             work_stealing: cfg.work_stealing,
+            debug_steal: std::env::var_os("SLICC_DEBUG_STEAL").is_some(),
             steps_switch_cycles: cfg.steps_switch_cycles,
             steps_team_size: cfg.steps_team_size.max(1),
             context_switches: 0,
@@ -460,23 +479,46 @@ impl<'a> Engine<'a> {
     fn pop_next_core(&mut self) -> Option<CoreId> {
         while let Some(Reverse((_, stamp, core))) = self.heap.pop() {
             if self.stamps[core] == stamp {
+                self.in_heap[core] = false;
+                self.live_heap -= 1;
                 return Some(CoreId::new(core as u16));
             }
         }
         None
     }
 
+    /// Whether any live (non-stale) heap entry remains.
     fn pop_next_core_peek(&self) -> bool {
-        self.heap
-            .iter()
-            .any(|Reverse((_, stamp, core))| self.stamps[*core] == *stamp)
+        self.live_heap > 0
     }
 
-    /// Registers `core` in the heap at its next interesting time.
+    /// Registers `core` in the heap at its next interesting time. A
+    /// re-push bumps the stamp, turning the core's older entry stale.
     fn push_core(&mut self, core: CoreId, at: Cycle) {
         let c = core.index();
         self.stamps[c] += 1;
         self.heap.push(Reverse((at, self.stamps[c], c)));
+        if !self.in_heap[c] {
+            self.in_heap[c] = true;
+            self.live_heap += 1;
+        }
+    }
+
+    /// Recomputes `core`'s membership in the idle and queued sets; must
+    /// run after every mutation of its queue or running slot.
+    fn refresh_core_sets(&mut self, core: CoreId) {
+        let c = core.index();
+        let queue_empty = self.queues[c].is_empty();
+        if queue_empty {
+            self.queued.remove(core);
+        } else {
+            self.queued.insert(core);
+        }
+        if queue_empty && self.running[c].is_none() && self.scout_core != Some(core) {
+            self.idle.insert(core);
+        } else {
+            self.idle.remove(core);
+        }
     }
 
     fn push_core_if_work(&mut self, core: CoreId) {
@@ -569,6 +611,7 @@ impl<'a> Engine<'a> {
         self.threads[t].cores_visited.insert(core);
         self.running[c] = Some(tid);
         self.last_iblock[c] = None;
+        self.refresh_core_sets(core);
         true
     }
 
@@ -633,6 +676,7 @@ impl<'a> Engine<'a> {
         self.queues[c].push(tid);
         self.agents[c].on_thread_departed();
         self.running[c] = None;
+        self.refresh_core_sets(core);
         self.context_switches += 1;
         true
     }
@@ -649,9 +693,9 @@ impl<'a> Engine<'a> {
     /// least-recently-vacated first (its cache contents are the least
     /// likely to still serve anyone), then nearest.
     fn pick_idle(&self, from: CoreId, allowed: CoreMask) -> Option<CoreId> {
-        allowed
+        (self.idle & allowed)
+            .without(from)
             .iter()
-            .filter(|&c| c != from && self.running[c.index()].is_none() && self.queues[c.index()].is_empty())
             .min_by_key(|&c| (self.vacated_seq[c.index()], self.sys.noc().hops(from, c), c.index()))
     }
 
@@ -669,10 +713,12 @@ impl<'a> Engine<'a> {
         if !self.mode.is_slicc() || !self.work_stealing {
             return None;
         }
-        let victim = CoreId::all(self.queues.len())
+        let victim = self
+            .queued
+            .without(thief)
+            .iter()
             .filter(|&v| {
-                v != thief
-                    && self.running[v.index()].is_some()
+                self.running[v.index()].is_some()
                     && self.queues[v.index()]
                         .back()
                         .is_some_and(|&t| self.threads[t.index()].allowed.contains(thief))
@@ -680,10 +726,12 @@ impl<'a> Engine<'a> {
             .max_by_key(|&v| (self.queues[v.index()].len(), v.index()))?;
         // Take the back (newest) entry: the head may already be waiting
         // on the victim core's warmed state.
-        if std::env::var_os("SLICC_DEBUG_STEAL").is_some() {
+        if self.debug_steal {
             eprintln!("steal: {thief:?} <- {victim:?} (victim queue {})", self.queues[victim.index()].len());
         }
-        self.queues[victim.index()].pop_back()
+        let stolen = self.queues[victim.index()].pop_back();
+        self.refresh_core_sets(victim);
+        stolen
     }
 
     /// Executes the migration: drain at the source, context transfer to
@@ -712,6 +760,8 @@ impl<'a> Engine<'a> {
             self.agents[from.index()].on_queue_empty();
             self.mark_vacated(from);
         }
+        self.refresh_core_sets(from);
+        self.refresh_core_sets(to);
 
         let wake = self.sys.timer(to).now().max(ready);
         if self.running[to.index()].is_none() && self.queues[to.index()].len() == 1 {
@@ -724,14 +774,10 @@ impl<'a> Engine<'a> {
 
     /// Re-arms every fully idle core so it gets a chance to steal.
     fn wake_idle_cores(&mut self, ready: Cycle) {
-        for c in CoreId::all(self.queues.len()) {
-            if self.scout_core == Some(c) {
-                continue;
-            }
-            if self.running[c.index()].is_none() && self.queues[c.index()].is_empty() {
-                let at = self.sys.timer(c).now().max(ready);
-                self.push_core(c, at);
-            }
+        let idle = self.idle;
+        for c in idle.iter() {
+            let at = self.sys.timer(c).now().max(ready);
+            self.push_core(c, at);
         }
     }
 
@@ -741,11 +787,12 @@ impl<'a> Engine<'a> {
         self.threads[t].state = ThreadState::Done;
         self.threads[t].completed_at = Some(self.sys.timer(core).now());
         self.running[c] = None;
+        self.refresh_core_sets(core);
         self.completed += 1;
         self.in_flight -= 1;
         // Other queues may hold surplus work this completion frees a
         // core for: re-arm idle cores so they can steal it.
-        if self.queues.iter().any(|q| !q.is_empty()) {
+        if !self.queued.is_empty() {
             self.wake_idle_cores(0);
         }
         if self.mode.uses_agents() {
@@ -785,6 +832,7 @@ impl<'a> Engine<'a> {
         debug_assert_eq!(self.threads[t].state, ThreadState::Pending);
         self.threads[t].state = ThreadState::Queued;
         self.queues[core.index()].push(tid);
+        self.refresh_core_sets(core);
         self.in_flight += 1;
         let ready = self.threads[t].ready_at;
         if self.running[core.index()].is_none() && self.queues[core.index()].len() == 1 {
@@ -837,9 +885,7 @@ impl<'a> Engine<'a> {
     }
 
     fn pick_idle_global(&self) -> Option<CoreId> {
-        self.exec_cores
-            .iter()
-            .find(|&c| self.running[c.index()].is_none() && self.queues[c.index()].is_empty())
+        (self.idle & self.exec_cores).iter().next()
     }
 
     fn dispatch_oblivious(&mut self) {

@@ -117,6 +117,18 @@ impl RunMetrics {
         assert!(self.cycles > 0 && baseline.cycles > 0, "runs must have executed");
         baseline.cycles as f64 / self.cycles as f64
     }
+
+    /// A stable digest over every measured field, for golden-determinism
+    /// tests: two runs with identical simulated results produce identical
+    /// digests, so performance work on the simulator can prove it did not
+    /// change what was simulated.
+    ///
+    /// The digest folds the full `Debug` rendering (which covers every
+    /// field, including nested counter structs) through the workspace's
+    /// stable FNV-1a hasher, so it is reproducible across processes.
+    pub fn digest(&self) -> u64 {
+        slicc_common::stable_hash_of(format!("{self:?}").as_str())
+    }
 }
 
 fn mpki(events: u64, instructions: u64) -> f64 {

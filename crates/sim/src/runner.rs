@@ -57,10 +57,11 @@ use crate::metrics::RunMetrics;
 use slicc_common::{lock_unpoisoned, StableHash, StableHasher};
 use slicc_trace::{TraceScale, Workload, WorkloadSpec};
 use std::collections::HashMap;
+use std::collections::hash_map::Entry;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A typed experiment point: which workload to run, at what scale, on what
@@ -126,6 +127,18 @@ impl RunRequest {
         self.workload.spec(self.effective_scale())
     }
 
+    /// The spec-memo key: a stable hash of exactly the inputs that shape
+    /// the materialized trace — workload and effective scale. Narrower
+    /// than [`RunRequest::stable_key`] on purpose: requests differing
+    /// only in machine config (e.g. the five scheduler modes of one
+    /// figure column) share one [`WorkloadSpec`].
+    pub fn spec_key(&self) -> u64 {
+        let mut h = StableHasher::new();
+        self.workload.stable_hash(&mut h);
+        self.effective_scale().stable_hash(&mut h);
+        h.finish()
+    }
+
     /// The run-cache key: a stable hash of everything that can influence
     /// the outcome — including the watchdog fuel budget and any injected
     /// fault, so an aborted point never aliases its healthy twin in the
@@ -152,9 +165,16 @@ impl RunRequest {
     /// Runs this point now, on the calling thread, bypassing any cache,
     /// reporting simulation failures as typed errors.
     pub fn try_execute(&self) -> Result<RunResult, SimError> {
-        let spec = self.spec();
+        self.try_execute_with_spec(&self.spec())
+    }
+
+    /// [`RunRequest::try_execute`] against an already-materialized spec,
+    /// so callers holding a memoized [`WorkloadSpec`] (the [`Runner`])
+    /// skip trace generation. `spec` must equal [`RunRequest::spec`] for
+    /// this request or the result describes a different experiment.
+    pub fn try_execute_with_spec(&self, spec: &WorkloadSpec) -> Result<RunResult, SimError> {
         let started = Instant::now();
-        let metrics = engine::try_run(&spec, &self.config)?;
+        let metrics = engine::try_run(spec, &self.config)?;
         let wall = started.elapsed();
         let sim_ips = if wall.as_secs_f64() > 0.0 { metrics.instructions as f64 / wall.as_secs_f64() } else { 0.0 };
         Ok(RunResult { metrics, wall, sim_ips, from_cache: false })
@@ -190,6 +210,9 @@ pub struct RunnerStats {
     /// points are never cached, so they are re-attempted by every batch
     /// that names them.
     pub failed_points: u64,
+    /// Distinct [`WorkloadSpec`]s materialized. With the spec memo, a
+    /// five-mode figure column costs one build, not five.
+    pub spec_builds: u64,
     /// Total instructions simulated by fresh runs.
     pub simulated_instructions: u64,
     /// Total CPU time spent inside fresh simulations (sums across worker
@@ -225,10 +248,14 @@ impl RunnerStats {
 pub struct Runner {
     jobs: usize,
     cache: Mutex<HashMap<u64, RunResult>>,
+    /// Materialized traces keyed by [`RunRequest::spec_key`]: every mode
+    /// variant of a (workload, scale) point shares one spec build.
+    specs: Mutex<HashMap<u64, Arc<WorkloadSpec>>>,
     checkpoint: Mutex<Option<Checkpoint>>,
     hits: AtomicU64,
     misses: AtomicU64,
     failures: AtomicU64,
+    spec_builds: AtomicU64,
     simulated_instructions: AtomicU64,
     busy_nanos: AtomicU64,
 }
@@ -239,10 +266,12 @@ impl Runner {
         Runner {
             jobs: jobs.max(1),
             cache: Mutex::new(HashMap::new()),
+            specs: Mutex::new(HashMap::new()),
             checkpoint: Mutex::new(None),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             failures: AtomicU64::new(0),
+            spec_builds: AtomicU64::new(0),
             simulated_instructions: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
         }
@@ -379,6 +408,7 @@ impl Runner {
             cache_hits: self.hits.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),
             failed_points: self.failures.load(Ordering::Relaxed),
+            spec_builds: self.spec_builds.load(Ordering::Relaxed),
             simulated_instructions: self.simulated_instructions.load(Ordering::Relaxed),
             busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
         }
@@ -390,12 +420,28 @@ impl Runner {
         lock_unpoisoned(&self.cache).len()
     }
 
+    /// The memoized spec for `req`, materializing it on first use. The
+    /// lock is held across the build so concurrent workers asking for the
+    /// same (workload, scale) wait for one build instead of racing their
+    /// own; a build is milliseconds against simulations of seconds.
+    fn spec_for(&self, req: &RunRequest) -> Arc<WorkloadSpec> {
+        let mut specs = lock_unpoisoned(&self.specs);
+        match specs.entry(req.spec_key()) {
+            Entry::Occupied(e) => Arc::clone(e.get()),
+            Entry::Vacant(v) => {
+                self.spec_builds.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(v.insert(Arc::new(req.spec())))
+            }
+        }
+    }
+
     /// Executes one point with panic containment: a panic anywhere in the
     /// simulation (or an engine-level [`SimError`]) becomes a [`RunError`]
     /// carrying the point's identity, instead of unwinding into the pool.
-    fn execute_point(req: &RunRequest) -> Result<RunResult, RunError> {
+    fn execute_point(&self, req: &RunRequest) -> Result<RunResult, RunError> {
+        let spec = self.spec_for(req);
         let point = PointSummary::of(req);
-        match panic::catch_unwind(AssertUnwindSafe(|| req.try_execute())) {
+        match panic::catch_unwind(AssertUnwindSafe(|| req.try_execute_with_spec(&spec))) {
             Ok(Ok(result)) => Ok(result),
             Ok(Err(sim_error)) => Err(RunError::from_sim(point, sim_error)),
             // `as_ref` matters: `&payload` would coerce the Box itself into
@@ -434,7 +480,7 @@ impl Runner {
             return fresh
                 .iter()
                 .map(|&(key, req)| {
-                    let outcome = Runner::execute_point(req);
+                    let outcome = self.execute_point(req);
                     if let Ok(result) = &outcome {
                         self.checkpoint_store(key, result);
                     }
@@ -463,7 +509,7 @@ impl Runner {
                     let job = lock_unpoisoned(job_rx).recv();
                     match job {
                         Ok((idx, req)) => {
-                            let outcome = Runner::execute_point(req);
+                            let outcome = self.execute_point(req);
                             if result_tx.send((idx, outcome)).is_err() {
                                 return;
                             }
@@ -627,6 +673,58 @@ mod tests {
         assert_eq!(stats.simulated_instructions, result.metrics.instructions);
         assert!(stats.busy_nanos > 0);
         assert!(stats.sim_ips() > 0.0);
+    }
+
+    #[test]
+    fn spec_memo_shares_one_build_across_modes() {
+        let runner = Runner::new(2);
+        let reqs: Vec<RunRequest> =
+            SchedulerMode::WITH_STEPS.iter().map(|&m| tiny_request().with_mode(m)).collect();
+        for r in runner.run_all(&reqs) {
+            expect_ok(r);
+        }
+        let stats = runner.stats();
+        assert_eq!(stats.cache_misses, reqs.len() as u64, "every mode simulates");
+        assert_eq!(stats.spec_builds, 1, "all modes share one materialized trace");
+    }
+
+    #[test]
+    fn spec_memo_does_not_alias_distinct_traces() {
+        let runner = Runner::new(1);
+        let base = tiny_request();
+        expect_ok(runner.run(&base));
+        expect_ok(runner.run(&base.clone().with_seed(99)));
+        expect_ok(runner.run(&base.clone().with_tasks(2)));
+        // Same trace on a different machine: no new build.
+        let mut other_cfg = tiny_request();
+        other_cfg.config.seed ^= 1;
+        expect_ok(runner.run(&other_cfg));
+        assert_eq!(
+            runner.stats().spec_builds,
+            3,
+            "seed/task overrides are distinct traces, a config change is not"
+        );
+    }
+
+    #[test]
+    fn spec_key_ignores_config_but_not_trace_inputs() {
+        let base = tiny_request();
+        let slicc = base.clone().with_mode(SchedulerMode::Slicc);
+        assert_eq!(base.spec_key(), slicc.spec_key(), "mode must not split the spec memo");
+        assert_ne!(base.stable_key(), slicc.stable_key(), "...but it does split the run cache");
+        assert_ne!(base.spec_key(), base.clone().with_seed(9).spec_key());
+        assert_ne!(base.spec_key(), base.clone().with_tasks(3).spec_key());
+        let other_workload = RunRequest::new(Workload::TpcE, TraceScale::tiny(), SimConfig::tiny_test());
+        assert_ne!(base.spec_key(), other_workload.spec_key());
+    }
+
+    #[test]
+    fn memoized_spec_reproduces_direct_execution() {
+        let runner = Runner::new(1);
+        let req = tiny_request().with_mode(SchedulerMode::Slicc);
+        let pooled = expect_ok(runner.run(&req));
+        let direct = req.try_execute().expect("direct run completes");
+        assert_eq!(format!("{:?}", pooled.metrics), format!("{:?}", direct.metrics));
     }
 
     fn panicking_request() -> RunRequest {

@@ -44,6 +44,10 @@ pub struct System {
     cores: Vec<CoreCtx>,
     l1i_latency: Cycle,
     bloom_accuracy: SignatureAccuracy,
+    /// Reusable eviction buffer for the fetch path: filled and drained
+    /// within one `ifetch`, kept across calls so the steady state never
+    /// allocates.
+    evict_scratch: Vec<EvictedBlock>,
 }
 
 impl System {
@@ -90,6 +94,7 @@ impl System {
             cores,
             l1i_latency: cfg.l1i_latency(),
             bloom_accuracy: SignatureAccuracy::default(),
+            evict_scratch: Vec::new(),
             cfg: cfg.clone(),
         })
     }
@@ -161,13 +166,16 @@ impl System {
         }
 
         // L1 lookup (with optional next-line prefetch), classification,
-        // and bloom upkeep for prefetch fills.
-        let (result, prefetch_evictions) = {
+        // and bloom upkeep for prefetch fills. Evictions from prefetch
+        // fills and the demand fill collect in the reused scratch buffer.
+        let mut evictions = std::mem::take(&mut self.evict_scratch);
+        evictions.clear();
+        let result = {
             let ctx = &mut self.cores[i];
-            let (result, prefetch_evictions) = match &mut ctx.prefetcher {
+            let result = match &mut ctx.prefetcher {
                 Some(pf) => {
                     let degree = pf.degree();
-                    let out = pf.access(&mut ctx.l1i, block);
+                    let out = pf.access_into(&mut ctx.l1i, block, &mut evictions);
                     // Prefetch-filled blocks are cached: the bloom
                     // signature must cover them for remote searches.
                     for d in 1..=degree {
@@ -178,7 +186,7 @@ impl System {
                     }
                     out
                 }
-                None => (ctx.l1i.access(block, AccessKind::Read), Vec::new()),
+                None => ctx.l1i.access(block, AccessKind::Read),
             };
             if let Some(c) = &mut ctx.i_classifier {
                 if result.is_hit() {
@@ -187,11 +195,10 @@ impl System {
                     c.observe_miss(block);
                 }
             }
-            (result, prefetch_evictions)
+            result
         };
 
         // Evictions caused by the demand fill and by prefetch fills.
-        let mut evictions: Vec<EvictedBlock> = prefetch_evictions;
         if let Some(ev) = result.evicted() {
             evictions.push(ev);
         }
@@ -200,21 +207,18 @@ impl System {
         }
 
         // The real-PIF comparator trains on the retire-order stream and
-        // streams prefetch fills into the L1-I.
-        let pif_evictions = {
+        // streams prefetch fills into the L1-I (same scratch, drained).
+        evictions.clear();
+        {
             let ctx = &mut self.cores[i];
-            match ctx.pif.take() {
-                Some(mut pif) => {
-                    let ev = pif.on_fetch(&mut ctx.l1i, block, result.is_hit());
-                    ctx.pif = Some(pif);
-                    ev
-                }
-                None => Vec::new(),
+            if let Some(pif) = &mut ctx.pif {
+                pif.on_fetch_into(&mut ctx.l1i, block, result.is_hit(), &mut evictions);
             }
-        };
-        for ev in &pif_evictions {
+        }
+        for ev in &evictions {
             self.handle_l1i_eviction(core, ev.block);
         }
+        self.evict_scratch = evictions;
 
         if result.is_hit() {
             self.cores[i].timer.ifetch_hit(self.l1i_latency);
@@ -358,7 +362,7 @@ impl System {
 
     /// Applies store-invalidations and downgrades to the victim L1-Ds.
     fn apply_coherence(&mut self, requester: CoreId, block: BlockAddr, resp: &L2Response) {
-        for &victim in &resp.invalidate_data {
+        for victim in resp.invalidate_data.iter() {
             debug_assert_ne!(victim, requester);
             self.cores[victim.index()].l1d.invalidate(block);
             self.noc_stats.record_unicast(self.noc.hops(requester, victim));
@@ -370,14 +374,14 @@ impl System {
 
     /// Applies inclusive-L2 back-invalidations to all L1 copies.
     fn apply_back_invalidations(&mut self, resp: &L2Response) {
-        for bi in &resp.back_invalidate {
-            for &c in &bi.i_sharers {
+        if let Some(bi) = resp.back_invalidate {
+            for c in bi.i_sharers.iter() {
                 let removed = self.cores[c.index()].l1i.invalidate(bi.block).is_some();
                 if removed {
                     self.remove_from_bloom(c, bi.block);
                 }
             }
-            for &c in &bi.d_sharers {
+            for c in bi.d_sharers.iter() {
                 self.cores[c.index()].l1d.invalidate(bi.block);
             }
         }

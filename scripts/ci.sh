@@ -7,3 +7,14 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Bench smoke: one sample per point keeps it cheap while proving the
+# harness still runs end to end, and the tracked baseline must parse.
+cargo bench --bench baseline -- --quick
+python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_sim.json"))
+assert doc["schema"] == 1, "unknown BENCH_sim.json schema"
+assert doc["sim_ips_speedup"] > 0, "tracked baseline lacks a speedup figure"
+print(f"BENCH_sim.json ok (tracked speedup {doc['sim_ips_speedup']}x)")
+EOF

@@ -1,0 +1,55 @@
+//! Golden-determinism gate for simulator performance work.
+//!
+//! The digests below were captured on the *pre-optimization* hot path
+//! (before the allocation-free memory system, bitmask cache lookup, spec
+//! memoization, and idle-set engine landed). Every scheduler mode's full
+//! [`slicc_sim::RunMetrics`] must reproduce them exactly: optimizing the
+//! simulator must never change what it simulates. If a *deliberate* model
+//! change lands, re-capture with `cargo test --test golden -- --nocapture`
+//! and update the table in the same commit that changes the model.
+
+use slicc_sim::{RunRequest, SchedulerMode, SimConfig};
+use slicc_trace::{TraceScale, Workload};
+
+/// Pre-optimization digests of the full metrics struct, one per mode, on
+/// the tiny TPC-C-1 workload under `SimConfig::tiny_test()`.
+const GOLDEN: [(SchedulerMode, u64); 5] = [
+    (SchedulerMode::Baseline, 0x20819f2156f06c11),
+    (SchedulerMode::Slicc, 0xd6a44727ba7303fc),
+    (SchedulerMode::SliccSw, 0xd95c19ac39746962),
+    (SchedulerMode::SliccPp, 0x3c04dada01c073dc),
+    (SchedulerMode::Steps, 0xf5a0e22ab81e5504),
+];
+
+fn digest_of(mode: SchedulerMode) -> u64 {
+    let req = RunRequest::new(
+        Workload::TpcC1,
+        TraceScale::tiny(),
+        SimConfig::tiny_test().with_mode(mode),
+    );
+    req.try_execute().expect("tiny point completes").metrics.digest()
+}
+
+#[test]
+fn metrics_are_byte_identical_to_pre_optimization_capture() {
+    let mut drifted = Vec::new();
+    for (mode, want) in GOLDEN {
+        let got = digest_of(mode);
+        println!("    (SchedulerMode::{mode:?}, 0x{got:016x}),");
+        if got != want {
+            drifted.push((mode, want, got));
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "simulated results drifted from the golden capture: {drifted:x?}"
+    );
+}
+
+#[test]
+fn digest_is_stable_across_runs_and_sensitive_to_results() {
+    let a = digest_of(SchedulerMode::Slicc);
+    let b = digest_of(SchedulerMode::Slicc);
+    assert_eq!(a, b, "same point must digest identically");
+    assert_ne!(a, digest_of(SchedulerMode::Baseline), "different runs must differ");
+}
