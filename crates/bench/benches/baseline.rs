@@ -129,6 +129,18 @@ fn bench_micro(measure: Duration, samples: usize) -> Vec<(String, f64)> {
     let ns = time_ns_per_run(samples.max(3), || req.execute());
     rows.push(("engine/tiny/SLICC".to_string(), ns));
 
+    // The observability cost guard: the same point with full event
+    // tracing + epoch sampling on. Compare against the row above to see
+    // what `--obs-out` actually costs (the obs-off build pays nothing —
+    // the no-default-features golden lane in ci.sh proves that side).
+    let observed = req.clone().with_obs(
+        slicc_sim::ObsConfig::disabled()
+            .with_events()
+            .with_epochs(slicc_sim::ObsConfig::DEFAULT_EPOCH_CYCLES),
+    );
+    let ns = time_ns_per_run(samples.max(3), || observed.execute());
+    rows.push(("engine/tiny/SLICC+obs".to_string(), ns));
+
     for (name, ns) in &rows {
         eprintln!("micro/{name:<30} {ns:>12.1} ns/iter");
     }

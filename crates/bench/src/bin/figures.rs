@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! figures [EXPERIMENT ...] [--scale small|paper] [--jobs N] [--checkpoint PATH]
+//!         [--progress quiet|plain|json]
 //!
 //! EXPERIMENT: fig1 fig2 fig3 fig7 fig8 fig9 fig10 fig11
 //!             table1 table2 table3 bpki ablations extensions scaling all
@@ -9,6 +10,9 @@
 //!
 //! With no arguments, prints the experiment list. `all` runs everything
 //! in paper order; output is markdown, suitable for EXPERIMENTS.md.
+//! Markdown goes to stdout; progress telemetry goes to stderr in the
+//! format selected by `--progress` (default `plain`; `json` emits one
+//! JSON object per line, `quiet` suppresses everything but warnings).
 //!
 //! Simulation points fan out across `--jobs` worker threads (default: all
 //! host cores). One [`Runner`] is shared across the selected experiments,
@@ -20,11 +24,12 @@
 //! re-simulates only the points that are not in the file yet.
 
 use slicc_bench::{Experiment, ExperimentScale};
-use slicc_sim::Runner;
+use slicc_sim::{ProgressEvent, ProgressKind, Runner};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [EXPERIMENT ...] [--scale small|paper] [--jobs N] [--checkpoint PATH]"
+        "usage: figures [EXPERIMENT ...] [--scale small|paper] [--jobs N] [--checkpoint PATH] \
+         [--progress quiet|plain|json]"
     );
     eprintln!("experiments:");
     for e in Experiment::ALL {
@@ -39,6 +44,7 @@ fn main() {
     let mut scale = ExperimentScale::Paper;
     let mut jobs = Runner::default_parallelism();
     let mut checkpoint: Option<std::path::PathBuf> = None;
+    let mut progress = ProgressKind::Plain;
     let mut selected: Vec<Experiment> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -65,6 +71,13 @@ fn main() {
                     _ => usage(),
                 };
             }
+            "--progress" => {
+                i += 1;
+                progress = match args.get(i).and_then(|v| ProgressKind::parse(v)) {
+                    Some(kind) => kind,
+                    None => usage(),
+                };
+            }
             "all" => selected.extend(Experiment::ALL),
             name => match Experiment::parse(name) {
                 Some(e) => selected.push(e),
@@ -78,19 +91,23 @@ fn main() {
     }
 
     let runner = Runner::new(jobs);
+    let reporter = progress.reporter();
+    runner.set_reporter(std::sync::Arc::clone(&reporter));
     if let Some(path) = &checkpoint {
         match runner.attach_checkpoint(path) {
             Ok(load) => {
-                eprintln!(
-                    "checkpoint {}: {} completed point(s) loaded{}",
-                    path.display(),
-                    load.loaded,
-                    if load.truncated() {
-                        format!(" ({} corrupt tail byte(s) dropped)", load.dropped_bytes)
-                    } else {
-                        String::new()
-                    },
-                );
+                reporter.report(ProgressEvent::Note {
+                    message: format!(
+                        "checkpoint {}: {} completed point(s) loaded{}",
+                        path.display(),
+                        load.loaded,
+                        if load.truncated() {
+                            format!(" ({} corrupt tail byte(s) dropped)", load.dropped_bytes)
+                        } else {
+                            String::new()
+                        },
+                    ),
+                });
             }
             Err(e) => {
                 eprintln!("error: cannot use checkpoint {}: {e}", path.display());
@@ -106,16 +123,20 @@ fn main() {
         let start = std::time::Instant::now();
         let section = e.run(scale, &runner);
         println!("{section}");
-        eprintln!("[{}] done in {:.1}s", e.name(), start.elapsed().as_secs_f64());
+        reporter.report(ProgressEvent::Note {
+            message: format!("[{}] done in {:.1}s", e.name(), start.elapsed().as_secs_f64()),
+        });
     }
     let stats = runner.stats();
     if stats.cache_hits + stats.cache_misses > 0 {
-        eprintln!(
-            "{} simulation points ({} served from the run cache), {} jobs, {:.0} instructions/s",
-            stats.cache_hits + stats.cache_misses,
-            stats.cache_hits,
-            jobs,
-            stats.sim_ips(),
-        );
+        reporter.report(ProgressEvent::Note {
+            message: format!(
+                "{} simulation points ({} served from the run cache), {} jobs, {:.0} instructions/s",
+                stats.cache_hits + stats.cache_misses,
+                stats.cache_hits,
+                jobs,
+                stats.sim_ips(),
+            ),
+        });
     }
 }

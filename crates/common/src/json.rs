@@ -1,0 +1,73 @@
+//! Minimal JSON string emission helpers.
+//!
+//! The workspace builds with no external dependencies (DESIGN.md §5), so
+//! every JSON document — the tracked bench baseline, the observability
+//! exporters, the JSON-lines progress reporter — is rendered by hand.
+//! What must not be re-invented per call site is *escaping*: an event
+//! label or error message containing `"` or a control character must not
+//! corrupt the document. This module centralizes exactly that.
+
+use std::fmt::Write;
+
+/// Appends `s` to `out` as a JSON string literal, including the
+/// surrounding quotes, escaping `"`, `\`, and control characters.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders `s` as a standalone JSON string literal (quotes included).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_json_str(&mut out, s);
+    out
+}
+
+/// Renders an `f64` the way JSON requires: `NaN` and infinities (which
+/// JSON cannot represent) become `null`, everything else uses Rust's
+/// shortest round-trippable form.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_pass_through_quoted() {
+        assert_eq!(json_str("core 3"), "\"core 3\"");
+    }
+
+    #[test]
+    fn quotes_backslashes_and_controls_are_escaped() {
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_str("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_str("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+}

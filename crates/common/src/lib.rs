@@ -13,6 +13,8 @@
 //! - a fixed-capacity ring-buffer FIFO ([`RingFifo`]) — see [`fifo`];
 //! - stable hashing for experiment memoization keys ([`StableHash`]) —
 //!   see [`hash`];
+//! - dependency-free JSON string/float rendering ([`json_str`]) — see
+//!   [`json`];
 //! - a fast deterministic hasher for hot maps ([`FastHashMap`]) — see
 //!   [`fasthash`];
 //! - poison-recovering mutex access ([`lock_unpoisoned`]) — see [`sync`];
@@ -39,6 +41,7 @@ pub mod fifo;
 pub mod geometry;
 pub mod hash;
 pub mod ids;
+pub mod json;
 pub mod latency;
 pub mod mask;
 pub mod merge;
@@ -57,6 +60,7 @@ pub use fifo::RingFifo;
 pub use geometry::CacheGeometry;
 pub use hash::{stable_hash_of, StableHash, StableHasher};
 pub use ids::{CoreId, ThreadId, TxnTypeId};
+pub use json::{json_f64, json_str, push_json_str};
 pub use latency::{l1_latency_for_size, LatencyTable};
 pub use mask::CoreMask;
 pub use merge::Merge;

@@ -1,0 +1,184 @@
+//! The typed sim-time event vocabulary.
+//!
+//! Events are small `Copy` values — a core id, a cycle stamp, and a
+//! fixed-size payload — so recording one is a couple of stores into a
+//! preallocated ring ([`crate::EventRing`]), never an allocation.
+
+use slicc_common::{CoreId, Cycle};
+
+/// Why a migration chose its target core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MigrationReason {
+    /// The remote segment search found a core already holding the code.
+    Matched,
+    /// No match; an idle core was taken instead.
+    Idle,
+}
+
+impl MigrationReason {
+    /// Short label for exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            MigrationReason::Matched => "matched",
+            MigrationReason::Idle => "idle",
+        }
+    }
+}
+
+/// Which cache missed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MissLevel {
+    /// Instruction-side L1.
+    L1I,
+    /// Data-side L1.
+    L1D,
+}
+
+impl MissLevel {
+    /// Short label for exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            MissLevel::L1I => "L1I",
+            MissLevel::L1D => "L1D",
+        }
+    }
+}
+
+/// What kind of access missed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MissKind {
+    /// Instruction fetch.
+    Fetch,
+    /// Data load.
+    Load,
+    /// Data store.
+    Store,
+}
+
+impl MissKind {
+    /// Short label for exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            MissKind::Fetch => "fetch",
+            MissKind::Load => "load",
+            MissKind::Store => "store",
+        }
+    }
+}
+
+/// Hill & Smith's 3C miss taxonomy, mirrored here so the event model does
+/// not depend on the cache crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreeC {
+    /// First-ever reference to the block.
+    Compulsory,
+    /// Lost to limited associativity.
+    Conflict,
+    /// The working set exceeds the capacity.
+    Capacity,
+}
+
+impl ThreeC {
+    /// Short label for exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            ThreeC::Compulsory => "compulsory",
+            ThreeC::Conflict => "conflict",
+            ThreeC::Capacity => "capacity",
+        }
+    }
+}
+
+/// The event payload: what happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A thread started (or resumed after migration) on the core.
+    ThreadStart {
+        /// Raw thread id.
+        thread: u32,
+    },
+    /// A thread ran its trace to completion on the core.
+    ThreadComplete {
+        /// Raw thread id.
+        thread: u32,
+    },
+    /// The Figure-5 migration loop moved the running thread away.
+    Migration {
+        /// Raw thread id.
+        thread: u32,
+        /// Source core (also the event's core).
+        from: CoreId,
+        /// Destination core.
+        to: CoreId,
+        /// Matched remote segment vs. idle-core fallback.
+        reason: MigrationReason,
+    },
+    /// A STEPS-style context switch rotated the running thread to the
+    /// back of its own core's queue.
+    ContextSwitch {
+        /// Raw thread id.
+        thread: u32,
+    },
+    /// A cache miss (sampled: see [`crate::EventSink::record_sampled`]).
+    Miss {
+        /// Which cache.
+        level: MissLevel,
+        /// Which access kind.
+        kind: MissKind,
+        /// 3C class, when classification is enabled in the simulator.
+        class: Option<ThreeC>,
+    },
+    /// The miss-path stall the core just paid, in cycles.
+    Stall {
+        /// Stall length in cycles.
+        cycles: u32,
+    },
+    /// The running thread's fetch stream crossed into a different code
+    /// segment.
+    SegmentBoundary {
+        /// Raw thread id.
+        thread: u32,
+        /// The segment entered.
+        segment: u32,
+    },
+    /// An idle core stole a queued thread from a congested victim.
+    Steal {
+        /// The core stolen from.
+        victim: CoreId,
+        /// The victim's queue depth before the steal.
+        victim_queue: u32,
+    },
+    /// The forward-progress watchdog fired; the run is being aborted.
+    WatchdogFired {
+        /// Event-loop heap steps executed.
+        heap_steps: u64,
+    },
+}
+
+impl EventKind {
+    /// Short label for exporters and summaries.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::ThreadStart { .. } => "thread-start",
+            EventKind::ThreadComplete { .. } => "thread-complete",
+            EventKind::Migration { .. } => "migration",
+            EventKind::ContextSwitch { .. } => "context-switch",
+            EventKind::Miss { .. } => "miss",
+            EventKind::Stall { .. } => "stall",
+            EventKind::SegmentBoundary { .. } => "segment-boundary",
+            EventKind::Steal { .. } => "steal",
+            EventKind::WatchdogFired { .. } => "watchdog",
+        }
+    }
+}
+
+/// One recorded event: where, when, what.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The core the event happened on.
+    pub core: CoreId,
+    /// The core's local cycle at the event.
+    pub cycle: Cycle,
+    /// The payload.
+    pub kind: EventKind,
+}

@@ -1,0 +1,120 @@
+//! A fixed-capacity, overwrite-oldest event ring.
+//!
+//! Each simulated core owns one ring ([`crate::EventSink`]), so the
+//! simulator's single-threaded hot path records events with no locking
+//! and no allocation after construction: a push into a full ring
+//! overwrites the oldest entry and bumps a drop counter. The bounded
+//! memory is what makes "trace everything on every run" safe — a
+//! billion-instruction point cannot OOM the host, it just keeps the most
+//! recent window.
+
+use crate::event::TraceEvent;
+
+/// Fixed-capacity ring of [`TraceEvent`]s, oldest-overwriting.
+#[derive(Clone, Debug)]
+pub struct EventRing {
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest entry once the ring has wrapped.
+    start: usize,
+    capacity: usize,
+    /// Events overwritten because the ring was full.
+    dropped: u64,
+    /// Events ever pushed (recorded + dropped').
+    total: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing { buf: Vec::with_capacity(capacity), start: 0, capacity, dropped: 0, total: 0 }
+    }
+
+    /// Records `event`, overwriting the oldest entry when full.
+    #[inline]
+    pub fn push(&mut self, event: TraceEvent) {
+        self.total += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.start] = event;
+            self.start = (self.start + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events ever pushed, including overwritten ones.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// The held events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.start..].iter().chain(self.buf[..self.start].iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use slicc_common::CoreId;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent { core: CoreId::new(0), cycle, kind: EventKind::Stall { cycles: cycle as u32 } }
+    }
+
+    #[test]
+    fn fills_in_order_below_capacity() {
+        let mut r = EventRing::new(4);
+        for c in 0..3 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wrap_overwrites_oldest_and_counts_drops() {
+        let mut r = EventRing::new(4);
+        for c in 0..10 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(r.total_recorded(), 10);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9], "oldest-first iteration across the wrap point");
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let mut r = EventRing::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().next().map(|e| e.cycle), Some(2));
+    }
+}

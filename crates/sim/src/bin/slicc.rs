@@ -7,9 +7,13 @@
 //! option list.
 
 use slicc_cache::PolicyKind;
-use slicc_sim::{RunError, RunRequest, RunResult, Runner, SchedulerMode, SimConfigBuilder};
+use slicc_sim::{
+    chrome_trace_json, ObsConfig, ProgressEvent, ProgressKind, RunError, RunRequest, RunResult,
+    Runner, SchedulerMode, SimConfigBuilder, TraceMeta,
+};
 use slicc_trace::{TraceScale, Workload};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const USAGE: &str = "slicc — SLICC chip-multiprocessor simulator
 
@@ -44,6 +48,22 @@ OPTIONS:
                           each newly completed point to it
     --keep-going          on failure, still run the remaining points
                           before exiting
+    --progress quiet|plain|json
+                          stderr telemetry: nothing, human progress
+                          lines, or one JSON object per line
+                          (default plain)
+    --obs-out PREFIX      observe the run and write PREFIX.trace.json
+                          (Chrome trace_event JSON, loadable in
+                          Perfetto), PREFIX.intervals.csv and
+                          PREFIX.intervals.json (per-epoch MPKI / IPC /
+                          migration series)
+    --obs-epoch N         interval-series epoch length in cycles
+                          (default 10000; implies series collection)
+    --obs-events N        per-core event-ring capacity (default 16384;
+                          implies event tracing)
+    --obs-sample N        keep 1 in N cache-miss events (default 64)
+    --obs-summary         print the per-epoch table to stdout after the
+                          metrics report
     --help                print this help
 
 Exit status is 0 on success, 1 if any simulation point fails (the
@@ -73,6 +93,9 @@ enum Command {
         compare: bool,
         keep_going: bool,
         checkpoint: Option<PathBuf>,
+        progress: ProgressKind,
+        obs_out: Option<PathBuf>,
+        obs_summary: bool,
     },
 }
 
@@ -86,6 +109,12 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut compare = false;
     let mut keep_going = false;
     let mut checkpoint: Option<PathBuf> = None;
+    let mut progress = ProgressKind::Plain;
+    let mut obs_out: Option<PathBuf> = None;
+    let mut obs_summary = false;
+    let mut obs_epoch: Option<u64> = None;
+    let mut obs_events: Option<usize> = None;
+    let mut obs_sample: Option<u64> = None;
 
     let mut i = 0;
     fn value(args: &[String], i: &mut usize, opt: &str) -> Result<String, CliError> {
@@ -157,6 +186,16 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             "--checkpoint" => checkpoint = Some(PathBuf::from(value(args, &mut i, &opt)?)),
             "--keep-going" => keep_going = true,
+            "--progress" => {
+                let p = value(args, &mut i, &opt)?;
+                progress = ProgressKind::parse(&p)
+                    .ok_or_else(|| CliError::new(&opt, format!("unknown progress kind '{p}'")))?;
+            }
+            "--obs-out" => obs_out = Some(PathBuf::from(value(args, &mut i, &opt)?)),
+            "--obs-epoch" => obs_epoch = Some(number(&opt, &value(args, &mut i, &opt)?)?),
+            "--obs-events" => obs_events = Some(number(&opt, &value(args, &mut i, &opt)?)?),
+            "--obs-sample" => obs_sample = Some(number(&opt, &value(args, &mut i, &opt)?)?),
+            "--obs-summary" => obs_summary = true,
             other => return Err(CliError::new(other, "unknown option")),
         }
         i += 1;
@@ -176,7 +215,40 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
     if let Some(s) = seed {
         request = request.with_seed(s);
     }
-    Ok(Command::Run { request: Box::new(request), compare, keep_going, checkpoint })
+
+    // Observation flags compose: each tuning flag implies the collection
+    // it tunes; --obs-out implies both kinds of artifacts; --obs-summary
+    // needs the series only.
+    let mut obs = ObsConfig::disabled();
+    if let Some(n) = obs_events {
+        obs = obs.with_event_capacity(n);
+    }
+    if let Some(n) = obs_sample {
+        obs = obs.with_sample_every(n);
+    }
+    if let Some(n) = obs_epoch {
+        obs = obs.with_epochs(n);
+    }
+    if obs_out.is_some() {
+        obs = obs.with_events();
+        if obs.epoch_cycles.is_none() {
+            obs = obs.with_epochs(ObsConfig::DEFAULT_EPOCH_CYCLES);
+        }
+    }
+    if obs_summary && obs.epoch_cycles.is_none() {
+        obs = obs.with_epochs(ObsConfig::DEFAULT_EPOCH_CYCLES);
+    }
+    request = request.with_obs(obs);
+
+    Ok(Command::Run {
+        request: Box::new(request),
+        compare,
+        keep_going,
+        checkpoint,
+        progress,
+        obs_out,
+        obs_summary,
+    })
 }
 
 fn report(result: &RunResult, baseline: Option<&RunResult>) {
@@ -222,33 +294,37 @@ fn main() {
         eprintln!("run 'slicc --help' for the option list");
         std::process::exit(2);
     });
-    let (request, compare, keep_going, checkpoint) = match command {
+    let (request, compare, keep_going, checkpoint, progress, obs_out, obs_summary) = match command {
         Command::Help => {
             println!("{USAGE}");
             return;
         }
-        Command::Run { request, compare, keep_going, checkpoint } => {
-            (*request, compare, keep_going, checkpoint)
+        Command::Run { request, compare, keep_going, checkpoint, progress, obs_out, obs_summary } => {
+            (*request, compare, keep_going, checkpoint, progress, obs_out, obs_summary)
         }
     };
 
     // Two points (the run and its baseline) are independent jobs, so even
     // the CLI benefits from the runner's pool and cache.
     let runner = Runner::with_default_parallelism();
+    let reporter = progress.reporter();
+    runner.set_reporter(Arc::clone(&reporter));
     if let Some(path) = &checkpoint {
         match runner.attach_checkpoint(path) {
             Ok(load) => {
                 if load.loaded > 0 || load.truncated() {
-                    eprintln!(
-                        "checkpoint: {} point(s) loaded from {}{}",
-                        load.loaded,
-                        path.display(),
-                        if load.truncated() {
-                            format!(" ({} corrupt tail bytes discarded)", load.dropped_bytes)
-                        } else {
-                            String::new()
-                        },
-                    );
+                    reporter.report(ProgressEvent::Note {
+                        message: format!(
+                            "checkpoint: {} point(s) loaded from {}{}",
+                            load.loaded,
+                            path.display(),
+                            if load.truncated() {
+                                format!(" ({} corrupt tail bytes discarded)", load.dropped_bytes)
+                            } else {
+                                String::new()
+                            },
+                        ),
+                    });
                 }
             }
             Err(e) => {
@@ -260,7 +336,7 @@ fn main() {
 
     let mut points = vec![request.clone()];
     if compare {
-        points.push(request.with_mode(SchedulerMode::Baseline));
+        points.push(request.clone().with_mode(SchedulerMode::Baseline));
     }
 
     // With --keep-going the whole batch runs regardless of failures;
@@ -282,10 +358,34 @@ fn main() {
         out
     };
 
+    let mut failed = false;
     if let Some(Ok(result)) = results.first() {
         report(result, results.get(1).and_then(|r| r.as_ref().ok()));
+        if obs_out.is_some() || obs_summary {
+            match &result.obs {
+                Some(observation) => {
+                    if obs_summary {
+                        print_obs_summary(observation);
+                    }
+                    if let Some(prefix) = &obs_out {
+                        if let Err(e) = write_obs_artifacts(observation, &request, prefix, &*reporter) {
+                            eprintln!("error: --obs-out: {e}");
+                            failed = true;
+                        }
+                    }
+                }
+                None => {
+                    // The only unobserved path to a first result is a
+                    // checkpoint/cache hit: artifacts are not persisted.
+                    reporter.report(ProgressEvent::Warning {
+                        message: "observation requested but the point was served from a \
+                                  checkpoint; re-run without --checkpoint to capture artifacts"
+                            .to_string(),
+                    });
+                }
+            }
+        }
     }
-    let mut failed = false;
     for outcome in &results {
         if let Err(e) = outcome {
             failed = true;
@@ -295,6 +395,75 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
+}
+
+/// The `--obs-summary` table: one row per epoch, stdout (it is part of
+/// the report, not progress narration).
+fn print_obs_summary(observation: &slicc_sim::Observation) {
+    let Some(series) = &observation.series else { return };
+    println!();
+    println!("interval series ({} epochs of {} cycles)", series.epochs.len(), series.epoch_cycles);
+    println!("{:>5} {:>12} {:>12} {:>12} {:>8} {:>8} {:>7} {:>6}", "epoch", "start", "end", "instr", "I-MPKI", "D-MPKI", "IPC", "migr");
+    for (i, e) in series.epochs.iter().enumerate() {
+        println!(
+            "{i:>5} {:>12} {:>12} {:>12} {:>8.2} {:>8.2} {:>7.3} {:>6}",
+            e.start_cycle,
+            e.end_cycle,
+            e.instructions,
+            e.i_mpki(),
+            e.d_mpki(),
+            e.ipc(),
+            e.migrations,
+        );
+    }
+    if !observation.events.is_empty() || observation.dropped_events > 0 {
+        println!(
+            "trace           {} event(s) held, {} overwritten",
+            observation.events.len(),
+            observation.dropped_events
+        );
+    }
+}
+
+/// Writes `PREFIX.trace.json`, `PREFIX.intervals.csv`, and
+/// `PREFIX.intervals.json` for `--obs-out`.
+fn write_obs_artifacts(
+    observation: &slicc_sim::Observation,
+    request: &RunRequest,
+    prefix: &Path,
+    reporter: &dyn slicc_sim::Reporter,
+) -> Result<(), String> {
+    let with_suffix = |suffix: &str| {
+        let mut name = prefix.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+        name.push(suffix);
+        prefix.with_file_name(name)
+    };
+    let meta = TraceMeta {
+        workload: request.workload.name().to_string(),
+        mode: request.mode().name().to_string(),
+        cores: request.config.cores,
+    };
+    let trace_path = with_suffix(".trace.json");
+    std::fs::write(&trace_path, chrome_trace_json(&observation.events, &meta))
+        .map_err(|e| format!("writing {}: {e}", trace_path.display()))?;
+    reporter.report(ProgressEvent::Note {
+        message: format!(
+            "wrote {} ({} event(s), {} overwritten)",
+            trace_path.display(),
+            observation.events.len(),
+            observation.dropped_events
+        ),
+    });
+    if let Some(series) = &observation.series {
+        for (suffix, body) in [(".intervals.csv", series.to_csv()), (".intervals.json", series.to_json())] {
+            let path = with_suffix(suffix);
+            std::fs::write(&path, body).map_err(|e| format!("writing {}: {e}", path.display()))?;
+            reporter.report(ProgressEvent::Note {
+                message: format!("wrote {} ({} epochs)", path.display(), series.epochs.len()),
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -309,15 +478,63 @@ mod tests {
     #[test]
     fn defaults_build_a_slicc_sw_request() {
         match parse(&[]).unwrap() {
-            Command::Run { request, compare, keep_going, checkpoint } => {
+            Command::Run { request, compare, keep_going, checkpoint, progress, obs_out, obs_summary } => {
                 assert_eq!(request.workload, Workload::TpcC1);
                 assert_eq!(request.mode(), SchedulerMode::SliccSw);
                 assert!(!compare);
                 assert!(!keep_going);
                 assert!(checkpoint.is_none());
+                assert_eq!(progress, ProgressKind::Plain);
+                assert!(obs_out.is_none());
+                assert!(!obs_summary);
+                assert!(!request.obs.enabled(), "observation must be off by default");
             }
             Command::Help => panic!("empty args must run, not print help"),
         }
+    }
+
+    #[test]
+    fn obs_flags_compose_into_the_request() {
+        match parse(&["--obs-out", "/tmp/o", "--obs-sample", "8"]).unwrap() {
+            Command::Run { request, obs_out, .. } => {
+                assert_eq!(obs_out.as_deref(), Some(std::path::Path::new("/tmp/o")));
+                assert!(request.obs.events, "--obs-out implies event tracing");
+                assert_eq!(request.obs.sample_every, 8);
+                assert_eq!(
+                    request.obs.epoch_cycles,
+                    Some(ObsConfig::DEFAULT_EPOCH_CYCLES),
+                    "--obs-out implies the interval series"
+                );
+            }
+            Command::Help => panic!("expected a run"),
+        }
+        match parse(&["--obs-summary"]).unwrap() {
+            Command::Run { request, obs_summary, .. } => {
+                assert!(obs_summary);
+                assert!(request.obs.epoch_cycles.is_some(), "--obs-summary implies the series");
+                assert!(!request.obs.events, "--obs-summary alone needs no event trace");
+            }
+            Command::Help => panic!("expected a run"),
+        }
+        match parse(&["--obs-epoch", "500", "--obs-events", "64"]).unwrap() {
+            Command::Run { request, .. } => {
+                assert_eq!(request.obs.epoch_cycles, Some(500));
+                assert_eq!(request.obs.event_capacity, 64);
+                assert!(request.obs.events, "--obs-events implies event tracing");
+            }
+            Command::Help => panic!("expected a run"),
+        }
+    }
+
+    #[test]
+    fn progress_flag_parses_and_rejects_garbage() {
+        match parse(&["--progress", "json"]).unwrap() {
+            Command::Run { progress, .. } => assert_eq!(progress, ProgressKind::Json),
+            Command::Help => panic!("expected a run"),
+        }
+        let err = parse(&["--progress", "loud"]).unwrap_err();
+        assert_eq!(err.option, "--progress");
+        assert!(err.message.contains("loud"));
     }
 
     #[test]

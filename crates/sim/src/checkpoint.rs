@@ -356,7 +356,9 @@ fn decode_result(payload: &[u8]) -> Option<RunResult> {
     }
     // A checkpointed result is, by definition, served from disk rather
     // than freshly simulated; the flag is recomputed per batch anyway.
-    Some(RunResult { metrics: m, wall, sim_ips, from_cache: true })
+    // The format persists metrics only, so observation artifacts do not
+    // survive a round trip: decoded results always carry `obs: None`.
+    Some(RunResult { metrics: m, wall, sim_ips, from_cache: true, obs: None })
 }
 
 fn core_stats_fields(s: &CoreStats) -> [u64; 8] {
@@ -501,7 +503,7 @@ mod tests {
         m.mean_cores_per_thread = 1.5;
         m.stray_fraction = 0.125;
         m.mean_txn_latency = 42.5;
-        RunResult { metrics: m, wall: Duration::from_nanos(12345), sim_ips: 678.0, from_cache: false }
+        RunResult { metrics: m, wall: Duration::from_nanos(12345), sim_ips: 678.0, from_cache: false, obs: None }
     }
 
     fn assert_same_result(a: &RunResult, b: &RunResult) {

@@ -28,7 +28,12 @@ use crate::config::{InjectedFault, SchedulerMode, SimConfig, WatchdogConfig};
 use crate::error::{HotThread, LivelockSnapshot, SimError};
 use crate::metrics::RunMetrics;
 use crate::system::System;
+use slicc_cache::MissClass;
 use slicc_common::{BlockAddr, CoreId, Cycle, RingFifo, ThreadId, TxnTypeId};
+use slicc_obs::{
+    EventKind, EventSink, IntervalSampler, MigrationReason, MissKind, MissLevel, ObsConfig,
+    Observation, ThreeC,
+};
 use slicc_core::{CoreMask, MigrationAdvice, ScoutHasher, SliccAgent, TeamFormer, TeamKind, TypeRegistry};
 use slicc_trace::{ThreadTrace, WorkloadSpec};
 use std::cmp::Reverse;
@@ -113,6 +118,30 @@ pub fn try_run(spec: &WorkloadSpec, cfg: &SimConfig) -> Result<RunMetrics, SimEr
     Ok(engine.into_metrics())
 }
 
+/// Like [`try_run`], but additionally observes the run per `obs`: a
+/// typed event trace and/or an interval time-series (see
+/// [`slicc_obs::ObsConfig`]). Observation never changes simulated
+/// results — the returned metrics are identical to [`try_run`]'s for
+/// the same inputs (the golden tests pin this down).
+pub fn try_run_observed(
+    spec: &WorkloadSpec,
+    cfg: &SimConfig,
+    obs: &ObsConfig,
+) -> Result<(RunMetrics, Observation), SimError> {
+    let mut engine = Engine::try_new_observed(spec, cfg, obs)?;
+    engine.try_execute()?;
+    Ok(engine.into_outcome())
+}
+
+/// Maps the cache crate's miss taxonomy onto the obs crate's mirror.
+fn three_c(class: MissClass) -> ThreeC {
+    match class {
+        MissClass::Compulsory => ThreeC::Compulsory,
+        MissClass::Conflict => ThreeC::Conflict,
+        MissClass::Capacity => ThreeC::Capacity,
+    }
+}
+
 /// The simulation engine. Most callers should use [`run`]; the engine is
 /// public for tests and custom experiment loops that need intermediate
 /// state access.
@@ -161,9 +190,6 @@ pub struct Engine<'a> {
     last_iblock: Vec<Option<BlockAddr>>,
     migration_queue_limit: usize,
     work_stealing: bool,
-    /// `SLICC_DEBUG_STEAL` presence, read once at construction: the env
-    /// lookup must not sit inside the steal path.
-    debug_steal: bool,
     steps_switch_cycles: u64,
     steps_team_size: usize,
     context_switches: u64,
@@ -177,6 +203,15 @@ pub struct Engine<'a> {
     vacated_seq: Vec<u64>,
     watchdog: WatchdogConfig,
     fault: Option<InjectedFault>,
+    /// Typed event trace (a disabled no-op sink unless the run is
+    /// observed with event tracing on; see [`slicc_obs::ObsConfig`]).
+    sink: EventSink,
+    /// Interval-series sampler (`None` unless the run is observed with
+    /// epoch sampling on).
+    sampler: Option<IntervalSampler>,
+    /// Per-core code segment of the last fetched block, for
+    /// segment-boundary events. Reset alongside `last_iblock`.
+    last_segment: Vec<Option<u32>>,
 }
 
 impl<'a> Engine<'a> {
@@ -194,6 +229,16 @@ impl<'a> Engine<'a> {
     /// Builds the engine, rejecting invalid configurations as typed
     /// errors instead of panicking.
     pub fn try_new(spec: &'a WorkloadSpec, cfg: &SimConfig) -> Result<Self, SimError> {
+        Engine::try_new_observed(spec, cfg, &ObsConfig::disabled())
+    }
+
+    /// Like [`Engine::try_new`], but arms the observability layer per
+    /// `obs`. The disabled default costs nothing (see `slicc-obs`).
+    pub fn try_new_observed(
+        spec: &'a WorkloadSpec,
+        cfg: &SimConfig,
+        obs: &ObsConfig,
+    ) -> Result<Self, SimError> {
         let sys = System::try_new(cfg)?;
         let n = cfg.cores;
         let mode = cfg.mode;
@@ -261,7 +306,6 @@ impl<'a> Engine<'a> {
             last_iblock: vec![None; n],
             migration_queue_limit: cfg.migration_queue_limit,
             work_stealing: cfg.work_stealing,
-            debug_steal: std::env::var_os("SLICC_DEBUG_STEAL").is_some(),
             steps_switch_cycles: cfg.steps_switch_cycles,
             steps_team_size: cfg.steps_team_size.max(1),
             context_switches: 0,
@@ -271,6 +315,13 @@ impl<'a> Engine<'a> {
             vacated_seq: vec![0; n],
             watchdog: cfg.watchdog,
             fault: cfg.fault_injection,
+            sink: if obs.events {
+                EventSink::new(n, obs.event_capacity, obs.sample_every)
+            } else {
+                EventSink::disabled()
+            },
+            sampler: obs.epoch_cycles.map(IntervalSampler::new),
+            last_segment: vec![None; n],
         };
 
         match mode {
@@ -431,9 +482,22 @@ impl<'a> Engine<'a> {
             };
             heap_steps += 1;
             if self.fuel_exhausted(heap_steps, core) {
+                if self.sink.is_enabled() {
+                    let now = self.sys.timer(core).now();
+                    self.sink.record(core, now, EventKind::WatchdogFired { heap_steps });
+                }
                 return Err(SimError::Livelock(Box::new(self.livelock_snapshot(heap_steps, core))));
             }
             self.step(core);
+            // Epoch sampling off the popped core's clock: under the
+            // min-heap discipline it is the global progress floor, so
+            // every epoch closes at an honest machine-wide time.
+            if self.sampler.as_ref().is_some_and(|s| s.due(self.sys.timer(core).now())) {
+                let now = self.sys.timer(core).now();
+                let mut cum = self.sys.obs_counters();
+                cum.migrations = self.migrations;
+                self.sampler.as_mut().expect("sampler checked above").sample(now, cum);
+            }
             self.try_dispatch();
         }
         Ok(())
@@ -473,6 +537,12 @@ impl<'a> Engine<'a> {
             blocked_migrations: self.blocked_migrations,
             queue_depths: self.queues.iter().map(|q| q.len()).collect(),
             hottest_thread,
+            recent_events: self.sink.recent(32),
+            series_tail: self
+                .sampler
+                .as_ref()
+                .map(|s| s.series().tail(8).to_vec())
+                .unwrap_or_default(),
         }
     }
 
@@ -557,6 +627,8 @@ impl<'a> Engine<'a> {
             if self.last_iblock[c] != Some(block) {
                 self.last_iblock[c] = Some(block);
                 accessed = true;
+                let fetch_start =
+                    if self.sink.is_enabled() { self.sys.timer(core).now() } else { 0 };
                 hit = self.sys.ifetch(core, block);
                 if self.mode.uses_agents() {
                     if hit {
@@ -570,10 +642,23 @@ impl<'a> Engine<'a> {
                         self.agents[c].on_fetch(false, mask);
                     }
                 }
+                if self.sink.is_enabled() {
+                    self.observe_fetch(core, tid, block, hit, fetch_start);
+                }
             }
 
             if let Some(d) = rec.data {
-                self.sys.data_access(core, d.addr.block_default(), d.is_store);
+                let d_hit = self.sys.data_access(core, d.addr.block_default(), d.is_store);
+                if !d_hit && self.sink.is_enabled() {
+                    let kind = if d.is_store { MissKind::Store } else { MissKind::Load };
+                    let class = self.sys.last_d_miss_class().map(three_c);
+                    let now = self.sys.timer(core).now();
+                    self.sink.record_sampled(
+                        core,
+                        now,
+                        EventKind::Miss { level: MissLevel::L1D, kind, class },
+                    );
+                }
             }
 
             if accessed && !hit {
@@ -588,6 +673,48 @@ impl<'a> Engine<'a> {
             }
         }
         self.push_core_if_work(core);
+    }
+
+    /// Post-ifetch observation: segment-boundary crossings, sampled
+    /// misses stamped with their 3C class, and the stall the miss cost.
+    /// Only called when the sink is live, so the fetch hot path pays one
+    /// constant-false test per block transition when tracing is off.
+    fn observe_fetch(
+        &mut self,
+        core: CoreId,
+        tid: ThreadId,
+        block: BlockAddr,
+        hit: bool,
+        fetch_start: Cycle,
+    ) {
+        let c = core.index();
+        let segment = self.spec.pool.segment_of_block(block);
+        if segment != self.last_segment[c] {
+            self.last_segment[c] = segment;
+            if let Some(segment) = segment {
+                self.sink.record(
+                    core,
+                    fetch_start,
+                    EventKind::SegmentBoundary { thread: tid.raw(), segment },
+                );
+            }
+        }
+        if !hit {
+            let class = self.sys.last_i_miss_class().map(three_c);
+            let kept = self.sink.record_sampled(
+                core,
+                fetch_start,
+                EventKind::Miss { level: MissLevel::L1I, kind: MissKind::Fetch, class },
+            );
+            if kept {
+                // The stall rides the miss's sampling decision so every
+                // sampled miss carries its cost and no orphan stalls
+                // clutter the trace.
+                let now = self.sys.timer(core).now();
+                let cycles = now.saturating_sub(fetch_start).min(u32::MAX as Cycle) as u32;
+                self.sink.record(core, now, EventKind::Stall { cycles });
+            }
+        }
     }
 
     /// Pops the core's queue head into execution; an idle core with an
@@ -611,7 +738,12 @@ impl<'a> Engine<'a> {
         self.threads[t].cores_visited.insert(core);
         self.running[c] = Some(tid);
         self.last_iblock[c] = None;
+        self.last_segment[c] = None;
         self.refresh_core_sets(core);
+        if self.sink.is_enabled() {
+            let now = self.sys.timer(core).now();
+            self.sink.record(core, now, EventKind::ThreadStart { thread: tid.raw() });
+        }
         true
     }
 
@@ -657,6 +789,15 @@ impl<'a> Engine<'a> {
                 matched,
             });
         }
+        if self.sink.is_enabled() {
+            let reason = if matched { MigrationReason::Matched } else { MigrationReason::Idle };
+            let now = self.sys.timer(core).now();
+            self.sink.record(
+                core,
+                now,
+                EventKind::Migration { thread: tid.raw(), from: core, to: target, reason },
+            );
+        }
         self.migrate(core, target, tid);
         true
     }
@@ -678,6 +819,10 @@ impl<'a> Engine<'a> {
         self.running[c] = None;
         self.refresh_core_sets(core);
         self.context_switches += 1;
+        if self.sink.is_enabled() {
+            let now = self.sys.timer(core).now();
+            self.sink.record(core, now, EventKind::ContextSwitch { thread: tid.raw() });
+        }
         true
     }
 
@@ -726,8 +871,10 @@ impl<'a> Engine<'a> {
             .max_by_key(|&v| (self.queues[v.index()].len(), v.index()))?;
         // Take the back (newest) entry: the head may already be waiting
         // on the victim core's warmed state.
-        if self.debug_steal {
-            eprintln!("steal: {thief:?} <- {victim:?} (victim queue {})", self.queues[victim.index()].len());
+        if self.sink.is_enabled() {
+            let now = self.sys.timer(thief).now();
+            let victim_queue = self.queues[victim.index()].len() as u32;
+            self.sink.record(thief, now, EventKind::Steal { victim, victim_queue });
         }
         let stolen = self.queues[victim.index()].pop_back();
         self.refresh_core_sets(victim);
@@ -753,6 +900,7 @@ impl<'a> Engine<'a> {
         self.agents[from.index()].on_thread_departed();
         self.running[from.index()] = None;
         self.last_iblock[from.index()] = None;
+        self.last_segment[from.index()] = None;
         // §4.2.1 + §5.7: the running thread is the queue's first entry, so
         // the "thread queue becomes empty" reset fires when the core is
         // left with no threads at all.
@@ -786,6 +934,10 @@ impl<'a> Engine<'a> {
         let t = tid.index();
         self.threads[t].state = ThreadState::Done;
         self.threads[t].completed_at = Some(self.sys.timer(core).now());
+        if self.sink.is_enabled() {
+            let now = self.sys.timer(core).now();
+            self.sink.record(core, now, EventKind::ThreadComplete { thread: tid.raw() });
+        }
         self.running[c] = None;
         self.refresh_core_sets(core);
         self.completed += 1;
@@ -1019,6 +1171,30 @@ impl<'a> Engine<'a> {
             out.p95_txn_latency = latencies[(latencies.len() * 95 / 100).min(latencies.len() - 1)];
         }
         out
+    }
+
+    /// Finalizes an observed run into metrics plus the observation
+    /// artifacts (the event timeline and the interval series).
+    pub fn into_outcome(mut self) -> (RunMetrics, Observation) {
+        let obs = self.take_observation();
+        (self.into_metrics(), obs)
+    }
+
+    /// Drains the observability state: flushes the final partial epoch
+    /// (which is what makes `series.totals()` reconcile exactly with the
+    /// run's cumulative counters) and merges the per-core event rings
+    /// into one timeline.
+    fn take_observation(&mut self) -> Observation {
+        let series = self.sampler.take().map(|s| {
+            let mut cum = self.sys.obs_counters();
+            cum.migrations = self.migrations;
+            s.finish(self.sys.makespan(), cum)
+        });
+        Observation {
+            dropped_events: self.sink.dropped(),
+            events: self.sink.drain(),
+            series,
+        }
     }
 
     /// The engine's system (tests, diagnostics).

@@ -13,6 +13,7 @@
 use crate::config::ConfigError;
 use crate::runner::RunRequest;
 use slicc_common::Cycle;
+use slicc_obs::{Epoch, TraceEvent};
 use std::fmt;
 
 /// A failure inside one simulation (engine/system/config level).
@@ -88,6 +89,13 @@ pub struct LivelockSnapshot {
     pub queue_depths: Vec<usize>,
     /// The unfinished thread that has executed the most instructions.
     pub hottest_thread: Option<HotThread>,
+    /// The last trace events before the abort — *what the machine was
+    /// doing*, not just that it stopped. Empty unless the run was
+    /// observed with event tracing on.
+    pub recent_events: Vec<TraceEvent>,
+    /// The tail of the interval series at abort time. Empty unless the
+    /// run was observed with epoch sampling on.
+    pub series_tail: Vec<Epoch>,
 }
 
 /// The busiest unfinished thread at watchdog time (see
@@ -123,6 +131,16 @@ impl fmt::Display for LivelockSnapshot {
                 f,
                 "; hottest thread {} ({} instructions over {} cores)",
                 hot.thread, hot.instructions, hot.cores_visited
+            )?;
+        }
+        if let Some(last) = self.recent_events.last() {
+            write!(
+                f,
+                "; {} trace event(s) captured, latest {} on core {} at cycle {}",
+                self.recent_events.len(),
+                last.kind.name(),
+                last.core.index(),
+                last.cycle
             )?;
         }
         Ok(())

@@ -60,8 +60,17 @@ pub use checkpoint::{Checkpoint, CheckpointError, CheckpointLoad, OpenedCheckpoi
 pub use config::{
     ConfigError, InjectedFault, SchedulerMode, SimConfig, SimConfigBuilder, WatchdogConfig,
 };
-pub use engine::{run, try_run, Engine, MigrationEvent};
+pub use engine::{run, try_run, try_run_observed, Engine, MigrationEvent};
 pub use error::{HotThread, LivelockSnapshot, PointSummary, RunError, SimError};
 pub use metrics::RunMetrics;
 pub use runner::{RunRequest, RunResult, Runner, RunnerStats};
 pub use system::System;
+
+// The observability vocabulary, re-exported so binaries and tests reach
+// everything through `slicc_sim` (see the `slicc-obs` crate docs; the
+// `obs-capture` default feature compile-time-gates event recording).
+pub use slicc_obs::{
+    chrome_trace_json, Epoch, EventKind, IntervalSeries, JsonLinesReporter, MigrationReason,
+    MissKind, MissLevel, ObsConfig, Observation, PlainReporter, ProgressEvent, ProgressKind,
+    QuietReporter, Reporter, ThreeC, TraceEvent, TraceMeta, WarningsOnlyReporter,
+};

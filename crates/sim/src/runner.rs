@@ -55,6 +55,7 @@ use crate::engine;
 use crate::error::{PointSummary, RunError, SimError};
 use crate::metrics::RunMetrics;
 use slicc_common::{lock_unpoisoned, StableHash, StableHasher};
+use slicc_obs::{ObsConfig, Observation, ProgressEvent, Reporter, WarningsOnlyReporter};
 use slicc_trace::{TraceScale, Workload, WorkloadSpec};
 use std::collections::HashMap;
 use std::collections::hash_map::Entry;
@@ -79,12 +80,24 @@ pub struct RunRequest {
     pub seed: Option<u64>,
     /// The machine and execution mode.
     pub config: SimConfig,
+    /// What to observe while simulating (events, interval series).
+    /// Deliberately excluded from [`RunRequest::stable_key`]: observation
+    /// never changes simulated results, so an observed run and its
+    /// unobserved twin share a cache slot (the cached copy may then carry
+    /// `obs: None` — callers wanting artifacts should run fresh).
+    pub obs: ObsConfig,
 }
 
 impl RunRequest {
     /// Describes `workload` at `scale` on the machine `config`.
     pub fn new(workload: Workload, scale: TraceScale, config: SimConfig) -> Self {
-        RunRequest { workload, scale, tasks: None, seed: None, config }
+        RunRequest { workload, scale, tasks: None, seed: None, config, obs: ObsConfig::disabled() }
+    }
+
+    /// Returns a copy observing per `obs` (see [`ObsConfig`]).
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Returns a copy running under `mode`.
@@ -174,10 +187,15 @@ impl RunRequest {
     /// this request or the result describes a different experiment.
     pub fn try_execute_with_spec(&self, spec: &WorkloadSpec) -> Result<RunResult, SimError> {
         let started = Instant::now();
-        let metrics = engine::try_run(spec, &self.config)?;
+        let (metrics, obs) = if self.obs.enabled() {
+            let (metrics, observation) = engine::try_run_observed(spec, &self.config, &self.obs)?;
+            (metrics, Some(observation))
+        } else {
+            (engine::try_run(spec, &self.config)?, None)
+        };
         let wall = started.elapsed();
         let sim_ips = if wall.as_secs_f64() > 0.0 { metrics.instructions as f64 / wall.as_secs_f64() } else { 0.0 };
-        Ok(RunResult { metrics, wall, sim_ips, from_cache: false })
+        Ok(RunResult { metrics, wall, sim_ips, from_cache: false, obs })
     }
 }
 
@@ -195,6 +213,11 @@ pub struct RunResult {
     /// Whether this result was served from the run cache (or deduplicated
     /// within a batch) rather than freshly simulated.
     pub from_cache: bool,
+    /// Observation artifacts (event trace, interval series), when the
+    /// request asked for any ([`RunRequest::obs`]). `None` for unobserved
+    /// runs and for results decoded from a checkpoint file (the format
+    /// persists metrics, not traces).
+    pub obs: Option<Observation>,
 }
 
 /// Aggregate observability counters for a [`Runner`].
@@ -252,6 +275,11 @@ pub struct Runner {
     /// variant of a (workload, scale) point shares one spec build.
     specs: Mutex<HashMap<u64, Arc<WorkloadSpec>>>,
     checkpoint: Mutex<Option<Checkpoint>>,
+    /// Telemetry sink for progress events. Defaults to
+    /// [`WarningsOnlyReporter`] so embedding code keeps a quiet stderr
+    /// while degradation warnings still surface; the binaries swap in the
+    /// user's `--progress` choice via [`Runner::set_reporter`].
+    reporter: Mutex<Arc<dyn Reporter>>,
     hits: AtomicU64,
     misses: AtomicU64,
     failures: AtomicU64,
@@ -268,6 +296,7 @@ impl Runner {
             cache: Mutex::new(HashMap::new()),
             specs: Mutex::new(HashMap::new()),
             checkpoint: Mutex::new(None),
+            reporter: Mutex::new(Arc::new(WarningsOnlyReporter::stderr())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             failures: AtomicU64::new(0),
@@ -290,6 +319,16 @@ impl Runner {
     /// The worker-thread count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Replaces the progress reporter (see [`slicc_obs::ProgressKind`]).
+    pub fn set_reporter(&self, reporter: Arc<dyn Reporter>) {
+        *lock_unpoisoned(&self.reporter) = reporter;
+    }
+
+    /// The current progress reporter.
+    pub fn reporter(&self) -> Arc<dyn Reporter> {
+        Arc::clone(&lock_unpoisoned(&self.reporter))
     }
 
     /// Attaches a checkpoint file: previously completed points are seeded
@@ -342,6 +381,8 @@ impl Runner {
             }
         }
 
+        let reporter = self.reporter();
+        reporter.report(ProgressEvent::BatchStarted { points: reqs.len(), fresh: fresh.len() });
         let computed = self.simulate_batch(&fresh);
 
         let mut failed: HashMap<u64, RunError> = HashMap::new();
@@ -367,8 +408,11 @@ impl Runner {
         // Failed points are reported (cloned for duplicates) and counted
         // neither as hits nor as extra misses.
         let mut first_use: Vec<u64> = Vec::new();
-        keys.iter()
-            .map(|key| {
+        let mut cached_served = 0usize;
+        let results: Vec<Result<RunResult, RunError>> = keys
+            .iter()
+            .zip(reqs)
+            .map(|(key, req)| {
                 if let Some(error) = failed.get(key) {
                     return Err(error.clone());
                 }
@@ -378,11 +422,19 @@ impl Runner {
                     first_use.push(*key);
                 } else {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    cached_served += 1;
+                    reporter.report(ProgressEvent::PointCached { label: point_label(req) });
                 }
                 result.from_cache = !fresh_now;
                 Ok(result)
             })
-            .collect()
+            .collect();
+        reporter.report(ProgressEvent::BatchFinished {
+            fresh: fresh.len(),
+            cached: cached_served,
+            failed: failed.len(),
+        });
+        results
     }
 
     /// Convenience over [`Runner::run_all`] when only the metrics matter
@@ -460,10 +512,12 @@ impl Runner {
         let mut guard = lock_unpoisoned(&self.checkpoint);
         if let Some(ckpt) = guard.as_mut() {
             if let Err(e) = ckpt.append(key, result) {
-                eprintln!(
-                    "warning: checkpoint write to {} failed ({e}); checkpointing disabled",
-                    ckpt.path().display()
-                );
+                self.reporter().report(ProgressEvent::Warning {
+                    message: format!(
+                        "checkpoint write to {} failed ({e}); checkpointing disabled",
+                        ckpt.path().display()
+                    ),
+                });
                 *guard = None;
             }
         }
@@ -476,11 +530,16 @@ impl Runner {
     /// so an interrupted sweep keeps its completed prefix.
     fn simulate_batch(&self, fresh: &[(u64, &RunRequest)]) -> Vec<Result<RunResult, RunError>> {
         let workers = self.jobs.min(fresh.len());
+        let reporter = self.reporter();
+        let total = fresh.len();
         if workers <= 1 {
             return fresh
                 .iter()
-                .map(|&(key, req)| {
+                .enumerate()
+                .map(|(i, &(key, req))| {
+                    report_point_start(&*reporter, i + 1, total, req);
                     let outcome = self.execute_point(req);
+                    report_point_end(&*reporter, i + 1, total, req, &outcome);
                     if let Ok(result) = &outcome {
                         self.checkpoint_store(key, result);
                     }
@@ -502,6 +561,7 @@ impl Runner {
             for _ in 0..workers {
                 let job_rx = &job_rx;
                 let result_tx = result_tx.clone();
+                let reporter = &reporter;
                 scope.spawn(move || loop {
                     // Hold the queue lock only for the dequeue, not the
                     // simulation. Poison recovery: another worker dying
@@ -509,7 +569,9 @@ impl Runner {
                     let job = lock_unpoisoned(job_rx).recv();
                     match job {
                         Ok((idx, req)) => {
+                            report_point_start(&**reporter, idx + 1, total, req);
                             let outcome = self.execute_point(req);
+                            report_point_end(&**reporter, idx + 1, total, req, &outcome);
                             if result_tx.send((idx, outcome)).is_err() {
                                 return;
                             }
@@ -538,6 +600,46 @@ impl Runner {
             })
             .collect()
     }
+}
+
+/// Human label for progress lines: enough to recognize the point without
+/// the full reproduction key.
+fn point_label(req: &RunRequest) -> String {
+    let scale = req.effective_scale();
+    format!(
+        "{} [{}] tasks={} seed={}",
+        req.workload.name(),
+        req.mode().name(),
+        scale.tasks,
+        scale.seed
+    )
+}
+
+fn report_point_start(reporter: &dyn Reporter, index: usize, total: usize, req: &RunRequest) {
+    reporter.report(ProgressEvent::PointStarted { index, total, label: point_label(req) });
+}
+
+fn report_point_end(
+    reporter: &dyn Reporter,
+    index: usize,
+    total: usize,
+    req: &RunRequest,
+    outcome: &Result<RunResult, RunError>,
+) {
+    let label = point_label(req);
+    let event = match outcome {
+        Ok(result) => ProgressEvent::PointFinished {
+            index,
+            total,
+            label,
+            wall_ns: result.wall.as_nanos() as u64,
+            sim_ips: result.sim_ips,
+        },
+        Err(error) => {
+            ProgressEvent::PointFailed { index, total, label, error: error.to_string() }
+        }
+    };
+    reporter.report(event);
 }
 
 /// Renders a caught panic payload for [`RunError::Panicked`]. Panics

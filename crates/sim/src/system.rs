@@ -11,8 +11,8 @@
 use crate::config::SimConfig;
 use crate::metrics::RunMetrics;
 use slicc_cache::{
-    AccessKind, BloomSignature, Cache, EvictedBlock, MissBreakdown, NextLinePrefetcher, Pif,
-    SignatureAccuracy, ThreeCClassifier,
+    AccessKind, BloomSignature, Cache, EvictedBlock, MissBreakdown, MissClass, NextLinePrefetcher,
+    Pif, SignatureAccuracy, ThreeCClassifier,
 };
 use slicc_common::{BlockAddr, CoreId, Cycle, Merge};
 use slicc_core::CoreMask;
@@ -48,6 +48,12 @@ pub struct System {
     /// within one `ifetch`, kept across calls so the steady state never
     /// allocates.
     evict_scratch: Vec<EvictedBlock>,
+    /// 3C class of the most recent L1-I miss, written only when the
+    /// classifier is configured, so observed runs can stamp Miss events
+    /// with the class without a second classifier pass.
+    last_i_miss_class: Option<MissClass>,
+    /// 3C class of the most recent L1-D miss (see `last_i_miss_class`).
+    last_d_miss_class: Option<MissClass>,
 }
 
 impl System {
@@ -95,6 +101,8 @@ impl System {
             l1i_latency: cfg.l1i_latency(),
             bloom_accuracy: SignatureAccuracy::default(),
             evict_scratch: Vec::new(),
+            last_i_miss_class: None,
+            last_d_miss_class: None,
             cfg: cfg.clone(),
         })
     }
@@ -192,7 +200,7 @@ impl System {
                 if result.is_hit() {
                     c.observe(block);
                 } else {
-                    c.observe_miss(block);
+                    self.last_i_miss_class = Some(c.observe_miss(block));
                 }
             }
             result
@@ -256,7 +264,7 @@ impl System {
                 if result.is_hit() {
                     c.observe(block);
                 } else {
-                    c.observe_miss(block);
+                    self.last_d_miss_class = Some(c.observe_miss(block));
                 }
             }
             (result, was_dirty)
@@ -402,6 +410,28 @@ impl System {
     /// The completion time of the machine: the latest core clock.
     pub fn makespan(&self) -> Cycle {
         self.cores.iter().map(|c| c.timer.now()).max().unwrap_or(0)
+    }
+
+    /// 3C class of the most recent L1-I miss, if 3C classification is on.
+    pub fn last_i_miss_class(&self) -> Option<MissClass> {
+        self.last_i_miss_class
+    }
+
+    /// 3C class of the most recent L1-D miss, if 3C classification is on.
+    pub fn last_d_miss_class(&self) -> Option<MissClass> {
+        self.last_d_miss_class
+    }
+
+    /// Snapshot of the cumulative counters the interval sampler tracks.
+    /// `migrations` is owned by the engine and left zero here.
+    pub fn obs_counters(&self) -> slicc_obs::ObsCounters {
+        let mut cum = slicc_obs::ObsCounters::default();
+        for ctx in &self.cores {
+            cum.instructions += ctx.timer.stats().instructions;
+            cum.i_misses += ctx.l1i.stats().misses;
+            cum.d_misses += ctx.l1d.stats().misses;
+        }
+        cum
     }
 
     /// Gathers hardware-side metrics into `out`.

@@ -8,6 +8,28 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Obs-off lane: with event capture compiled out the golden digests must
+# still be byte-identical — observability is zero-cost AND zero-effect.
+cargo test -p slicc-sim --no-default-features --test golden -q
+
+# Obs smoke: an observed tiny run must emit valid Chrome trace JSON and
+# an interval series whose CSV/JSON agree on the epoch count.
+obs_prefix="$(mktemp -u /tmp/slicc-ci-obs.XXXXXX)"
+trap 'rm -f "$obs_prefix".*' EXIT
+./target/release/slicc --scale tiny --mode slicc --progress quiet \
+    --obs-out "$obs_prefix" > /dev/null
+python3 - "$obs_prefix" <<'EOF'
+import csv, json, sys
+prefix = sys.argv[1]
+trace = json.load(open(prefix + ".trace.json"))
+assert trace["traceEvents"], "trace must contain events"
+intervals = json.load(open(prefix + ".intervals.json"))
+rows = list(csv.DictReader(open(prefix + ".intervals.csv")))
+assert len(rows) == len(intervals["epochs"]) > 0, "CSV/JSON epoch mismatch"
+print(f"obs artifacts ok ({len(trace['traceEvents'])} trace events, "
+      f"{len(rows)} epochs)")
+EOF
+
 # Bench smoke: one sample per point keeps it cheap while proving the
 # harness still runs end to end, and the tracked baseline must parse.
 cargo bench --bench baseline -- --quick

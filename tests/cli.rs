@@ -144,6 +144,73 @@ fn checkpoint_roundtrip_serves_the_second_run_from_disk() {
 }
 
 #[test]
+fn progress_quiet_leaves_stderr_empty() {
+    let out = slicc()
+        .args(["--scale", "tiny", "--tasks", "4", "--progress", "quiet"])
+        .output()
+        .expect("failed to spawn slicc");
+    assert!(out.status.success());
+    assert!(
+        out.stderr.is_empty(),
+        "--progress quiet must silence stderr, got: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn progress_json_emits_one_object_per_line() {
+    let out = slicc()
+        .args(["--scale", "tiny", "--tasks", "4", "--progress", "json"])
+        .output()
+        .expect("failed to spawn slicc");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.is_empty(), "--progress json must emit telemetry");
+    for line in stderr.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "each telemetry line must be a JSON object, got: {line}"
+        );
+    }
+    assert!(stderr.contains("\"event\": \"batch_started\""), "got: {stderr}");
+    assert!(stderr.contains("\"event\": \"point_finished\""), "got: {stderr}");
+}
+
+#[cfg(feature = "obs-capture")]
+#[test]
+fn obs_out_writes_all_three_artifacts() {
+    let prefix =
+        std::env::temp_dir().join(format!("slicc-cli-obs-{}", std::process::id()));
+    let trace = prefix.with_extension("trace.json");
+    let csv = prefix.with_extension("intervals.csv");
+    let json = prefix.with_extension("intervals.json");
+    for p in [&trace, &csv, &json] {
+        std::fs::remove_file(p).ok();
+    }
+    let out = slicc()
+        .args(["--scale", "tiny", "--tasks", "4", "--progress", "quiet", "--obs-out"])
+        .arg(&prefix)
+        .output()
+        .expect("failed to spawn slicc");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let trace_body = std::fs::read_to_string(&trace).expect("trace artifact written");
+    assert!(trace_body.contains("\"traceEvents\""));
+    assert_eq!(
+        trace_body.matches('{').count(),
+        trace_body.matches('}').count(),
+        "trace JSON must balance"
+    );
+    let csv_body = std::fs::read_to_string(&csv).expect("csv artifact written");
+    assert!(csv_body.starts_with("epoch,start_cycle"));
+    assert!(csv_body.lines().count() > 1, "series must have at least one epoch");
+    let json_body = std::fs::read_to_string(&json).expect("intervals json written");
+    assert!(json_body.contains("\"epoch_cycles\""));
+    for p in [&trace, &csv, &json] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
 fn baseline_compare_reports_speedup() {
     let out = slicc()
         .args(["--scale", "tiny", "--tasks", "4", "--baseline-compare"])
