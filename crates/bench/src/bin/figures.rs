@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! figures [EXPERIMENT ...] [--scale small|paper] [--jobs N] [--checkpoint PATH]
-//!         [--progress quiet|plain|json]
+//!         [--progress quiet|plain|json] [--deadline-ms N] [--retries N]
+//!         [--out PATH]
 //!
 //! EXPERIMENT: fig1 fig2 fig3 fig7 fig8 fig9 fig10 fig11
 //!             table1 table2 table3 bpki ablations extensions scaling all
@@ -10,9 +11,11 @@
 //!
 //! With no arguments, prints the experiment list. `all` runs everything
 //! in paper order; output is markdown, suitable for EXPERIMENTS.md.
-//! Markdown goes to stdout; progress telemetry goes to stderr in the
-//! format selected by `--progress` (default `plain`; `json` emits one
-//! JSON object per line, `quiet` suppresses everything but warnings).
+//! Markdown goes to stdout (or, with `--out PATH`, is committed to PATH
+//! in one atomic rename so an interrupted run never leaves a torn
+//! report); progress telemetry goes to stderr in the format selected by
+//! `--progress` (default `plain`; `json` emits one JSON object per line,
+//! `quiet` suppresses everything but warnings).
 //!
 //! Simulation points fan out across `--jobs` worker threads (default: all
 //! host cores). One [`Runner`] is shared across the selected experiments,
@@ -21,15 +24,23 @@
 //!
 //! `--checkpoint PATH` persists every completed point to PATH as it
 //! finishes; rerunning with the same path after an interruption
-//! re-simulates only the points that are not in the file yet.
+//! re-simulates only the points that are not in the file yet. Ctrl-C
+//! interrupts cooperatively: in-flight points are cancelled at their
+//! next engine step, completed ones stay checkpointed, and the process
+//! exits 130 with a resume hint. `--deadline-ms` bounds each point's
+//! wall-clock time; `--retries` re-attempts transient failures with an
+//! escalating fuel budget.
 
 use slicc_bench::{Experiment, ExperimentScale};
-use slicc_sim::{ProgressEvent, ProgressKind, Runner};
+use slicc_common::{atomic_write, install_sigint_cancel, sigint_count};
+use slicc_sim::{ProgressEvent, ProgressKind, RetryPolicy, Runner};
+use std::fmt::Write as _;
+use std::panic::{self, AssertUnwindSafe};
 
 fn usage() -> ! {
     eprintln!(
         "usage: figures [EXPERIMENT ...] [--scale small|paper] [--jobs N] [--checkpoint PATH] \
-         [--progress quiet|plain|json]"
+         [--progress quiet|plain|json] [--deadline-ms N] [--retries N] [--out PATH]"
     );
     eprintln!("experiments:");
     for e in Experiment::ALL {
@@ -45,6 +56,9 @@ fn main() {
     let mut jobs = Runner::default_parallelism();
     let mut checkpoint: Option<std::path::PathBuf> = None;
     let mut progress = ProgressKind::Plain;
+    let mut deadline_ms: Option<u64> = None;
+    let mut retries: u32 = 0;
+    let mut out: Option<std::path::PathBuf> = None;
     let mut selected: Vec<Experiment> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -78,6 +92,27 @@ fn main() {
                     None => usage(),
                 };
             }
+            "--deadline-ms" => {
+                i += 1;
+                deadline_ms = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(ms) => Some(ms),
+                    None => usage(),
+                };
+            }
+            "--retries" => {
+                i += 1;
+                retries = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => usage(),
+                };
+            }
+            "--out" => {
+                i += 1;
+                out = match args.get(i) {
+                    Some(p) if !p.is_empty() => Some(std::path::PathBuf::from(p)),
+                    _ => usage(),
+                };
+            }
             "all" => selected.extend(Experiment::ALL),
             name => match Experiment::parse(name) {
                 Some(e) => selected.push(e),
@@ -93,9 +128,29 @@ fn main() {
     let runner = Runner::new(jobs);
     let reporter = progress.reporter();
     runner.set_reporter(std::sync::Arc::clone(&reporter));
+    if let Some(ms) = deadline_ms {
+        runner.set_default_deadline(Some(std::time::Duration::from_millis(ms)));
+    }
+    if retries > 0 {
+        runner.set_retry_policy(RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            ..RetryPolicy::standard()
+        });
+    }
+    install_sigint_cancel(&runner.cancel_token());
     if let Some(path) = &checkpoint {
         match runner.attach_checkpoint(path) {
             Ok(load) => {
+                if load.quarantined {
+                    reporter.report(ProgressEvent::Warning {
+                        message: format!(
+                            "checkpoint {} was not a readable checkpoint; quarantined to \
+                             {}.corrupt and starting fresh",
+                            path.display(),
+                            path.display(),
+                        ),
+                    });
+                }
                 reporter.report(ProgressEvent::Note {
                     message: format!(
                         "checkpoint {}: {} completed point(s) loaded{}",
@@ -115,17 +170,47 @@ fn main() {
             }
         }
     }
-    println!("# SLICC reproduction — experiment output");
-    println!();
-    println!("scale: {scale:?}");
-    println!();
+    let mut report = String::new();
+    let _ = writeln!(report, "# SLICC reproduction — experiment output");
+    let _ = writeln!(report);
+    let _ = writeln!(report, "scale: {scale:?}");
+    let _ = writeln!(report);
+    let mut interrupted = false;
     for e in selected {
         let start = std::time::Instant::now();
-        let section = e.run(scale, &runner);
-        println!("{section}");
-        reporter.report(ProgressEvent::Note {
-            message: format!("[{}] done in {:.1}s", e.name(), start.elapsed().as_secs_f64()),
-        });
+        // Experiments panic on a failed point (a figure with a hole is
+        // not a figure). A Ctrl-C surfaces as exactly such a failure —
+        // catch it here so the interrupt exits 130 with a hint instead
+        // of a panic trace; genuine failures keep unwinding.
+        match panic::catch_unwind(AssertUnwindSafe(|| e.run(scale, &runner))) {
+            Ok(section) => {
+                let _ = writeln!(report, "{section}");
+                reporter.report(ProgressEvent::Note {
+                    message: format!("[{}] done in {:.1}s", e.name(), start.elapsed().as_secs_f64()),
+                });
+            }
+            Err(payload) => {
+                if sigint_count() > 0 {
+                    interrupted = true;
+                    break;
+                }
+                panic::resume_unwind(payload);
+            }
+        }
+    }
+    if !interrupted {
+        match &out {
+            Some(path) => {
+                if let Err(e) = atomic_write(path, report.as_bytes()) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+                reporter.report(ProgressEvent::Note {
+                    message: format!("wrote {}", path.display()),
+                });
+            }
+            None => print!("{report}"),
+        }
     }
     let stats = runner.stats();
     if stats.cache_hits + stats.cache_misses > 0 {
@@ -138,5 +223,17 @@ fn main() {
                 stats.sim_ips(),
             ),
         });
+    }
+    if interrupted {
+        match &checkpoint {
+            Some(path) => eprintln!(
+                "interrupted: completed points are saved; resume with --checkpoint {}",
+                path.display()
+            ),
+            None => eprintln!(
+                "interrupted: nothing persisted; re-run with --checkpoint PATH for resumable sweeps"
+            ),
+        }
+        std::process::exit(130);
     }
 }

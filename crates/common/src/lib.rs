@@ -17,7 +17,10 @@
 //!   [`json`];
 //! - a fast deterministic hasher for hot maps ([`FastHashMap`]) — see
 //!   [`fasthash`];
-//! - poison-recovering mutex access ([`lock_unpoisoned`]) — see [`sync`];
+//! - poison-recovering mutex access ([`lock_unpoisoned`]), cooperative
+//!   cancellation ([`CancelToken`]) and SIGINT wiring — see [`sync`];
+//! - crash-safe artifact emission ([`atomic_write`]) and the injectable
+//!   [`ArtifactIo`] layer for chaos testing — see [`io`];
 //! - the [`Merge`] trait unifying statistics aggregation — see [`merge`].
 //!
 //! # Example
@@ -41,6 +44,7 @@ pub mod fifo;
 pub mod geometry;
 pub mod hash;
 pub mod ids;
+pub mod io;
 pub mod json;
 pub mod latency;
 pub mod mask;
@@ -60,12 +64,13 @@ pub use fifo::RingFifo;
 pub use geometry::CacheGeometry;
 pub use hash::{stable_hash_of, StableHash, StableHasher};
 pub use ids::{CoreId, ThreadId, TxnTypeId};
+pub use io::{atomic_write, ArtifactIo, FaultyIo, IoFault, StdIo};
 pub use json::{json_f64, json_str, push_json_str};
 pub use latency::{l1_latency_for_size, LatencyTable};
 pub use mask::CoreMask;
 pub use merge::Merge;
 pub use rng::SplitMix64;
-pub use sync::lock_unpoisoned;
+pub use sync::{install_sigint_cancel, lock_unpoisoned, sigint_count, CancelToken};
 
 /// Simulated clock cycles.
 ///

@@ -65,6 +65,27 @@ pub enum ProgressEvent {
         /// The rendered error.
         error: String,
     },
+    /// A fresh point failed transiently and is being re-attempted under
+    /// the runner's retry policy.
+    PointRetried {
+        /// Human point label.
+        label: String,
+        /// The attempt about to run (2 = first retry).
+        attempt: u32,
+        /// The rendered error that triggered the retry.
+        error: String,
+    },
+    /// A fresh point was abandoned by cooperative cancellation (Ctrl-C
+    /// or [`ProgressEvent::PointFailed`]'s graceful sibling: no error,
+    /// the caller asked the run to stop).
+    PointCancelled {
+        /// 1-based index among the batch's fresh points.
+        index: usize,
+        /// Fresh points in the batch.
+        total: usize,
+        /// Human point label.
+        label: String,
+    },
     /// A request was served from the run cache.
     PointCached {
         /// Human point label.
@@ -198,6 +219,14 @@ impl Reporter for PlainReporter {
                 let done = s.done;
                 let _ = writeln!(s.out, "[{done}/{total}] {label}: FAILED: {error}");
             }
+            ProgressEvent::PointRetried { label, attempt, error } => {
+                let _ = writeln!(s.out, "{label}: retrying (attempt {attempt}): {error}");
+            }
+            ProgressEvent::PointCancelled { total, label, .. } => {
+                s.done += 1;
+                let done = s.done;
+                let _ = writeln!(s.out, "[{done}/{total}] {label}: cancelled");
+            }
             ProgressEvent::BatchFinished { fresh, cached, failed } => {
                 if fresh > 1 || failed > 0 {
                     let secs = s.started.map(|t| t.elapsed().as_secs_f64()).unwrap_or(0.0);
@@ -255,6 +284,20 @@ impl Reporter for JsonLinesReporter {
                 push_json_str(&mut line, label);
                 line.push_str(", \"error\": ");
                 push_json_str(&mut line, error);
+            }
+            ProgressEvent::PointRetried { label, attempt, error } => {
+                line.push_str("\"point_retried\", \"attempt\": ");
+                line.push_str(&attempt.to_string());
+                line.push_str(", \"label\": ");
+                push_json_str(&mut line, label);
+                line.push_str(", \"error\": ");
+                push_json_str(&mut line, error);
+            }
+            ProgressEvent::PointCancelled { index, total, label } => {
+                line.push_str(&format!(
+                    "\"point_cancelled\", \"index\": {index}, \"total\": {total}, \"label\": "
+                ));
+                push_json_str(&mut line, label);
             }
             ProgressEvent::PointCached { label } => {
                 line.push_str("\"point_cached\", \"label\": ");
@@ -409,6 +452,26 @@ mod tests {
         for l in lines {
             assert!(l.starts_with('{') && l.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn retry_and_cancel_events_render_on_both_verbose_reporters() {
+        let (w, buf) = capture();
+        let r = PlainReporter::to_writer(Box::new(w));
+        r.report(ProgressEvent::PointRetried { label: "p1".into(), attempt: 2, error: "livelock".into() });
+        r.report(ProgressEvent::PointCancelled { index: 1, total: 2, label: "p1".into() });
+        let out = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(out.contains("p1: retrying (attempt 2): livelock"), "got: {out}");
+        assert!(out.contains("[1/2] p1: cancelled"), "got: {out}");
+
+        let (w, buf) = capture();
+        let r = JsonLinesReporter::to_writer(Box::new(w));
+        r.report(ProgressEvent::PointRetried { label: "p1".into(), attempt: 2, error: "livelock".into() });
+        r.report(ProgressEvent::PointCancelled { index: 1, total: 2, label: "p1".into() });
+        let out = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("{\"event\": \"point_retried\", \"attempt\": 2"), "got: {out}");
+        assert!(lines[1].starts_with("{\"event\": \"point_cancelled\", \"index\": 1"), "got: {out}");
     }
 
     #[test]

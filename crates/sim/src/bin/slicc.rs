@@ -7,9 +7,11 @@
 //! option list.
 
 use slicc_cache::PolicyKind;
+use slicc_common::{atomic_write, install_sigint_cancel, sigint_count, FaultyIo};
 use slicc_sim::{
-    chrome_trace_json, ObsConfig, ProgressEvent, ProgressKind, RunError, RunRequest, RunResult,
-    Runner, SchedulerMode, SimConfigBuilder, TraceMeta,
+    chrome_trace_json, DeadlineConfig, InjectedFault, ObsConfig, ProgressEvent, ProgressKind,
+    RunError, RunRequest, RunResult, Runner, RetryPolicy, SchedulerMode, SimConfigBuilder,
+    TraceMeta,
 };
 use slicc_trace::{TraceScale, Workload};
 use std::path::{Path, PathBuf};
@@ -44,8 +46,22 @@ OPTIONS:
     --fuel-steps N        abort the run after N event-loop steps
                           (forward-progress watchdog)
     --fuel-cycles N       abort the run once any core passes cycle N
+    --deadline-ms N       abort any point still simulating after N
+                          wall-clock milliseconds (reported with a
+                          diagnostic snapshot, like the watchdog)
+    --retries N           re-attempt transient failures (livelocks,
+                          checkpoint write errors) up to N extra times,
+                          escalating the fuel budget per retry
+                          (default 0)
+    --inject panic|stall:STEP|io-error:N|corrupt-tail
+                          deterministic fault injection for resilience
+                          drills: panic mid-run, stall the event loop at
+                          STEP, fail the Nth artifact write, or tear
+                          every checkpoint record's final byte
     --checkpoint PATH     load completed points from PATH and append
-                          each newly completed point to it
+                          each newly completed point to it; an
+                          unreadable file is quarantined to PATH.corrupt
+                          and the sweep restarts fresh
     --keep-going          on failure, still run the remaining points
                           before exiting
     --progress quiet|plain|json
@@ -68,7 +84,10 @@ OPTIONS:
 
 Exit status is 0 on success, 1 if any simulation point fails (the
 failing point's workload/scale/seed and stable key are printed to
-stderr), and 2 on a usage error.";
+stderr), 2 on a usage error, and 130 when interrupted by Ctrl-C. The
+first Ctrl-C cancels outstanding points cooperatively — completed
+points are flushed to the checkpoint and a resume hint is printed; a
+second Ctrl-C exits immediately.";
 
 /// A rejected command line: which option went wrong, and why.
 #[derive(Debug)]
@@ -96,6 +115,8 @@ enum Command {
         progress: ProgressKind,
         obs_out: Option<PathBuf>,
         obs_summary: bool,
+        retries: u32,
+        inject: Option<InjectedFault>,
     },
 }
 
@@ -115,6 +136,9 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut obs_epoch: Option<u64> = None;
     let mut obs_events: Option<usize> = None;
     let mut obs_sample: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut retries: u32 = 0;
+    let mut inject: Option<InjectedFault> = None;
 
     let mut i = 0;
     fn value(args: &[String], i: &mut usize, opt: &str) -> Result<String, CliError> {
@@ -184,6 +208,15 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--fuel-cycles" => {
                 builder = builder.watchdog_cycles(number(&opt, &value(args, &mut i, &opt)?)?)
             }
+            "--deadline-ms" => deadline_ms = Some(number(&opt, &value(args, &mut i, &opt)?)?),
+            "--retries" => retries = number(&opt, &value(args, &mut i, &opt)?)?,
+            "--inject" => {
+                let spec = value(args, &mut i, &opt)?;
+                let fault = InjectedFault::parse(&spec)
+                    .ok_or_else(|| CliError::new(&opt, format!("unknown fault spec '{spec}'")))?;
+                builder = builder.inject_fault(fault);
+                inject = Some(fault);
+            }
             "--checkpoint" => checkpoint = Some(PathBuf::from(value(args, &mut i, &opt)?)),
             "--keep-going" => keep_going = true,
             "--progress" => {
@@ -214,6 +247,9 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
     }
     if let Some(s) = seed {
         request = request.with_seed(s);
+    }
+    if let Some(ms) = deadline_ms {
+        request = request.with_deadline(DeadlineConfig::from_ms(ms));
     }
 
     // Observation flags compose: each tuning flag implies the collection
@@ -248,6 +284,8 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
         progress,
         obs_out,
         obs_summary,
+        retries,
+        inject,
     })
 }
 
@@ -294,24 +332,58 @@ fn main() {
         eprintln!("run 'slicc --help' for the option list");
         std::process::exit(2);
     });
-    let (request, compare, keep_going, checkpoint, progress, obs_out, obs_summary) = match command {
-        Command::Help => {
-            println!("{USAGE}");
-            return;
-        }
-        Command::Run { request, compare, keep_going, checkpoint, progress, obs_out, obs_summary } => {
-            (*request, compare, keep_going, checkpoint, progress, obs_out, obs_summary)
-        }
-    };
+    let (request, compare, keep_going, checkpoint, progress, obs_out, obs_summary, retries, inject) =
+        match command {
+            Command::Help => {
+                println!("{USAGE}");
+                return;
+            }
+            Command::Run {
+                request,
+                compare,
+                keep_going,
+                checkpoint,
+                progress,
+                obs_out,
+                obs_summary,
+                retries,
+                inject,
+            } => (*request, compare, keep_going, checkpoint, progress, obs_out, obs_summary, retries, inject),
+        };
 
     // Two points (the run and its baseline) are independent jobs, so even
     // the CLI benefits from the runner's pool and cache.
     let runner = Runner::with_default_parallelism();
     let reporter = progress.reporter();
     runner.set_reporter(Arc::clone(&reporter));
+    if retries > 0 {
+        runner.set_retry_policy(RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            ..RetryPolicy::standard()
+        });
+    }
+    // The first Ctrl-C cancels in-flight points cooperatively; the second
+    // hard-exits from the handler itself.
+    install_sigint_cancel(&runner.cancel_token());
     if let Some(path) = &checkpoint {
-        match runner.attach_checkpoint(path) {
+        // I/O fault injection reaches the checkpoint through the same
+        // seam the chaos tests use.
+        let attached = match inject.and_then(|f| f.artifact_fault()) {
+            Some(fault) => runner.attach_checkpoint_with_io(path, Arc::new(FaultyIo::new(fault))),
+            None => runner.attach_checkpoint(path),
+        };
+        match attached {
             Ok(load) => {
+                if load.quarantined {
+                    reporter.report(ProgressEvent::Warning {
+                        message: format!(
+                            "checkpoint: {} was not a readable checkpoint; quarantined to \
+                             {}.corrupt and starting fresh",
+                            path.display(),
+                            path.display(),
+                        ),
+                    });
+                }
                 if load.loaded > 0 || load.truncated() {
                     reporter.report(ProgressEvent::Note {
                         message: format!(
@@ -392,6 +464,20 @@ fn main() {
             eprintln!("error: {e}");
         }
     }
+    // An interrupt trumps the failure exit: the cancelled points are not
+    // wrong, merely unfinished, and the user asked for the stop.
+    if sigint_count() > 0 {
+        match &checkpoint {
+            Some(path) => eprintln!(
+                "interrupted: completed points are saved; resume with --checkpoint {}",
+                path.display()
+            ),
+            None => eprintln!(
+                "interrupted: nothing persisted; re-run with --checkpoint PATH for resumable sweeps"
+            ),
+        }
+        std::process::exit(130);
+    }
     if failed {
         std::process::exit(1);
     }
@@ -444,7 +530,7 @@ fn write_obs_artifacts(
         cores: request.config.cores,
     };
     let trace_path = with_suffix(".trace.json");
-    std::fs::write(&trace_path, chrome_trace_json(&observation.events, &meta))
+    atomic_write(&trace_path, chrome_trace_json(&observation.events, &meta).as_bytes())
         .map_err(|e| format!("writing {}: {e}", trace_path.display()))?;
     reporter.report(ProgressEvent::Note {
         message: format!(
@@ -457,7 +543,8 @@ fn write_obs_artifacts(
     if let Some(series) = &observation.series {
         for (suffix, body) in [(".intervals.csv", series.to_csv()), (".intervals.json", series.to_json())] {
             let path = with_suffix(suffix);
-            std::fs::write(&path, body).map_err(|e| format!("writing {}: {e}", path.display()))?;
+            atomic_write(&path, body.as_bytes())
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
             reporter.report(ProgressEvent::Note {
                 message: format!("wrote {} ({} epochs)", path.display(), series.epochs.len()),
             });
@@ -478,7 +565,17 @@ mod tests {
     #[test]
     fn defaults_build_a_slicc_sw_request() {
         match parse(&[]).unwrap() {
-            Command::Run { request, compare, keep_going, checkpoint, progress, obs_out, obs_summary } => {
+            Command::Run {
+                request,
+                compare,
+                keep_going,
+                checkpoint,
+                progress,
+                obs_out,
+                obs_summary,
+                retries,
+                inject,
+            } => {
                 assert_eq!(request.workload, Workload::TpcC1);
                 assert_eq!(request.mode(), SchedulerMode::SliccSw);
                 assert!(!compare);
@@ -487,10 +584,35 @@ mod tests {
                 assert_eq!(progress, ProgressKind::Plain);
                 assert!(obs_out.is_none());
                 assert!(!obs_summary);
+                assert_eq!(retries, 0, "retries must be opt-in");
+                assert!(inject.is_none());
+                assert!(!request.deadline.is_enabled(), "no deadline unless asked");
                 assert!(!request.obs.enabled(), "observation must be off by default");
             }
             Command::Help => panic!("empty args must run, not print help"),
         }
+    }
+
+    #[test]
+    fn resilience_flags_reach_the_request_and_runner_knobs() {
+        match parse(&["--deadline-ms", "250", "--retries", "2", "--inject", "stall:40"]).unwrap() {
+            Command::Run { request, retries, inject, .. } => {
+                assert_eq!(request.deadline.budget(), Some(std::time::Duration::from_millis(250)));
+                assert_eq!(retries, 2);
+                assert_eq!(inject, Some(InjectedFault::StallAt { step: 40 }));
+                assert_eq!(
+                    request.config.fault_injection,
+                    Some(InjectedFault::StallAt { step: 40 }),
+                    "the engine-visible fault must reach the config too"
+                );
+            }
+            Command::Help => panic!("expected a run"),
+        }
+        let err = parse(&["--inject", "meteor"]).unwrap_err();
+        assert_eq!(err.option, "--inject");
+        assert!(err.message.contains("meteor"));
+        let err = parse(&["--deadline-ms", "soon"]).unwrap_err();
+        assert_eq!(err.option, "--deadline-ms");
     }
 
     #[test]

@@ -2,11 +2,17 @@
 //! process.
 //!
 //! A checkpoint file is an append-only log of completed simulation
-//! points, written after *each* point finishes so an interrupted sweep
-//! loses at most the points in flight. On open, the valid prefix is
-//! loaded back into the runner's cache and any corrupt tail (a crash
-//! mid-append, a truncated copy) is discarded and overwritten — resume
-//! then re-simulates only the missing or failed points.
+//! points, written and device-synced after *each* point finishes so an
+//! interrupted sweep loses at most the points in flight. On open, the
+//! valid prefix is loaded back into the runner's cache and any corrupt
+//! tail (a crash mid-append, a truncated copy) is discarded and
+//! overwritten — resume then re-simulates only the missing or failed
+//! points. A file that is not a readable checkpoint at all (foreign
+//! bytes, a future format version) is quarantined to a `.corrupt`
+//! sidecar and the sweep restarts fresh; nothing is ever silently
+//! deleted. All writes go through the injectable
+//! [`slicc_common::ArtifactIo`] layer so chaos tests can fail or tear
+//! them deterministically.
 //!
 //! # File format (version 1)
 //!
@@ -27,7 +33,7 @@
 use crate::metrics::RunMetrics;
 use crate::runner::RunResult;
 use slicc_cache::MissBreakdown;
-use slicc_common::StableHasher;
+use slicc_common::{ArtifactIo, StableHasher, StdIo};
 use slicc_cpu::CoreStats;
 use slicc_mem::{DramStats, L2Stats};
 use slicc_noc::NocStats;
@@ -35,6 +41,7 @@ use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 const MAGIC: &[u8; 8] = b"SLCCKPT1";
@@ -44,11 +51,13 @@ const RECORD_TAG: u8 = 0xA5;
 /// hundred bytes, so anything past this is corruption, not data.
 const MAX_PAYLOAD: u32 = 1 << 20;
 
-/// Why a checkpoint file could not be used at all. Corruption *within* a
+/// Why a checkpoint file could not be used. Corruption *within* a
 /// well-formed file is not an error — the valid prefix is kept and the
-/// tail re-simulated — but a file that is not a checkpoint (bad magic) or
-/// comes from an incompatible future version is refused rather than
-/// clobbered.
+/// tail re-simulated — and an unreadable file (bad magic, unknown future
+/// version) is quarantined to a `.corrupt` sidecar with a fresh restart,
+/// also not an error. What remains is real I/O failure; the other
+/// variants survive as the internal classification [`Checkpoint::open`]
+/// turns into quarantines.
 #[derive(Debug)]
 pub enum CheckpointError {
     /// The underlying file operation failed.
@@ -64,7 +73,7 @@ impl fmt::Display for CheckpointError {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
             CheckpointError::BadMagic => {
-                write!(f, "not a checkpoint file (bad magic); refusing to overwrite it")
+                write!(f, "not a checkpoint file (bad magic)")
             }
             CheckpointError::UnsupportedVersion(v) => {
                 write!(f, "checkpoint format version {v} is not supported (this build reads {VERSION})")
@@ -95,6 +104,10 @@ pub struct CheckpointLoad {
     pub loaded: usize,
     /// Bytes of corrupt tail discarded (0 for a clean file).
     pub dropped_bytes: u64,
+    /// Whether the on-disk file was unreadable (foreign bytes, unknown
+    /// future version) and was moved aside to the
+    /// [`Checkpoint::quarantine_path`] sidecar before starting fresh.
+    pub quarantined: bool,
 }
 
 impl CheckpointLoad {
@@ -108,6 +121,7 @@ impl CheckpointLoad {
 pub struct Checkpoint {
     file: File,
     path: PathBuf,
+    io: Arc<dyn ArtifactIo>,
 }
 
 /// What [`Checkpoint::open`] recovers: the append handle, the valid
@@ -115,44 +129,76 @@ pub struct Checkpoint {
 pub type OpenedCheckpoint = (Checkpoint, Vec<(u64, RunResult)>, CheckpointLoad);
 
 impl Checkpoint {
-    /// Opens (or creates) the checkpoint at `path`.
+    /// Opens (or creates) the checkpoint at `path` with the production
+    /// I/O layer. See [`Checkpoint::open_with_io`].
+    pub fn open(path: &Path) -> Result<OpenedCheckpoint, CheckpointError> {
+        Checkpoint::open_with_io(path, Arc::new(StdIo))
+    }
+
+    /// Opens (or creates) the checkpoint at `path`, routing writes
+    /// through `io` (chaos tests inject a [`slicc_common::FaultyIo`]).
     ///
     /// Returns the append handle, the valid records recovered from an
     /// existing file, and a [`CheckpointLoad`] describing the recovery. A
-    /// corrupt or truncated tail is cut back to the last valid record; a
-    /// file that is not a checkpoint at all is refused.
-    pub fn open(path: &Path) -> Result<OpenedCheckpoint, CheckpointError> {
-        let bytes = match std::fs::read(path) {
+    /// corrupt or truncated tail is cut back to the last valid record. A
+    /// file that is not a readable checkpoint at all (foreign bytes,
+    /// unknown future version) is moved aside to the
+    /// [`Checkpoint::quarantine_path`] sidecar — never deleted — and the
+    /// sweep restarts with a fresh log; `load.quarantined` reports it.
+    pub fn open_with_io(
+        path: &Path,
+        io: Arc<dyn ArtifactIo>,
+    ) -> Result<OpenedCheckpoint, CheckpointError> {
+        let mut bytes = match std::fs::read(path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
             Err(e) => return Err(e.into()),
         };
 
+        if let Err(reason) = classify(&bytes) {
+            // Not a checkpoint we can read. Preserve the bytes in a
+            // sidecar for post-mortem and restart with a fresh log.
+            std::fs::rename(path, Checkpoint::quarantine_path(path))?;
+            bytes = Vec::new();
+            let (file, entries, mut load) = Checkpoint::build(path, io, &bytes)?;
+            load.quarantined = true;
+            debug_assert!(matches!(
+                reason,
+                CheckpointError::BadMagic | CheckpointError::UnsupportedVersion(_)
+            ));
+            return Ok((file, entries, load));
+        }
+        Checkpoint::build(path, io, &bytes)
+    }
+
+    /// The sidecar an unreadable checkpoint is quarantined to:
+    /// `<path>.corrupt`.
+    pub fn quarantine_path(path: &Path) -> PathBuf {
+        let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+        name.push(".corrupt");
+        path.with_file_name(name)
+    }
+
+    /// Recovers the valid record prefix of `bytes` (already classified as
+    /// readable) and opens the append handle, healing a torn tail or a
+    /// missing/partial header.
+    fn build(
+        path: &Path,
+        io: Arc<dyn ArtifactIo>,
+        bytes: &[u8],
+    ) -> Result<OpenedCheckpoint, CheckpointError> {
         let header_len = MAGIC.len() + 4;
         let mut entries = Vec::new();
         let mut load = CheckpointLoad::default();
         let mut write_header = false;
         let valid_end = if bytes.len() < header_len {
-            // Empty file, or a header torn by an interrupted create. Torn
-            // is only recoverable when what's there is our magic prefix;
-            // anything else is a foreign file we refuse to clobber.
-            if !MAGIC.starts_with(&bytes[..bytes.len().min(MAGIC.len())]) {
-                return Err(CheckpointError::BadMagic);
-            }
+            // Empty file, or a header torn by an interrupted create.
             load.dropped_bytes = bytes.len() as u64;
             write_header = true;
             header_len
         } else {
-            if bytes[..MAGIC.len()] != MAGIC[..] {
-                return Err(CheckpointError::BadMagic);
-            }
-            let version =
-                u32::from_le_bytes(bytes[MAGIC.len()..header_len].try_into().expect("4 bytes"));
-            if version != VERSION {
-                return Err(CheckpointError::UnsupportedVersion(version));
-            }
             let mut pos = header_len;
-            while let Some((key, result, next)) = read_record(&bytes, pos) {
+            while let Some((key, result, next)) = read_record(bytes, pos) {
                 entries.push((key, result));
                 pos = next;
             }
@@ -166,18 +212,24 @@ impl Checkpoint {
             file.set_len(0)?;
             file.write_all(MAGIC)?;
             file.write_all(&VERSION.to_le_bytes())?;
-            file.flush()?;
+            // Durability for the create itself: a power cut after the
+            // first append must not find a file with no header.
+            io.sync_all(&file)?;
         } else if load.truncated() {
             // Cut the corrupt tail so future appends extend a valid log.
             file.set_len(valid_end as u64)?;
         }
         file.seek(SeekFrom::Start(valid_end as u64))?;
-        Ok((Checkpoint { file, path: path.to_path_buf() }, entries, load))
+        Ok((Checkpoint { file, path: path.to_path_buf(), io }, entries, load))
     }
 
-    /// Appends one completed point and flushes it to disk, so the record
-    /// survives even if the process dies on the very next point.
+    /// Appends one completed point and syncs it to the device (not just
+    /// the OS buffer), so the record survives even if the machine — not
+    /// merely the process — dies on the very next point. On a failed
+    /// write the log is rewound best-effort to its pre-append length, so
+    /// a retried append extends a clean log.
     pub fn append(&mut self, key: u64, result: &RunResult) -> Result<(), CheckpointError> {
+        let start = self.file.stream_position()?;
         let payload = encode_result(result);
         let mut record = Vec::with_capacity(1 + 8 + 4 + payload.len() + 8);
         record.push(RECORD_TAG);
@@ -185,8 +237,15 @@ impl Checkpoint {
         record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         record.extend_from_slice(&payload);
         record.extend_from_slice(&record_hash(key, &payload).to_le_bytes());
-        self.file.write_all(&record)?;
-        self.file.flush()?;
+        let written = self
+            .io
+            .write_chunk(&mut self.file, &record)
+            .and_then(|()| self.io.sync_data(&self.file));
+        if let Err(e) = written {
+            let _ = self.file.set_len(start);
+            let _ = self.file.seek(SeekFrom::Start(start));
+            return Err(e.into());
+        }
         Ok(())
     }
 
@@ -194,6 +253,27 @@ impl Checkpoint {
     pub fn path(&self) -> &Path {
         &self.path
     }
+}
+
+/// Decides whether `bytes` are a checkpoint this build can read: yes for
+/// an empty/torn-header file whose prefix matches our magic (recoverable),
+/// no for foreign bytes or a future format version (quarantine).
+fn classify(bytes: &[u8]) -> Result<(), CheckpointError> {
+    let header_len = MAGIC.len() + 4;
+    if bytes.len() < header_len {
+        if !MAGIC.starts_with(&bytes[..bytes.len().min(MAGIC.len())]) {
+            return Err(CheckpointError::BadMagic);
+        }
+        return Ok(());
+    }
+    if bytes[..MAGIC.len()] != MAGIC[..] {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[MAGIC.len()..header_len].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    Ok(())
 }
 
 /// The integrity hash over one record: the workspace's stable FNV-1a so
@@ -358,7 +438,9 @@ fn decode_result(payload: &[u8]) -> Option<RunResult> {
     // than freshly simulated; the flag is recomputed per batch anyway.
     // The format persists metrics only, so observation artifacts do not
     // survive a round trip: decoded results always carry `obs: None`.
-    Some(RunResult { metrics: m, wall, sim_ips, from_cache: true, obs: None })
+    // `attempts` is likewise transient retry metadata; it describes the
+    // original simulation, not the reload.
+    Some(RunResult { metrics: m, wall, sim_ips, from_cache: true, obs: None, attempts: 1 })
 }
 
 fn core_stats_fields(s: &CoreStats) -> [u64; 8] {
@@ -503,7 +585,14 @@ mod tests {
         m.mean_cores_per_thread = 1.5;
         m.stray_fraction = 0.125;
         m.mean_txn_latency = 42.5;
-        RunResult { metrics: m, wall: Duration::from_nanos(12345), sim_ips: 678.0, from_cache: false, obs: None }
+        RunResult {
+            metrics: m,
+            wall: Duration::from_nanos(12345),
+            sim_ips: 678.0,
+            from_cache: false,
+            obs: None,
+            attempts: 1,
+        }
     }
 
     fn assert_same_result(a: &RunResult, b: &RunResult) {
@@ -584,28 +673,160 @@ mod tests {
     }
 
     #[test]
-    fn foreign_file_is_refused_not_clobbered() {
+    fn foreign_file_is_quarantined_not_lost() {
         let path = temp_path("foreign");
         std::fs::write(&path, b"definitely not a checkpoint").unwrap();
-        match Checkpoint::open(&path) {
-            Err(CheckpointError::BadMagic) => {}
-            other => panic!("expected BadMagic, got {:?}", other.map(|_| ())),
-        }
-        assert_eq!(std::fs::read(&path).unwrap(), b"definitely not a checkpoint");
+        let (mut ckpt, entries, load) = Checkpoint::open(&path).unwrap();
+        assert!(entries.is_empty());
+        assert!(load.quarantined, "a foreign file must be reported as quarantined");
+        assert_eq!(load.loaded, 0);
+        // The original bytes survive in the sidecar for post-mortem…
+        let sidecar = Checkpoint::quarantine_path(&path);
+        assert_eq!(std::fs::read(&sidecar).unwrap(), b"definitely not a checkpoint");
+        // …and the sweep restarts with a working log at the same path.
+        ckpt.append(7, &dense_result()).unwrap();
+        drop(ckpt);
+        let (_ckpt, entries, load) = Checkpoint::open(&path).unwrap();
+        assert_eq!(load.loaded, 1);
+        assert!(!load.quarantined);
+        assert_eq!(entries[0].0, 7);
         std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&sidecar).unwrap();
     }
 
     #[test]
-    fn future_version_is_refused() {
+    fn future_version_is_quarantined() {
         let path = temp_path("version");
         let mut bytes = Vec::new();
         bytes.extend_from_slice(MAGIC);
         bytes.extend_from_slice(&99u32.to_le_bytes());
         std::fs::write(&path, &bytes).unwrap();
-        match Checkpoint::open(&path) {
-            Err(CheckpointError::UnsupportedVersion(99)) => {}
-            other => panic!("expected UnsupportedVersion, got {:?}", other.map(|_| ())),
+        let (_ckpt, entries, load) = Checkpoint::open(&path).unwrap();
+        assert!(entries.is_empty());
+        assert!(load.quarantined);
+        let sidecar = Checkpoint::quarantine_path(&path);
+        assert_eq!(std::fs::read(&sidecar).unwrap(), bytes, "future bytes preserved verbatim");
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&sidecar).unwrap();
+    }
+
+    #[test]
+    fn file_is_replayable_after_every_append() {
+        // The durability contract: each append ends with the bytes on
+        // disk forming a complete, loadable log. Snapshot the file after
+        // every append (as a crash at that instant would see it) and
+        // replay the snapshot.
+        let path = temp_path("replay");
+        let snap = temp_path("replay-snap");
+        let (mut ckpt, _, _) = Checkpoint::open(&path).unwrap();
+        for i in 1..=4u64 {
+            ckpt.append(i, &dense_result()).unwrap();
+            std::fs::copy(&path, &snap).unwrap();
+            let (_c, entries, load) = Checkpoint::open(&snap).unwrap();
+            assert_eq!(load.loaded, i as usize, "append {i} must be replayable");
+            assert!(!load.truncated(), "no torn bytes after a successful append");
+            assert_eq!(
+                entries.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+                (1..=i).collect::<Vec<_>>()
+            );
         }
         std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&snap).unwrap();
+    }
+
+    #[test]
+    fn failed_append_rewinds_and_a_retry_extends_a_clean_log() {
+        use slicc_common::{FaultyIo, IoFault};
+        let path = temp_path("rewind");
+        let io = Arc::new(FaultyIo::new(IoFault::FailOnNth(2)));
+        let (mut ckpt, _, _) = Checkpoint::open_with_io(&path, io).unwrap();
+        ckpt.append(1, &dense_result()).unwrap();
+        assert!(ckpt.append(2, &dense_result()).is_err(), "second write is injected to fail");
+        // The retry (write #3) must land on a clean log.
+        ckpt.append(2, &dense_result()).unwrap();
+        drop(ckpt);
+        let (_c, entries, load) = Checkpoint::open(&path).unwrap();
+        assert_eq!(load.loaded, 2);
+        assert!(!load.truncated(), "the failed append must not leave torn bytes");
+        assert_eq!(entries.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![1, 2]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_appends_are_dropped_on_reload_and_earlier_points_survive() {
+        use slicc_common::{FaultyIo, IoFault};
+        let path = temp_path("torn");
+        // A healthy first run commits two points…
+        let (mut ckpt, _, _) = Checkpoint::open(&path).unwrap();
+        ckpt.append(1, &dense_result()).unwrap();
+        ckpt.append(2, &dense_result()).unwrap();
+        drop(ckpt);
+        // …then a run whose appends all land torn (CorruptCheckpointTail).
+        let io = Arc::new(FaultyIo::new(IoFault::CorruptTail));
+        let (mut ckpt, entries, _) = Checkpoint::open_with_io(&path, io).unwrap();
+        assert_eq!(entries.len(), 2);
+        ckpt.append(3, &dense_result()).unwrap();
+        drop(ckpt);
+        let (_c, entries, load) = Checkpoint::open(&path).unwrap();
+        assert_eq!(load.loaded, 2, "the torn record must be dropped");
+        assert!(load.truncated());
+        assert_eq!(entries.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![1, 2]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn deterministic_fuzz_never_panics_and_preserves_the_valid_prefix() {
+        // Hand-rolled stand-in for the proptest version (tests/properties
+        // .rs, feature-gated): every truncation length, plus a SplitMix64
+        // sample of single-bit flips. Whatever the damage, open() must
+        // not panic, must keep loaded keys a prefix of what was written,
+        // and must leave a healed, appendable log behind.
+        use slicc_common::SplitMix64;
+        let path = temp_path("fuzz");
+        let (mut ckpt, _, _) = Checkpoint::open(&path).unwrap();
+        for i in 1..=3u64 {
+            ckpt.append(i, &dense_result()).unwrap();
+        }
+        drop(ckpt);
+        let pristine = std::fs::read(&path).unwrap();
+
+        let check = |damaged: &[u8], what: &str| {
+            std::fs::write(&path, damaged).unwrap();
+            let sidecar = Checkpoint::quarantine_path(&path);
+            std::fs::remove_file(&sidecar).ok();
+            let (mut ckpt, entries, load) = Checkpoint::open(&path).unwrap();
+            let keys: Vec<u64> = entries.iter().map(|(k, _)| *k).collect();
+            assert!(
+                [1, 2, 3].starts_with(&keys),
+                "{what}: loaded keys {keys:?} must be a prefix of the written ones"
+            );
+            for (i, (_, r)) in entries.iter().enumerate() {
+                assert_same_result(r, &dense_result());
+                assert_eq!(keys[i], i as u64 + 1);
+            }
+            if load.quarantined {
+                assert_eq!(std::fs::read(&sidecar).unwrap(), damaged, "{what}: bytes preserved");
+            }
+            // The healed log must accept appends and reload cleanly.
+            ckpt.append(99, &dense_result()).unwrap();
+            drop(ckpt);
+            let (_c, reloaded, load) = Checkpoint::open(&path).unwrap();
+            assert!(!load.truncated(), "{what}: healed log must reload clean");
+            assert_eq!(reloaded.len(), keys.len() + 1);
+        };
+
+        for cut in 0..pristine.len() {
+            check(&pristine[..cut], &format!("truncate to {cut}"));
+        }
+        let mut rng = SplitMix64::new(0x5EED_CAFE);
+        for _ in 0..200 {
+            let byte = (rng.next_u64() % pristine.len() as u64) as usize;
+            let bit = 1u8 << (rng.next_u64() % 8);
+            let mut damaged = pristine.clone();
+            damaged[byte] ^= bit;
+            check(&damaged, &format!("flip bit {bit:#04x} of byte {byte}"));
+        }
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(Checkpoint::quarantine_path(&path)).ok();
     }
 }

@@ -136,6 +136,66 @@ impl StableHash for WatchdogConfig {
 pub enum InjectedFault {
     /// Panic at the start of execution (models a simulator bug).
     Panic,
+    /// Stop making forward progress once the event loop reaches heap step
+    /// `step`: cores keep getting re-queued without executing, burning
+    /// heap steps until the watchdog (or a deadline) trips. Models a
+    /// wedged simulation; requires a fuel budget or deadline to
+    /// terminate, exactly like the real failure it imitates.
+    StallAt {
+        /// First heap step at which progress stops (0 stalls immediately).
+        step: u64,
+    },
+    /// Fail the nth artifact write (1-based) issued through the runner's
+    /// injectable I/O layer. The engine ignores this variant: it is the
+    /// typed vocabulary chaos harnesses translate into a
+    /// [`slicc_common::FaultyIo`] attached to the checkpoint or artifact
+    /// writers (see [`InjectedFault::artifact_fault`]).
+    IoErrorOnNthWrite {
+        /// Which write fails, 1-based.
+        n: u64,
+    },
+    /// Tear the tail of every checkpoint record written while armed (the
+    /// final hash byte lands flipped), modelling a crash mid-append. Also
+    /// I/O-layer-only, like [`InjectedFault::IoErrorOnNthWrite`].
+    CorruptCheckpointTail,
+}
+
+impl InjectedFault {
+    /// Every variant, for exhaustive chaos matrices.
+    pub const ALL: [InjectedFault; 4] = [
+        InjectedFault::Panic,
+        InjectedFault::StallAt { step: 0 },
+        InjectedFault::IoErrorOnNthWrite { n: 1 },
+        InjectedFault::CorruptCheckpointTail,
+    ];
+
+    /// The I/O-layer translation of this fault, if it is an I/O fault.
+    /// Engine-level faults (panic, stall) return `None`.
+    pub fn artifact_fault(&self) -> Option<slicc_common::IoFault> {
+        match *self {
+            InjectedFault::Panic | InjectedFault::StallAt { .. } => None,
+            InjectedFault::IoErrorOnNthWrite { n } => Some(slicc_common::IoFault::FailOnNth(n)),
+            InjectedFault::CorruptCheckpointTail => Some(slicc_common::IoFault::CorruptTail),
+        }
+    }
+
+    /// Parses the CLI spelling: `panic`, `stall:STEP`, `io-error:N`,
+    /// `corrupt-tail`.
+    pub fn parse(s: &str) -> Option<InjectedFault> {
+        if s == "panic" {
+            return Some(InjectedFault::Panic);
+        }
+        if s == "corrupt-tail" {
+            return Some(InjectedFault::CorruptCheckpointTail);
+        }
+        if let Some(step) = s.strip_prefix("stall:") {
+            return step.parse().ok().map(|step| InjectedFault::StallAt { step });
+        }
+        if let Some(n) = s.strip_prefix("io-error:") {
+            return n.parse().ok().map(|n| InjectedFault::IoErrorOnNthWrite { n });
+        }
+        None
+    }
 }
 
 impl StableHash for InjectedFault {
@@ -143,8 +203,57 @@ impl StableHash for InjectedFault {
         // Explicit ordinals so run-cache keys survive declaration reorder.
         let ordinal: u64 = match self {
             InjectedFault::Panic => 0,
+            InjectedFault::StallAt { .. } => 1,
+            InjectedFault::IoErrorOnNthWrite { .. } => 2,
+            InjectedFault::CorruptCheckpointTail => 3,
         };
         ordinal.stable_hash(h);
+        match self {
+            InjectedFault::Panic | InjectedFault::CorruptCheckpointTail => {}
+            InjectedFault::StallAt { step } => step.stable_hash(h),
+            InjectedFault::IoErrorOnNthWrite { n } => n.stable_hash(h),
+        }
+    }
+}
+
+/// A per-point wall-clock budget.
+///
+/// Carried on [`crate::RunRequest`] (and settable runner-wide as a
+/// default): when armed, the engine checks real elapsed time on the
+/// watchdog cadence and aborts with [`crate::SimError::DeadlineExceeded`]
+/// plus a diagnostic snapshot once the budget is spent. Deliberately
+/// **excluded** from the run-cache key, like observation config: a
+/// deadline never alters the metrics of a run it does not abort, and
+/// aborted runs are errors, which are never cached or checkpointed — so a
+/// resumed sweep may tighten or relax its deadline and still reuse every
+/// completed point.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeadlineConfig {
+    /// Wall-clock budget in milliseconds; `None` disables the deadline.
+    /// Zero is legal and trips on the first deadline check — tests use it
+    /// to exercise the abort path deterministically.
+    pub wall_ms: Option<u64>,
+}
+
+impl DeadlineConfig {
+    /// No deadline (the default).
+    pub const fn disabled() -> Self {
+        DeadlineConfig { wall_ms: None }
+    }
+
+    /// A budget of `ms` milliseconds of wall-clock time.
+    pub const fn from_ms(ms: u64) -> Self {
+        DeadlineConfig { wall_ms: Some(ms) }
+    }
+
+    /// Whether a budget is armed.
+    pub const fn is_enabled(&self) -> bool {
+        self.wall_ms.is_some()
+    }
+
+    /// The budget as a [`std::time::Duration`], if armed.
+    pub fn budget(&self) -> Option<std::time::Duration> {
+        self.wall_ms.map(std::time::Duration::from_millis)
     }
 }
 
@@ -988,6 +1097,72 @@ mod tests {
         assert_ne!(stable_hash_of(&fueled), stable_hash_of(&cycles));
         let faulty = SimConfigBuilder::paper_baseline().inject_fault(InjectedFault::Panic).build().unwrap();
         assert_ne!(stable_hash_of(&base), stable_hash_of(&faulty));
+    }
+
+    #[test]
+    fn every_injected_fault_hashes_distinctly_including_payloads() {
+        use slicc_common::stable_hash_of;
+        let mut keys: Vec<u64> = InjectedFault::ALL
+            .iter()
+            .map(|f| {
+                stable_hash_of(
+                    &SimConfigBuilder::paper_baseline().inject_fault(*f).build().unwrap(),
+                )
+            })
+            .collect();
+        // Payloads must feed the hash too, not just the ordinal.
+        keys.push(stable_hash_of(
+            &SimConfigBuilder::paper_baseline()
+                .inject_fault(InjectedFault::StallAt { step: 7 })
+                .build()
+                .unwrap(),
+        ));
+        keys.push(stable_hash_of(
+            &SimConfigBuilder::paper_baseline()
+                .inject_fault(InjectedFault::IoErrorOnNthWrite { n: 7 })
+                .build()
+                .unwrap(),
+        ));
+        let distinct: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(distinct.len(), keys.len(), "fault keys must not collide: {keys:x?}");
+    }
+
+    #[test]
+    fn injected_fault_parses_the_cli_spellings() {
+        assert_eq!(InjectedFault::parse("panic"), Some(InjectedFault::Panic));
+        assert_eq!(InjectedFault::parse("stall:42"), Some(InjectedFault::StallAt { step: 42 }));
+        assert_eq!(
+            InjectedFault::parse("io-error:3"),
+            Some(InjectedFault::IoErrorOnNthWrite { n: 3 })
+        );
+        assert_eq!(InjectedFault::parse("corrupt-tail"), Some(InjectedFault::CorruptCheckpointTail));
+        for bad in ["", "stall", "stall:", "stall:x", "io-error:", "panic!"] {
+            assert_eq!(InjectedFault::parse(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn only_io_faults_translate_to_the_artifact_layer() {
+        use slicc_common::IoFault;
+        assert_eq!(InjectedFault::Panic.artifact_fault(), None);
+        assert_eq!(InjectedFault::StallAt { step: 1 }.artifact_fault(), None);
+        assert_eq!(
+            InjectedFault::IoErrorOnNthWrite { n: 2 }.artifact_fault(),
+            Some(IoFault::FailOnNth(2))
+        );
+        assert_eq!(
+            InjectedFault::CorruptCheckpointTail.artifact_fault(),
+            Some(IoFault::CorruptTail)
+        );
+    }
+
+    #[test]
+    fn deadline_config_budget_and_enablement() {
+        assert!(!DeadlineConfig::disabled().is_enabled());
+        assert_eq!(DeadlineConfig::disabled().budget(), None);
+        let d = DeadlineConfig::from_ms(250);
+        assert!(d.is_enabled());
+        assert_eq!(d.budget(), Some(std::time::Duration::from_millis(250)));
     }
 
     #[test]

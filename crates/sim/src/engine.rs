@@ -29,7 +29,7 @@ use crate::error::{HotThread, LivelockSnapshot, SimError};
 use crate::metrics::RunMetrics;
 use crate::system::System;
 use slicc_cache::MissClass;
-use slicc_common::{BlockAddr, CoreId, Cycle, RingFifo, ThreadId, TxnTypeId};
+use slicc_common::{BlockAddr, CancelToken, CoreId, Cycle, RingFifo, ThreadId, TxnTypeId};
 use slicc_obs::{
     EventKind, EventSink, IntervalSampler, MigrationReason, MissKind, MissLevel, ObsConfig,
     Observation, ThreeC,
@@ -38,9 +38,36 @@ use slicc_core::{CoreMask, MigrationAdvice, ScoutHasher, SliccAgent, TeamFormer,
 use slicc_trace::{ThreadTrace, WorkloadSpec};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 /// Records processed per engine step before re-entering the heap.
 const BATCH: usize = 100;
+
+/// Heap steps between wall-clock deadline checks. Cancellation is a
+/// relaxed atomic load and is checked every step; `Instant::now()` is a
+/// real clock read, so it runs on a coarser (power-of-two) cadence.
+const DEADLINE_CHECK_MASK: u64 = 63;
+
+/// External run control: a cooperative cancellation token plus an
+/// optional wall-clock deadline, checked by the engine's event loop on
+/// the watchdog cadence. The default (fresh token, no deadline) never
+/// interrupts anything.
+#[derive(Clone, Debug, Default)]
+pub struct RunControl {
+    /// Cooperative stop flag; when set the run aborts with
+    /// [`SimError::Cancelled`] and a diagnostic snapshot.
+    pub cancel: CancelToken,
+    /// Absolute wall-clock deadline; past it the run aborts with
+    /// [`SimError::DeadlineExceeded`] and a diagnostic snapshot.
+    pub deadline: Option<Instant>,
+}
+
+impl RunControl {
+    /// Control that never interrupts (fresh token, no deadline).
+    pub fn unbounded() -> Self {
+        RunControl::default()
+    }
+}
 
 /// One migration, as recorded by [`Engine::events`] when event recording
 /// is enabled.
@@ -133,6 +160,29 @@ pub fn try_run_observed(
     Ok(engine.into_outcome())
 }
 
+/// Like [`try_run_observed`], but under external [`RunControl`]: the
+/// event loop additionally honours a cooperative [`CancelToken`] and a
+/// wall-clock deadline on the watchdog cadence. Observation is optional
+/// (`None` when `obs` is disabled), so one entry point serves the runner
+/// for both observed and bare points. Control never changes the metrics
+/// of a run it does not abort.
+pub fn try_run_controlled(
+    spec: &WorkloadSpec,
+    cfg: &SimConfig,
+    obs: &ObsConfig,
+    ctrl: &RunControl,
+) -> Result<(RunMetrics, Option<Observation>), SimError> {
+    let mut engine = Engine::try_new_observed(spec, cfg, obs)?;
+    engine.set_control(ctrl.clone());
+    engine.try_execute()?;
+    Ok(if obs.enabled() {
+        let (metrics, observation) = engine.into_outcome();
+        (metrics, Some(observation))
+    } else {
+        (engine.into_metrics(), None)
+    })
+}
+
 /// Maps the cache crate's miss taxonomy onto the obs crate's mirror.
 fn three_c(class: MissClass) -> ThreeC {
     match class {
@@ -203,6 +253,12 @@ pub struct Engine<'a> {
     vacated_seq: Vec<u64>,
     watchdog: WatchdogConfig,
     fault: Option<InjectedFault>,
+    /// Cooperative stop flag, checked once per heap step (a relaxed
+    /// atomic load; the default token is never cancelled).
+    cancel: CancelToken,
+    /// Absolute wall-clock deadline, checked every
+    /// `DEADLINE_CHECK_MASK + 1` heap steps.
+    deadline: Option<Instant>,
     /// Typed event trace (a disabled no-op sink unless the run is
     /// observed with event tracing on; see [`slicc_obs::ObsConfig`]).
     sink: EventSink,
@@ -315,6 +371,8 @@ impl<'a> Engine<'a> {
             vacated_seq: vec![0; n],
             watchdog: cfg.watchdog,
             fault: cfg.fault_injection,
+            cancel: CancelToken::new(),
+            deadline: None,
             sink: if obs.events {
                 EventSink::new(n, obs.event_capacity, obs.sample_every)
             } else {
@@ -455,8 +513,16 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Runs the event loop to completion, reporting a stalled loop or an
-    /// exhausted watchdog fuel budget as a typed [`SimError`].
+    /// Arms external run control (see [`RunControl`]): cancellation and
+    /// deadline checks join the watchdog on the event-loop cadence.
+    pub fn set_control(&mut self, ctrl: RunControl) {
+        self.cancel = ctrl.cancel;
+        self.deadline = ctrl.deadline;
+    }
+
+    /// Runs the event loop to completion, reporting a stalled loop, an
+    /// exhausted watchdog fuel budget, a cancellation, or a blown
+    /// wall-clock deadline as a typed [`SimError`].
     ///
     /// On error the engine is left at the failure point: metrics and
     /// state accessors still work, which is what lets the livelock
@@ -487,6 +553,28 @@ impl<'a> Engine<'a> {
                     self.sink.record(core, now, EventKind::WatchdogFired { heap_steps });
                 }
                 return Err(SimError::Livelock(Box::new(self.livelock_snapshot(heap_steps, core))));
+            }
+            if self.cancel.is_cancelled() {
+                return Err(SimError::Cancelled(Box::new(self.livelock_snapshot(heap_steps, core))));
+            }
+            if let Some(deadline) = self.deadline {
+                // The first check lands on step 1 so even tiny budgets
+                // (0 ms in tests) trip deterministically.
+                if heap_steps & DEADLINE_CHECK_MASK == 1 && Instant::now() >= deadline {
+                    return Err(SimError::DeadlineExceeded(Box::new(
+                        self.livelock_snapshot(heap_steps, core),
+                    )));
+                }
+            }
+            if let Some(InjectedFault::StallAt { step }) = self.fault {
+                if heap_steps >= step {
+                    // Forward progress stops: re-queue the core at its
+                    // current time without executing, so the loop spins
+                    // until the watchdog or a deadline puts it down.
+                    let now = self.sys.timer(core).now();
+                    self.push_core(core, now);
+                    continue;
+                }
             }
             self.step(core);
             // Epoch sampling off the popped core's clock: under the

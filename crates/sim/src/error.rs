@@ -35,6 +35,13 @@ pub enum SimError {
     /// [`crate::WatchdogConfig`]). Boxed: the snapshot is large and this
     /// variant is rare.
     Livelock(Box<LivelockSnapshot>),
+    /// The run was cancelled cooperatively (Ctrl-C, a test harness, a
+    /// sibling deadline sweep) via a [`slicc_common::CancelToken`]. The
+    /// snapshot shows what the machine was doing when it stopped.
+    Cancelled(Box<LivelockSnapshot>),
+    /// The run's wall-clock budget (see [`crate::DeadlineConfig`]) ran
+    /// out before the simulation finished.
+    DeadlineExceeded(Box<LivelockSnapshot>),
 }
 
 impl fmt::Display for SimError {
@@ -46,6 +53,8 @@ impl fmt::Display for SimError {
                 "engine stalled: {completed}/{total} threads complete, {in_flight} in flight"
             ),
             SimError::Livelock(snap) => write!(f, "watchdog fired: {snap}"),
+            SimError::Cancelled(snap) => write!(f, "cancelled: {snap}"),
+            SimError::DeadlineExceeded(snap) => write!(f, "deadline exceeded: {snap}"),
         }
     }
 }
@@ -232,6 +241,22 @@ pub enum RunError {
         /// The failed point.
         point: PointSummary,
     },
+    /// The point was cancelled (Ctrl-C or a harness). A point cancelled
+    /// before it started carries an empty (all-zero) snapshot.
+    Cancelled {
+        /// The cancelled point.
+        point: PointSummary,
+        /// What the machine was doing when it stopped.
+        snapshot: Box<LivelockSnapshot>,
+    },
+    /// The point exceeded its wall-clock deadline
+    /// (see [`crate::DeadlineConfig`]).
+    DeadlineExceeded {
+        /// The failed point.
+        point: PointSummary,
+        /// Diagnostic state at abort time.
+        snapshot: Box<LivelockSnapshot>,
+    },
 }
 
 impl RunError {
@@ -243,6 +268,8 @@ impl RunError {
                 RunError::Stalled { point, completed, total, in_flight }
             }
             SimError::Livelock(snapshot) => RunError::Livelock { point, snapshot },
+            SimError::Cancelled(snapshot) => RunError::Cancelled { point, snapshot },
+            SimError::DeadlineExceeded(snapshot) => RunError::DeadlineExceeded { point, snapshot },
         }
     }
 
@@ -253,8 +280,16 @@ impl RunError {
             | RunError::Livelock { point, .. }
             | RunError::Stalled { point, .. }
             | RunError::Config { point, .. }
-            | RunError::Lost { point } => point,
+            | RunError::Lost { point }
+            | RunError::Cancelled { point, .. }
+            | RunError::DeadlineExceeded { point, .. } => point,
         }
+    }
+
+    /// True for cancellation outcomes (the point did not fail on its own
+    /// merits; it was asked to stop).
+    pub fn is_cancellation(&self) -> bool {
+        matches!(self, RunError::Cancelled { .. })
     }
 }
 
@@ -276,6 +311,16 @@ impl fmt::Display for RunError {
             }
             RunError::Lost { point } => {
                 write!(f, "point {point} lost: worker died without reporting a result")
+            }
+            RunError::Cancelled { point, snapshot } => {
+                if snapshot.heap_steps == 0 {
+                    write!(f, "point {point} cancelled before it started")
+                } else {
+                    write!(f, "point {point} cancelled: {snapshot}")
+                }
+            }
+            RunError::DeadlineExceeded { point, snapshot } => {
+                write!(f, "point {point} exceeded its deadline: {snapshot}")
             }
         }
     }
@@ -324,6 +369,26 @@ mod tests {
         let e = RunError::from_sim(point(), SimError::Livelock(snap));
         assert!(matches!(e, RunError::Livelock { .. }));
         assert!(e.to_string().contains("9 heap steps"), "got: {e}");
+    }
+
+    #[test]
+    fn cancellation_and_deadline_wrap_with_their_snapshots() {
+        let snap = Box::new(LivelockSnapshot { heap_steps: 5, ..Default::default() });
+        let e = RunError::from_sim(point(), SimError::DeadlineExceeded(snap));
+        assert!(matches!(e, RunError::DeadlineExceeded { .. }));
+        assert!(e.to_string().contains("deadline"), "got: {e}");
+        assert!(e.to_string().contains("5 heap steps"), "got: {e}");
+        assert!(!e.is_cancellation());
+
+        let started = RunError::from_sim(
+            point(),
+            SimError::Cancelled(Box::new(LivelockSnapshot { heap_steps: 3, ..Default::default() })),
+        );
+        assert!(started.is_cancellation());
+        assert!(started.to_string().contains("cancelled"), "got: {started}");
+        let unstarted =
+            RunError::Cancelled { point: point(), snapshot: Box::default() };
+        assert!(unstarted.to_string().contains("before it started"), "got: {unstarted}");
     }
 
     #[test]

@@ -58,12 +58,13 @@ pub mod system;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointLoad, OpenedCheckpoint};
 pub use config::{
-    ConfigError, InjectedFault, SchedulerMode, SimConfig, SimConfigBuilder, WatchdogConfig,
+    ConfigError, DeadlineConfig, InjectedFault, SchedulerMode, SimConfig, SimConfigBuilder,
+    WatchdogConfig,
 };
-pub use engine::{run, try_run, try_run_observed, Engine, MigrationEvent};
+pub use engine::{run, try_run, try_run_observed, Engine, MigrationEvent, RunControl};
 pub use error::{HotThread, LivelockSnapshot, PointSummary, RunError, SimError};
 pub use metrics::RunMetrics;
-pub use runner::{RunRequest, RunResult, Runner, RunnerStats};
+pub use runner::{RetryPolicy, RunRequest, RunResult, Runner, RunnerStats};
 pub use system::System;
 
 // The observability vocabulary, re-exported so binaries and tests reach

@@ -50,11 +50,11 @@
 //! ```
 
 use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointLoad};
-use crate::config::{SchedulerMode, SimConfig};
-use crate::engine;
+use crate::config::{DeadlineConfig, SchedulerMode, SimConfig};
+use crate::engine::{self, RunControl};
 use crate::error::{PointSummary, RunError, SimError};
 use crate::metrics::RunMetrics;
-use slicc_common::{lock_unpoisoned, StableHash, StableHasher};
+use slicc_common::{lock_unpoisoned, ArtifactIo, CancelToken, StableHash, StableHasher};
 use slicc_obs::{ObsConfig, Observation, ProgressEvent, Reporter, WarningsOnlyReporter};
 use slicc_trace::{TraceScale, Workload, WorkloadSpec};
 use std::collections::HashMap;
@@ -86,17 +86,38 @@ pub struct RunRequest {
     /// unobserved twin share a cache slot (the cached copy may then carry
     /// `obs: None` — callers wanting artifacts should run fresh).
     pub obs: ObsConfig,
+    /// Wall-clock budget for this point. Also excluded from
+    /// [`RunRequest::stable_key`], for the same shape of reason: a
+    /// deadline never changes the metrics of a run it does not abort, and
+    /// an aborted run is an error, which is never cached or checkpointed
+    /// — so a resumed sweep may change its deadline and still reuse every
+    /// completed point.
+    pub deadline: DeadlineConfig,
 }
 
 impl RunRequest {
     /// Describes `workload` at `scale` on the machine `config`.
     pub fn new(workload: Workload, scale: TraceScale, config: SimConfig) -> Self {
-        RunRequest { workload, scale, tasks: None, seed: None, config, obs: ObsConfig::disabled() }
+        RunRequest {
+            workload,
+            scale,
+            tasks: None,
+            seed: None,
+            config,
+            obs: ObsConfig::disabled(),
+            deadline: DeadlineConfig::disabled(),
+        }
     }
 
     /// Returns a copy observing per `obs` (see [`ObsConfig`]).
     pub fn with_obs(mut self, obs: ObsConfig) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Returns a copy bounded by `deadline` (see [`DeadlineConfig`]).
+    pub fn with_deadline(mut self, deadline: DeadlineConfig) -> Self {
+        self.deadline = deadline;
         self
     }
 
@@ -185,17 +206,30 @@ impl RunRequest {
     /// so callers holding a memoized [`WorkloadSpec`] (the [`Runner`])
     /// skip trace generation. `spec` must equal [`RunRequest::spec`] for
     /// this request or the result describes a different experiment.
+    /// Honours the request's own [`DeadlineConfig`]; external
+    /// cancellation needs [`RunRequest::try_execute_controlled`].
     pub fn try_execute_with_spec(&self, spec: &WorkloadSpec) -> Result<RunResult, SimError> {
-        let started = Instant::now();
-        let (metrics, obs) = if self.obs.enabled() {
-            let (metrics, observation) = engine::try_run_observed(spec, &self.config, &self.obs)?;
-            (metrics, Some(observation))
-        } else {
-            (engine::try_run(spec, &self.config)?, None)
+        let ctrl = RunControl {
+            cancel: CancelToken::new(),
+            deadline: self.deadline.budget().map(|b| Instant::now() + b),
         };
+        self.try_execute_controlled(spec, &ctrl)
+    }
+
+    /// [`RunRequest::try_execute_with_spec`] under explicit external
+    /// [`RunControl`] (the [`Runner`]'s cancellation token plus the
+    /// resolved deadline). The control's deadline wins over the request's
+    /// own: the caller has already resolved which applies.
+    pub fn try_execute_controlled(
+        &self,
+        spec: &WorkloadSpec,
+        ctrl: &RunControl,
+    ) -> Result<RunResult, SimError> {
+        let started = Instant::now();
+        let (metrics, obs) = engine::try_run_controlled(spec, &self.config, &self.obs, ctrl)?;
         let wall = started.elapsed();
         let sim_ips = if wall.as_secs_f64() > 0.0 { metrics.instructions as f64 / wall.as_secs_f64() } else { 0.0 };
-        Ok(RunResult { metrics, wall, sim_ips, from_cache: false, obs })
+        Ok(RunResult { metrics, wall, sim_ips, from_cache: false, obs, attempts: 1 })
     }
 }
 
@@ -218,6 +252,104 @@ pub struct RunResult {
     /// runs and for results decoded from a checkpoint file (the format
     /// persists metrics, not traces).
     pub obs: Option<Observation>,
+    /// How many attempts this result took (1 = first try; >1 means the
+    /// [`RetryPolicy`] re-ran a transient failure). Transient metadata
+    /// like [`RunResult::from_cache`]: not persisted by the checkpoint
+    /// codec — decoded results report 1.
+    pub attempts: u32,
+}
+
+/// How the [`Runner`] re-attempts failed points.
+///
+/// Failures split into *transient* (worth re-attempting with more
+/// resources) and *permanent* (deterministic; retrying reproduces them):
+///
+/// | [`RunError`]         | class     | retry strategy                      |
+/// |----------------------|-----------|-------------------------------------|
+/// | `Livelock`           | transient | escalate watchdog fuel by
+///                                      [`RetryPolicy::fuel_escalation`]^n,
+///                                      capped at `max_fuel_factor`       |
+/// | checkpoint I/O error | transient | deterministic bounded backoff
+///                                      ([`RetryPolicy::io_backoff_ms`],
+///                                      doubling per attempt)             |
+/// | `Panicked`           | permanent | —                                   |
+/// | `Stalled`            | permanent | —                                   |
+/// | `Config`             | permanent | —                                   |
+/// | `Lost`               | permanent | —                                   |
+/// | `Cancelled`          | permanent | the caller asked it to stop         |
+/// | `DeadlineExceeded`   | permanent | the budget is already spent         |
+///
+/// A fuel-escalated retry runs a *modified* config, but its result is
+/// cached and checkpointed under the original request's key — safe
+/// because the watchdog never alters the metrics of a run it does not
+/// abort; it only decides how long to wait before giving up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per point (1 = no retries; clamped to at least 1).
+    pub max_attempts: u32,
+    /// Watchdog fuel multiplier applied per livelock retry (attempt n
+    /// runs with `fuel_escalation^(n-1)` times the budget).
+    pub fuel_escalation: u64,
+    /// Upper bound on the cumulative fuel multiplier.
+    pub max_fuel_factor: u64,
+    /// Base backoff before re-attempting a failed checkpoint write, in
+    /// milliseconds; doubles per attempt. Deterministic: no jitter.
+    pub io_backoff_ms: u64,
+}
+
+impl RetryPolicy {
+    /// No retries (the runner default): every failure surfaces on the
+    /// first attempt, preserving the exact semantics of un-retried runs.
+    pub const fn none() -> Self {
+        RetryPolicy { max_attempts: 1, fuel_escalation: 1, max_fuel_factor: 1, io_backoff_ms: 0 }
+    }
+
+    /// The recommended campaign policy: three attempts, 8× fuel per
+    /// livelock retry (64× cap), 25 ms base I/O backoff.
+    pub const fn standard() -> Self {
+        RetryPolicy { max_attempts: 3, fuel_escalation: 8, max_fuel_factor: 64, io_backoff_ms: 25 }
+    }
+
+    /// Whether `error` is worth re-attempting under this policy (see the
+    /// classification table on [`RetryPolicy`]).
+    pub fn is_transient(&self, error: &RunError) -> bool {
+        matches!(error, RunError::Livelock { .. })
+    }
+
+    /// The fuel multiplier for attempt `attempt` (1-based; attempt 1 is
+    /// the un-escalated run).
+    pub fn fuel_factor(&self, attempt: u32) -> u64 {
+        self.fuel_escalation
+            .max(1)
+            .saturating_pow(attempt.saturating_sub(1))
+            .clamp(1, self.max_fuel_factor.max(1))
+    }
+
+    /// The deterministic backoff before I/O retry `attempt` (1-based).
+    pub fn io_backoff(&self, attempt: u32) -> Duration {
+        let doubled = self.io_backoff_ms.saturating_mul(1u64 << attempt.saturating_sub(1).min(16));
+        Duration::from_millis(doubled)
+    }
+
+    /// `req` with its watchdog fuel budget escalated for `attempt`.
+    fn escalated(&self, req: &RunRequest, attempt: u32) -> RunRequest {
+        let factor = self.fuel_factor(attempt);
+        let mut req = req.clone();
+        let w = &mut req.config.watchdog;
+        if let Some(steps) = w.max_heap_steps {
+            w.max_heap_steps = Some(steps.saturating_mul(factor));
+        }
+        if let Some(cycles) = w.max_cycles {
+            w.max_cycles = Some(cycles.saturating_mul(factor));
+        }
+        req
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
 }
 
 /// Aggregate observability counters for a [`Runner`].
@@ -233,6 +365,9 @@ pub struct RunnerStats {
     /// points are never cached, so they are re-attempted by every batch
     /// that names them.
     pub failed_points: u64,
+    /// Extra simulation attempts spent by the [`RetryPolicy`] on
+    /// transient failures (a point that succeeds on attempt 3 adds 2).
+    pub retried_attempts: u64,
     /// Distinct [`WorkloadSpec`]s materialized. With the spec memo, a
     /// five-mode figure column costs one build, not five.
     pub spec_builds: u64,
@@ -280,9 +415,18 @@ pub struct Runner {
     /// while degradation warnings still surface; the binaries swap in the
     /// user's `--progress` choice via [`Runner::set_reporter`].
     reporter: Mutex<Arc<dyn Reporter>>,
+    /// Cooperative cancellation shared with every in-flight engine. The
+    /// binaries hand it to [`slicc_common::install_sigint_cancel`] so the
+    /// first Ctrl-C drains the pool gracefully.
+    cancel: CancelToken,
+    retry: Mutex<RetryPolicy>,
+    /// Deadline applied to requests that do not carry their own
+    /// [`RunRequest::deadline`]; the per-request value wins.
+    default_deadline: Mutex<Option<Duration>>,
     hits: AtomicU64,
     misses: AtomicU64,
     failures: AtomicU64,
+    retries: AtomicU64,
     spec_builds: AtomicU64,
     simulated_instructions: AtomicU64,
     busy_nanos: AtomicU64,
@@ -297,9 +441,13 @@ impl Runner {
             specs: Mutex::new(HashMap::new()),
             checkpoint: Mutex::new(None),
             reporter: Mutex::new(Arc::new(WarningsOnlyReporter::stderr())),
+            cancel: CancelToken::new(),
+            retry: Mutex::new(RetryPolicy::none()),
+            default_deadline: Mutex::new(None),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             failures: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
             spec_builds: AtomicU64::new(0),
             simulated_instructions: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
@@ -331,6 +479,37 @@ impl Runner {
         Arc::clone(&lock_unpoisoned(&self.reporter))
     }
 
+    /// The runner's cancellation token. Cancelling it makes every
+    /// in-flight simulation abort with [`RunError::Cancelled`] at its
+    /// next engine step, and every not-yet-started point fail fast
+    /// without simulating. Completed points keep their results (and
+    /// their checkpoint records).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Replaces the retry policy (default: [`RetryPolicy::none`]).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *lock_unpoisoned(&self.retry) = policy;
+    }
+
+    /// The current retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *lock_unpoisoned(&self.retry)
+    }
+
+    /// Sets the wall-clock deadline applied to every request that does
+    /// not carry its own [`RunRequest::deadline`]. `None` disables it.
+    /// The budget is per point, measured from the attempt's start.
+    pub fn set_default_deadline(&self, budget: Option<Duration>) {
+        *lock_unpoisoned(&self.default_deadline) = budget;
+    }
+
+    /// The default per-point deadline budget, if any.
+    pub fn default_deadline(&self) -> Option<Duration> {
+        *lock_unpoisoned(&self.default_deadline)
+    }
+
     /// Attaches a checkpoint file: previously completed points are seeded
     /// into the run cache (they will be served as cache hits), and every
     /// point completed from now on is appended to the file as it
@@ -338,7 +517,18 @@ impl Runner {
     /// [`Checkpoint::open`]. Attach before the first `run_all` call:
     /// points that are already memoized are not retroactively written.
     pub fn attach_checkpoint(&self, path: impl AsRef<Path>) -> Result<CheckpointLoad, CheckpointError> {
-        let (ckpt, entries, load) = Checkpoint::open(path.as_ref())?;
+        self.attach_checkpoint_with_io(path, Arc::new(slicc_common::StdIo))
+    }
+
+    /// [`Runner::attach_checkpoint`] with an explicit [`ArtifactIo`]
+    /// backend — the fault-injection seam the chaos tests drive with
+    /// [`slicc_common::FaultyIo`].
+    pub fn attach_checkpoint_with_io(
+        &self,
+        path: impl AsRef<Path>,
+        io: Arc<dyn ArtifactIo>,
+    ) -> Result<CheckpointLoad, CheckpointError> {
+        let (ckpt, entries, load) = Checkpoint::open_with_io(path.as_ref(), io)?;
         {
             let mut cache = lock_unpoisoned(&self.cache);
             for (key, result) in entries {
@@ -460,6 +650,7 @@ impl Runner {
             cache_hits: self.hits.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),
             failed_points: self.failures.load(Ordering::Relaxed),
+            retried_attempts: self.retries.load(Ordering::Relaxed),
             spec_builds: self.spec_builds.load(Ordering::Relaxed),
             simulated_instructions: self.simulated_instructions.load(Ordering::Relaxed),
             busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
@@ -490,10 +681,71 @@ impl Runner {
     /// Executes one point with panic containment: a panic anywhere in the
     /// simulation (or an engine-level [`SimError`]) becomes a [`RunError`]
     /// carrying the point's identity, instead of unwinding into the pool.
+    ///
+    /// Transient failures are re-attempted per the [`RetryPolicy`]; the
+    /// returned result's [`RunResult::attempts`] records how many tries
+    /// it took. A cancelled runner fails the point fast, before any
+    /// simulation work.
     fn execute_point(&self, req: &RunRequest) -> Result<RunResult, RunError> {
+        if self.cancel.is_cancelled() {
+            // heap_steps = 0 reads as "cancelled before it started".
+            return Err(RunError::Cancelled { point: PointSummary::of(req), snapshot: Box::default() });
+        }
         let spec = self.spec_for(req);
+        let policy = self.retry_policy();
+        let mut attempt = 1u32;
+        loop {
+            match self.execute_attempt(req, &spec, attempt, &policy) {
+                Ok(mut result) => {
+                    result.attempts = attempt;
+                    return Ok(result);
+                }
+                Err(error) => {
+                    let retry = attempt < policy.max_attempts.max(1)
+                        && policy.is_transient(&error)
+                        && !self.cancel.is_cancelled();
+                    if !retry {
+                        return Err(error);
+                    }
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                    self.reporter().report(ProgressEvent::PointRetried {
+                        label: point_label(req),
+                        attempt,
+                        error: error.to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// One containment-wrapped simulation attempt. Attempts after the
+    /// first run a fuel-escalated copy of the request
+    /// ([`RetryPolicy::fuel_factor`]); the point's identity — and with it
+    /// the cache and checkpoint key — stays the original's, which is
+    /// sound because the watchdog budget never changes the metrics of a
+    /// run it does not abort.
+    fn execute_attempt(
+        &self,
+        req: &RunRequest,
+        spec: &WorkloadSpec,
+        attempt: u32,
+        policy: &RetryPolicy,
+    ) -> Result<RunResult, RunError> {
         let point = PointSummary::of(req);
-        match panic::catch_unwind(AssertUnwindSafe(|| req.try_execute_with_spec(&spec))) {
+        let escalated;
+        let run_req = if attempt > 1 {
+            escalated = policy.escalated(req, attempt);
+            &escalated
+        } else {
+            req
+        };
+        let budget = run_req.deadline.budget().or_else(|| self.default_deadline());
+        let ctrl = RunControl {
+            cancel: self.cancel.clone(),
+            deadline: budget.map(|b| Instant::now() + b),
+        };
+        match panic::catch_unwind(AssertUnwindSafe(|| run_req.try_execute_controlled(spec, &ctrl))) {
             Ok(Ok(result)) => Ok(result),
             Ok(Err(sim_error)) => Err(RunError::from_sim(point, sim_error)),
             // `as_ref` matters: `&payload` would coerce the Box itself into
@@ -504,14 +756,32 @@ impl Runner {
         }
     }
 
-    /// Appends a completed point to the attached checkpoint, if any. A
-    /// write failure disables checkpointing for the rest of the process
-    /// (with one warning) rather than failing the batch: the results in
-    /// memory are still good.
+    /// Appends a completed point to the attached checkpoint, if any.
+    /// Write failures are transient per the [`RetryPolicy`]: each failed
+    /// append is retried after a deterministic bounded backoff (the log
+    /// rewinds on failure, so a retry extends a clean file). Only after
+    /// the final attempt fails is checkpointing disabled for the rest of
+    /// the process (with one warning) rather than failing the batch: the
+    /// results in memory are still good.
     fn checkpoint_store(&self, key: u64, result: &RunResult) {
+        let policy = self.retry_policy();
         let mut guard = lock_unpoisoned(&self.checkpoint);
-        if let Some(ckpt) = guard.as_mut() {
-            if let Err(e) = ckpt.append(key, result) {
+        let Some(ckpt) = guard.as_mut() else { return };
+        for attempt in 1..=policy.max_attempts.max(1) {
+            let Err(e) = ckpt.append(key, result) else { return };
+            if attempt < policy.max_attempts.max(1) {
+                let backoff = policy.io_backoff(attempt);
+                self.reporter().report(ProgressEvent::Warning {
+                    message: format!(
+                        "checkpoint write to {} failed ({e}); retrying in {} ms \
+                         (attempt {attempt} of {})",
+                        ckpt.path().display(),
+                        backoff.as_millis(),
+                        policy.max_attempts,
+                    ),
+                });
+                std::thread::sleep(backoff);
+            } else {
                 self.reporter().report(ProgressEvent::Warning {
                     message: format!(
                         "checkpoint write to {} failed ({e}); checkpointing disabled",
@@ -519,6 +789,7 @@ impl Runner {
                     ),
                 });
                 *guard = None;
+                return;
             }
         }
     }
@@ -635,6 +906,9 @@ fn report_point_end(
             wall_ns: result.wall.as_nanos() as u64,
             sim_ips: result.sim_ips,
         },
+        Err(error) if error.is_cancellation() => {
+            ProgressEvent::PointCancelled { index, total, label }
+        }
         Err(error) => {
             ProgressEvent::PointFailed { index, total, label, error: error.to_string() }
         }
@@ -877,5 +1151,139 @@ mod tests {
         assert!(results[2].is_err());
         assert_eq!(runner.stats().cache_misses, 2, "the duplicate failure simulates once");
         assert_eq!(runner.stats().failed_points, 1);
+    }
+
+    /// A request whose 1-step fuel budget livelocks on the first attempt
+    /// but completes once the retry policy escalates it.
+    fn starved_request() -> RunRequest {
+        let config = SimConfigBuilder::tiny_test()
+            .watchdog_steps(1)
+            .build()
+            .expect("tiny config with a 1-step fuel budget is valid");
+        RunRequest::new(Workload::TpcC1, TraceScale::tiny(), config)
+    }
+
+    #[test]
+    fn retry_policy_classifies_and_escalates() {
+        let p = RetryPolicy::standard();
+        let livelock = RunError::Livelock {
+            point: PointSummary::of(&tiny_request()),
+            snapshot: Box::default(),
+        };
+        let cancelled = RunError::Cancelled {
+            point: PointSummary::of(&tiny_request()),
+            snapshot: Box::default(),
+        };
+        assert!(p.is_transient(&livelock));
+        assert!(!p.is_transient(&cancelled), "a cancelled point must stay cancelled");
+        assert_eq!(p.fuel_factor(1), 1, "the first attempt runs unescalated");
+        assert_eq!(p.fuel_factor(2), 8);
+        assert_eq!(p.fuel_factor(3), 64);
+        assert_eq!(p.fuel_factor(4), 64, "escalation clamps at max_fuel_factor");
+        assert_eq!(p.io_backoff(1), Duration::from_millis(25));
+        assert_eq!(p.io_backoff(2), Duration::from_millis(50));
+        assert_eq!(RetryPolicy::none().fuel_factor(9), 1);
+        assert_eq!(RetryPolicy::default(), RetryPolicy::none());
+    }
+
+    #[test]
+    fn without_retries_a_starved_point_fails_on_the_first_attempt() {
+        let runner = Runner::new(1);
+        let err = runner.run(&starved_request()).expect_err("1 step of fuel must livelock");
+        assert!(matches!(err, RunError::Livelock { .. }), "got {err}");
+        assert_eq!(runner.stats().retried_attempts, 0);
+    }
+
+    #[test]
+    fn livelock_retries_escalate_fuel_and_cache_under_the_original_key() {
+        let runner = Runner::new(1);
+        runner.set_retry_policy(RetryPolicy {
+            max_attempts: 8,
+            fuel_escalation: 1024,
+            max_fuel_factor: u64::MAX,
+            io_backoff_ms: 0,
+        });
+        let req = starved_request();
+        let result = expect_ok(runner.run(&req));
+        assert!(result.attempts > 1, "the 1-step budget cannot succeed first try");
+        assert_eq!(runner.stats().retried_attempts, u64::from(result.attempts) - 1);
+        assert_eq!(runner.stats().failed_points, 0, "a retried success is not a failure");
+        // The escalated run answers for the *original* request: cached
+        // under its key, with the metrics an unstarved run produces.
+        let again = expect_ok(runner.run(&req));
+        assert!(again.from_cache);
+        let unstarved = expect_ok(Runner::new(1).run(&tiny_request()));
+        assert_eq!(result.metrics.digest(), unstarved.metrics.digest());
+    }
+
+    #[test]
+    fn permanent_failures_are_not_retried() {
+        let runner = Runner::new(1);
+        runner.set_retry_policy(RetryPolicy::standard());
+        assert!(runner.run(&panicking_request()).is_err());
+        assert_eq!(runner.stats().retried_attempts, 0, "a panic is deterministic");
+    }
+
+    #[test]
+    fn a_cancelled_runner_fails_points_fast_and_keeps_finished_work() {
+        let runner = Runner::new(1);
+        let done = expect_ok(runner.run(&tiny_request()));
+        runner.cancel_token().cancel();
+        let err = runner
+            .run(&tiny_request().with_seed(99))
+            .expect_err("a cancelled runner must not start new work");
+        match &err {
+            RunError::Cancelled { snapshot, .. } => {
+                assert_eq!(snapshot.heap_steps, 0, "the point never started simulating");
+            }
+            other => panic!("expected Cancelled, got {other}"),
+        }
+        assert!(err.is_cancellation());
+        // Completed work survives cancellation.
+        let again = expect_ok(runner.run(&tiny_request()));
+        assert!(again.from_cache);
+        assert_eq!(again.metrics.digest(), done.metrics.digest());
+    }
+
+    #[test]
+    fn an_expired_deadline_fails_one_point_while_its_siblings_complete() {
+        let runner = Runner::new(2);
+        let doomed = tiny_request().with_deadline(DeadlineConfig::from_ms(0));
+        let healthy = tiny_request().with_mode(SchedulerMode::Slicc);
+        let results = runner.run_all(&[doomed.clone(), healthy]);
+        match &results[0] {
+            Err(RunError::DeadlineExceeded { point, snapshot }) => {
+                assert_eq!(point.key, doomed.stable_key());
+                assert!(snapshot.heap_steps > 0, "the snapshot must show where it stopped");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        expect_ok(results[1].clone());
+    }
+
+    #[test]
+    fn the_default_deadline_applies_only_to_requests_without_their_own() {
+        let runner = Runner::new(1);
+        runner.set_default_deadline(Some(Duration::ZERO));
+        assert!(matches!(
+            runner.run(&tiny_request()),
+            Err(RunError::DeadlineExceeded { .. })
+        ));
+        // A generous per-request deadline overrides the impossible default.
+        let roomy = tiny_request().with_deadline(DeadlineConfig::from_ms(60_000));
+        expect_ok(runner.run(&roomy));
+        runner.set_default_deadline(None);
+        assert_eq!(runner.default_deadline(), None);
+    }
+
+    #[test]
+    fn deadline_is_excluded_from_the_stable_key() {
+        let base = tiny_request();
+        let dated = tiny_request().with_deadline(DeadlineConfig::from_ms(5));
+        assert_eq!(
+            base.stable_key(),
+            dated.stable_key(),
+            "a deadline changes when a run may be abandoned, never its metrics"
+        );
     }
 }

@@ -30,6 +30,42 @@ print(f"obs artifacts ok ({len(trace['traceEvents'])} trace events, "
       f"{len(rows)} epochs)")
 EOF
 
+# Chaos lane: the fault matrix (injected panics, stalls, I/O failures,
+# torn checkpoint tails), deadline aborts, and cancellation drills.
+cargo test -p slicc-sim --test chaos -q
+
+# SIGINT-resume smoke: interrupt a checkpointed sweep after its first
+# point lands, expect a graceful 130 (or a photo-finish 0), then resume
+# and require the banked point to be served without re-simulation.
+ckpt="$(mktemp -u /tmp/slicc-ci-sigint.XXXXXX.ckpt)"
+./target/release/slicc --scale small --baseline-compare --progress quiet \
+    --checkpoint "$ckpt" > /dev/null &
+sweep_pid=$!
+for _ in $(seq 1 600); do
+    size=$(stat -c %s "$ckpt" 2>/dev/null || echo 0)
+    if [ "$size" -gt 12 ]; then break; fi
+    sleep 0.2
+done
+kill -INT "$sweep_pid" 2>/dev/null || true
+set +e
+wait "$sweep_pid"
+sweep_status=$?
+set -e
+if [ "$sweep_status" -ne 130 ] && [ "$sweep_status" -ne 0 ]; then
+    echo "SIGINT smoke: expected exit 130 (or 0 if the sweep won the race), got $sweep_status" >&2
+    exit 1
+fi
+resume_log="$(mktemp /tmp/slicc-ci-resume.XXXXXX)"
+./target/release/slicc --scale small --baseline-compare --progress plain \
+    --checkpoint "$ckpt" > /dev/null 2> "$resume_log"
+grep -q "point(s) loaded" "$resume_log" || {
+    echo "SIGINT smoke: resume did not load the banked point(s)" >&2
+    cat "$resume_log" >&2
+    exit 1
+}
+echo "SIGINT-resume smoke ok (interrupt exit $sweep_status)"
+rm -f "$ckpt" "$resume_log"
+
 # Bench smoke: one sample per point keeps it cheap while proving the
 # harness still runs end to end, and the tracked baseline must parse.
 cargo bench --bench baseline -- --quick

@@ -1,0 +1,486 @@
+//! Chaos drills: every deterministic [`InjectedFault`], with and without
+//! a checkpoint attached, must be contained to its own point, must never
+//! lose or re-simulate a completed sibling, and must never change the
+//! metrics a healthy run produces. The CLI half of the matrix pins the
+//! documented exit codes.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use slicc_sim::{
+    DeadlineConfig, InjectedFault, ProgressEvent, Reporter, RetryPolicy, RunError, RunRequest,
+    Runner, SchedulerMode, SimConfig, SimConfigBuilder,
+};
+use slicc_trace::{TraceScale, Workload};
+
+/// A fresh scratch path per test, so parallel test threads never share a
+/// file.
+fn temp_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("slicc-chaos-{tag}-{}-{n}.ckpt", std::process::id()))
+}
+
+fn healthy_request() -> RunRequest {
+    RunRequest::new(Workload::TpcC1, TraceScale::tiny(), SimConfig::tiny_test())
+        .with_mode(SchedulerMode::Slicc)
+}
+
+/// A request carrying `fault`, armed so every fault kind terminates:
+/// `StallAt` spins the event loop forever, which only the watchdog (or a
+/// deadline) can turn into a typed error.
+fn faulty_request(fault: InjectedFault) -> RunRequest {
+    let mut builder = SimConfigBuilder::tiny_test().inject_fault(fault);
+    if matches!(fault, InjectedFault::StallAt { .. }) {
+        builder = builder.watchdog_steps(500);
+    }
+    let config = builder.build().expect("fault injection is a valid config");
+    RunRequest::new(Workload::TpcE, TraceScale::tiny(), config)
+}
+
+/// Whether the engine itself fails under `fault` (I/O faults live in the
+/// artifact layer; the simulation completes untouched).
+fn fails_in_engine(fault: InjectedFault) -> bool {
+    matches!(fault, InjectedFault::Panic | InjectedFault::StallAt { .. })
+}
+
+/// A reporter that records every event, so tests can assert on warnings
+/// and retry narration.
+#[derive(Default)]
+struct CollectingReporter {
+    events: Mutex<Vec<ProgressEvent>>,
+}
+
+impl Reporter for CollectingReporter {
+    fn report(&self, event: ProgressEvent) {
+        self.events.lock().unwrap().push(event);
+    }
+}
+
+impl CollectingReporter {
+    fn warnings(&self) -> Vec<String> {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter_map(|e| match e {
+                ProgressEvent::Warning { message } => Some(message.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// The tentpole matrix: every fault kind, with and without a checkpoint.
+/// The faulty point is contained, the healthy sibling always completes
+/// with the digest an uninjected run produces, and whatever the
+/// checkpoint banked reloads cleanly afterwards.
+#[test]
+fn every_injected_fault_is_contained_and_healthy_digests_are_unchanged() {
+    let reference = Runner::new(1)
+        .run(&healthy_request())
+        .expect("uninjected reference run completes")
+        .metrics
+        .digest();
+
+    for fault in InjectedFault::ALL {
+        for with_checkpoint in [false, true] {
+            let what = format!("fault {fault:?}, checkpoint {with_checkpoint}");
+            let runner = Runner::new(1);
+            // The matrix injects write failures on purpose; keep the
+            // expected degradation warnings out of the test output.
+            runner.set_reporter(Arc::new(CollectingReporter::default()));
+            let path = temp_path("matrix");
+            if with_checkpoint {
+                let load = match fault.artifact_fault() {
+                    Some(io_fault) => runner.attach_checkpoint_with_io(
+                        &path,
+                        Arc::new(slicc_common::FaultyIo::new(io_fault)),
+                    ),
+                    None => runner.attach_checkpoint(&path),
+                }
+                .expect("fresh checkpoint attaches");
+                assert_eq!(load.loaded, 0, "{what}: fresh file starts empty");
+            }
+
+            let faulty = faulty_request(fault);
+            let batch = [faulty.clone(), healthy_request()];
+            let results = runner.run_all(&batch);
+
+            // The healthy sibling must survive every fault kind, with
+            // byte-identical metrics.
+            let healthy = results[1].as_ref().unwrap_or_else(|e| {
+                panic!("{what}: healthy sibling must complete, got {e}")
+            });
+            assert_eq!(healthy.metrics.digest(), reference, "{what}: digest drifted");
+
+            if fails_in_engine(fault) {
+                let err = results[0].as_ref().expect_err("engine fault must surface");
+                assert_eq!(err.point().key, faulty.stable_key(), "{what}: wrong point blamed");
+                assert_eq!(runner.stats().failed_points, 1, "{what}");
+            } else {
+                // Artifact-layer faults never touch the simulation.
+                let ok = results[0].as_ref().unwrap_or_else(|e| {
+                    panic!("{what}: an I/O fault must not fail the simulation, got {e}")
+                });
+                assert!(ok.metrics.instructions > 0, "{what}");
+            }
+
+            if with_checkpoint {
+                // Reload with clean I/O: whatever was banked must parse,
+                // and nothing healthy may have been silently dropped.
+                let resumed = Runner::new(1);
+                let load = resumed
+                    .attach_checkpoint(&path)
+                    .unwrap_or_else(|e| panic!("{what}: reload must parse, got {e}"));
+                match fault {
+                    // Engine faults leave the artifact layer healthy: the
+                    // completed sibling is banked.
+                    InjectedFault::Panic | InjectedFault::StallAt { .. } => {
+                        assert_eq!(load.loaded, 1, "{what}: the healthy point must be banked");
+                        // Resume re-simulates nothing that is banked.
+                        let again = resumed.run(&healthy_request()).expect("resumed point");
+                        assert!(again.from_cache, "{what}: resume must not re-simulate");
+                        assert_eq!(again.metrics.digest(), reference, "{what}");
+                    }
+                    // The very first append fails and (without retries)
+                    // disables checkpointing: the file stays empty but
+                    // valid, and nothing in memory was harmed.
+                    InjectedFault::IoErrorOnNthWrite { .. } => {
+                        assert_eq!(load.loaded, 0, "{what}: checkpointing was disabled");
+                        assert!(!load.truncated(), "{what}: a rewound append leaves no torn bytes");
+                    }
+                    // Every record landed torn: reload drops them all and
+                    // heals the log; the points simply re-simulate.
+                    InjectedFault::CorruptCheckpointTail => {
+                        assert_eq!(load.loaded, 0, "{what}: torn records must not load");
+                        assert!(load.truncated(), "{what}: the torn tail is reported");
+                        let again = resumed.run(&healthy_request()).expect("re-simulated point");
+                        assert!(!again.from_cache, "{what}: torn points re-simulate");
+                        assert_eq!(again.metrics.digest(), reference, "{what}");
+                    }
+                }
+                let _ = std::fs::remove_file(&path);
+                let _ = std::fs::remove_file(slicc_sim::Checkpoint::quarantine_path(&path));
+            }
+        }
+    }
+}
+
+#[test]
+fn io_retries_recover_the_checkpoint_after_an_injected_write_failure() {
+    let path = temp_path("io-retry");
+    let runner = Runner::new(1);
+    runner.set_retry_policy(RetryPolicy { io_backoff_ms: 1, ..RetryPolicy::standard() });
+    let reporter = Arc::new(CollectingReporter::default());
+    runner.set_reporter(reporter.clone());
+    // Fail the second write: the first point banks cleanly, the second
+    // append fails once, backs off, and succeeds on the retry because the
+    // failed append rewound the log.
+    runner
+        .attach_checkpoint_with_io(
+            &path,
+            Arc::new(slicc_common::FaultyIo::new(slicc_common::IoFault::FailOnNth(2))),
+        )
+        .expect("fresh checkpoint attaches");
+    let results = runner.run_all(&[healthy_request(), healthy_request().with_seed(7)]);
+    assert!(results.iter().all(Result::is_ok), "injected I/O error must not fail points");
+
+    let warnings = reporter.warnings();
+    assert!(
+        warnings.iter().any(|w| w.contains("retrying in")),
+        "the retry must be narrated, got {warnings:?}"
+    );
+    assert!(
+        !warnings.iter().any(|w| w.contains("checkpointing disabled")),
+        "a recovered write must not disable checkpointing, got {warnings:?}"
+    );
+
+    let resumed = Runner::new(1);
+    let load = resumed.attach_checkpoint(&path).expect("reload");
+    assert_eq!(load.loaded, 2, "both points must be banked after the retry");
+    assert!(!load.truncated());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn livelock_retries_bank_the_recovered_point_under_its_original_key() {
+    let path = temp_path("livelock-retry");
+    let starved = RunRequest::new(
+        Workload::TpcC1,
+        TraceScale::tiny(),
+        SimConfigBuilder::tiny_test().watchdog_steps(1).build().expect("valid config"),
+    );
+    let runner = Runner::new(1);
+    runner.set_retry_policy(RetryPolicy {
+        max_attempts: 8,
+        fuel_escalation: 1024,
+        max_fuel_factor: u64::MAX,
+        io_backoff_ms: 0,
+    });
+    runner.attach_checkpoint(&path).expect("fresh checkpoint attaches");
+    let result = runner.run(&starved).expect("escalated retries must recover the point");
+    assert!(result.attempts > 1, "one step of fuel cannot succeed first try");
+
+    // The banked record answers for the original starved request.
+    let resumed = Runner::new(1);
+    let load = resumed.attach_checkpoint(&path).expect("reload");
+    assert_eq!(load.loaded, 1);
+    let again = resumed.run(&starved).expect("banked point");
+    assert!(again.from_cache, "the recovered point must not re-simulate");
+    assert_eq!(again.metrics.digest(), result.metrics.digest());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn an_expired_deadline_is_not_banked_and_the_point_recovers_on_resume() {
+    let path = temp_path("deadline");
+    let runner = Runner::new(2);
+    runner.attach_checkpoint(&path).expect("fresh checkpoint attaches");
+    let doomed = healthy_request().with_deadline(DeadlineConfig::from_ms(0));
+    let sibling = healthy_request().with_seed(9);
+    let results = runner.run_all(&[doomed.clone(), sibling.clone()]);
+    match &results[0] {
+        Err(RunError::DeadlineExceeded { snapshot, .. }) => {
+            assert!(snapshot.heap_steps > 0, "the snapshot must show where it stopped");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert!(results[1].is_ok(), "the sibling must complete while its neighbour times out");
+
+    // Only the completed sibling was banked; the deadline is not part of
+    // the point's identity, so the resumed sweep re-simulates exactly the
+    // timed-out point — now without a deadline — and succeeds.
+    let resumed = Runner::new(1);
+    let load = resumed.attach_checkpoint(&path).expect("reload");
+    assert_eq!(load.loaded, 1, "a timed-out point must not be banked");
+    let recovered = resumed.run(&healthy_request()).expect("undeadlined run completes");
+    assert!(!recovered.from_cache, "the timed-out point must re-simulate");
+    let cached = resumed.run(&sibling).expect("banked sibling");
+    assert!(cached.from_cache, "the completed sibling must not re-simulate");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn cancellation_stops_new_work_but_keeps_everything_banked() {
+    let path = temp_path("cancel");
+    let runner = Runner::new(1);
+    runner.attach_checkpoint(&path).expect("fresh checkpoint attaches");
+    let done = runner.run(&healthy_request()).expect("pre-cancel point completes");
+
+    runner.cancel_token().cancel();
+    let results = runner.run_all(&[healthy_request().with_seed(5), healthy_request().with_seed(6)]);
+    for r in &results {
+        let err = r.as_ref().expect_err("a cancelled runner must not simulate");
+        assert!(err.is_cancellation(), "got {err}");
+    }
+
+    let resumed = Runner::new(1);
+    let load = resumed.attach_checkpoint(&path).expect("reload");
+    assert_eq!(load.loaded, 1, "exactly the pre-cancel point is banked");
+    let again = resumed.run(&healthy_request()).expect("banked point");
+    assert!(again.from_cache);
+    assert_eq!(again.metrics.digest(), done.metrics.digest());
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------
+// CLI half of the matrix: documented exit codes, end to end.
+// ---------------------------------------------------------------------
+
+fn slicc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_slicc"))
+}
+
+#[test]
+fn cli_engine_faults_exit_one_and_name_the_failure() {
+    let out = slicc()
+        .args(["--scale", "tiny", "--inject", "panic", "--progress", "quiet"])
+        .output()
+        .expect("slicc runs");
+    assert_eq!(out.status.code(), Some(1), "an injected panic must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("panicked"), "got: {stderr}");
+
+    let out = slicc()
+        .args(["--scale", "tiny", "--inject", "stall:10", "--fuel-steps", "500", "--progress", "quiet"])
+        .output()
+        .expect("slicc runs");
+    assert_eq!(out.status.code(), Some(1), "a stalled event loop must trip the watchdog");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("livelocked"), "got: {stderr}");
+}
+
+#[test]
+fn cli_expired_deadline_exits_one_with_a_snapshot() {
+    let out = slicc()
+        .args(["--scale", "tiny", "--deadline-ms", "0", "--progress", "quiet"])
+        .output()
+        .expect("slicc runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("exceeded its deadline"), "got: {stderr}");
+    assert!(stderr.contains("heap steps"), "the snapshot must be printed, got: {stderr}");
+}
+
+#[test]
+fn cli_io_fault_with_retries_recovers_and_the_checkpoint_resumes() {
+    let path = temp_path("cli-io");
+    let out = slicc()
+        .args(["--scale", "tiny", "--inject", "io-error:1", "--retries", "1"])
+        .arg("--checkpoint")
+        .arg(&path)
+        .args(["--progress", "quiet"])
+        .output()
+        .expect("slicc runs");
+    assert_eq!(out.status.code(), Some(0), "an injected checkpoint write failure must not fail the run");
+
+    // The retried append banked the point: a clean re-run serves it from
+    // the checkpoint.
+    let out = slicc()
+        .args(["--scale", "tiny"])
+        .arg("--checkpoint")
+        .arg(&path)
+        .args(["--progress", "plain"])
+        .output()
+        .expect("slicc re-runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("1 point(s) loaded"), "got: {stderr}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn cli_corrupt_tail_runs_succeed_and_the_resume_heals_the_log() {
+    let path = temp_path("cli-tail");
+    let out = slicc()
+        .args(["--scale", "tiny", "--inject", "corrupt-tail"])
+        .arg("--checkpoint")
+        .arg(&path)
+        .args(["--progress", "quiet"])
+        .output()
+        .expect("slicc runs");
+    assert_eq!(out.status.code(), Some(0), "torn checkpoint records must not fail the run");
+
+    // The resume drops the torn record, reports it, re-simulates, and
+    // leaves a healed log behind.
+    let out = slicc()
+        .args(["--scale", "tiny"])
+        .arg("--checkpoint")
+        .arg(&path)
+        .args(["--progress", "plain"])
+        .output()
+        .expect("slicc re-runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("corrupt tail bytes discarded"), "got: {stderr}");
+
+    let out = slicc()
+        .args(["--scale", "tiny"])
+        .arg("--checkpoint")
+        .arg(&path)
+        .args(["--progress", "plain"])
+        .output()
+        .expect("slicc runs a third time");
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("1 point(s) loaded"), "the healed log must serve the point, got: {stderr}");
+    assert!(!stderr.contains("discarded"), "got: {stderr}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn cli_quarantines_a_foreign_checkpoint_and_still_succeeds() {
+    let path = temp_path("cli-quarantine");
+    std::fs::write(&path, b"this is not a checkpoint").expect("seed foreign bytes");
+    let out = slicc()
+        .args(["--scale", "tiny"])
+        .arg("--checkpoint")
+        .arg(&path)
+        .args(["--progress", "plain"])
+        .output()
+        .expect("slicc runs");
+    assert_eq!(out.status.code(), Some(0), "a foreign file must quarantine, not abort");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("quarantined"), "got: {stderr}");
+    let sidecar = slicc_sim::Checkpoint::quarantine_path(&path);
+    assert_eq!(
+        std::fs::read(&sidecar).expect("sidecar preserved"),
+        b"this is not a checkpoint",
+        "the damaged bytes must survive for post-mortem"
+    );
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&sidecar);
+}
+
+/// SIGINT drill: interrupt a multi-point sweep after the first point is
+/// banked; the process must exit 130 with a resume hint, and the resumed
+/// sweep must re-simulate only what is missing.
+#[cfg(unix)]
+#[test]
+fn cli_sigint_flushes_the_checkpoint_and_exits_130() {
+    use std::io::Read as _;
+
+    let path = temp_path("cli-sigint");
+    // A sweep long enough to interrupt: small scale, baseline compare
+    // gives two points; deadline generous so only the signal stops it.
+    let mut child = slicc()
+        .args(["--scale", "small", "--baseline-compare", "--progress", "quiet"])
+        .arg("--checkpoint")
+        .arg(&path)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("slicc spawns");
+
+    // Wait for the first record to hit the file, then interrupt.
+    let header = 12u64; // magic + version
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    let banked = loop {
+        let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        if len > header {
+            break true;
+        }
+        if std::time::Instant::now() > deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(banked, "the first point must reach the checkpoint before the drill times out");
+    unsafe {
+        assert_eq!(libc_kill(child.id() as i32, 2), 0, "SIGINT delivery failed");
+    }
+    let status = child.wait().expect("child exits");
+    let mut stderr = String::new();
+    if let Some(mut pipe) = child.stderr.take() {
+        let _ = pipe.read_to_string(&mut stderr);
+    }
+    // The child may legitimately finish the sweep before the signal lands
+    // (exit 0) on a fast machine; the interesting case is the interrupt.
+    if status.code() == Some(130) {
+        assert!(stderr.contains("resume with --checkpoint"), "got: {stderr}");
+    } else {
+        assert_eq!(status.code(), Some(0), "unexpected exit, stderr: {stderr}");
+    }
+
+    // Whatever was banked resumes cleanly and completes the sweep.
+    let out = slicc()
+        .args(["--scale", "small", "--baseline-compare", "--progress", "plain"])
+        .arg("--checkpoint")
+        .arg(&path)
+        .output()
+        .expect("resume runs");
+    assert_eq!(out.status.code(), Some(0), "the resumed sweep must complete");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("point(s) loaded"), "got: {stderr}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[cfg(unix)]
+extern "C" {
+    #[link_name = "kill"]
+    fn libc_kill(pid: i32, sig: i32) -> i32;
+}
