@@ -12,8 +12,9 @@
 //!
 //! With `--before`, the previous JSON is embedded under `"before"` and the
 //! emitted document reports `"sim_ips_speedup"` — current aggregate
-//! simulated-instructions-per-second over the previous file's (its last
-//! `aggregate_sim_ips`, i.e. the "after" side of a nested document).
+//! simulated-instructions-per-second over the previous file's *best*
+//! `aggregate_sim_ips` (nested before/after documents carry one per
+//! generation; the maximum is the high-water mark to beat).
 
 use slicc_bench::{time_ns_per_iter, time_ns_per_run};
 use slicc_cache::{AccessKind, Cache, PolicyKind};
@@ -178,18 +179,28 @@ fn render_doc(samples: usize, points: &[PointRow], micro: &[(String, f64)]) -> S
     s
 }
 
-/// Pulls the last `"aggregate_sim_ips"` value out of a JSON document (the
-/// "after" side when the document is itself a before/after nesting).
+/// Pulls the best `"aggregate_sim_ips"` value out of a JSON document.
+/// Nested before/after documents carry one aggregate per generation;
+/// comparing against the *maximum* makes the reported speedup answer
+/// "did we beat the best this file has ever recorded?" rather than
+/// only the most recent (possibly already-regressed) generation.
 fn last_aggregate(json: &str) -> Option<f64> {
     let needle = "\"aggregate_sim_ips\":";
-    let at = json.rfind(needle)?;
-    let tail = &json[at + needle.len()..];
-    let num: String = tail
-        .trim_start()
-        .chars()
-        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == 'E' || *c == '+')
-        .collect();
-    num.parse().ok()
+    let mut best: Option<f64> = None;
+    let mut rest = json;
+    while let Some(at) = rest.find(needle) {
+        let tail = &rest[at + needle.len()..];
+        let num: String = tail
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == 'E' || *c == '+')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            best = Some(best.map_or(v, |b: f64| b.max(v)));
+        }
+        rest = tail;
+    }
+    best
 }
 
 /// Indents every line of `block` by `indent` spaces (JSON nesting).

@@ -70,7 +70,7 @@ pub use latency::{l1_latency_for_size, LatencyTable};
 pub use mask::CoreMask;
 pub use merge::Merge;
 pub use rng::SplitMix64;
-pub use sync::{install_sigint_cancel, lock_unpoisoned, sigint_count, CancelToken};
+pub use sync::{install_sigint_cancel, lock_unpoisoned, parallel_map, sigint_count, CancelToken};
 
 /// Simulated clock cycles.
 ///

@@ -45,6 +45,9 @@ OPTIONS:
                           scheduling and report speedup
     --fuel-steps N        abort the run after N event-loop steps
                           (forward-progress watchdog)
+    --threads-per-point N worker threads used inside each point to
+                          pre-decode trace streams in parallel
+                          (default 1; never changes results)
     --fuel-cycles N       abort the run once any core passes cycle N
     --deadline-ms N       abort any point still simulating after N
                           wall-clock milliseconds (reported with a
@@ -207,6 +210,9 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             "--fuel-cycles" => {
                 builder = builder.watchdog_cycles(number(&opt, &value(args, &mut i, &opt)?)?)
+            }
+            "--threads-per-point" => {
+                builder = builder.threads_per_point(number(&opt, &value(args, &mut i, &opt)?)?)
             }
             "--deadline-ms" => deadline_ms = Some(number(&opt, &value(args, &mut i, &opt)?)?),
             "--retries" => retries = number(&opt, &value(args, &mut i, &opt)?)?,
@@ -672,6 +678,18 @@ mod tests {
             }
             Command::Help => panic!("expected a run"),
         }
+    }
+
+    #[test]
+    fn threads_per_point_reaches_the_config_and_rejects_zero() {
+        match parse(&["--threads-per-point", "4"]).unwrap() {
+            Command::Run { request, .. } => {
+                assert_eq!(request.config.threads_per_point, 4);
+            }
+            Command::Help => panic!("expected a run"),
+        }
+        let err = parse(&["--threads-per-point", "0"]).unwrap_err();
+        assert!(err.message.contains("at least one"), "got {}", err.message);
     }
 
     #[test]

@@ -359,6 +359,12 @@ pub struct SimConfig {
     pub watchdog: WatchdogConfig,
     /// Deterministic fault injection (none by default).
     pub fault_injection: Option<InjectedFault>,
+    /// Worker threads used *inside* one simulation point to pre-decode
+    /// independent threads' trace streams in parallel (the coherent event
+    /// loop itself stays single-threaded). Must be ≥ 1; the default of 1
+    /// decodes lazily on the simulating thread. Never changes simulated
+    /// results, so it is excluded from the stable run-cache key.
+    pub threads_per_point: usize,
 }
 
 impl SimConfig {
@@ -407,6 +413,7 @@ impl SimConfig {
             seed: 0x5eed,
             watchdog: WatchdogConfig::disabled(),
             fault_injection: None,
+            threads_per_point: 1,
         }
     }
 
@@ -533,6 +540,9 @@ impl SimConfig {
         if self.bloom_bits < 1 {
             return Err(ConfigError::ZeroBloomBits);
         }
+        if self.threads_per_point < 1 {
+            return Err(ConfigError::ZeroThreadsPerPoint);
+        }
         check_cache_shape("l1i", self.l1i_size, self.l1i_assoc)?;
         check_cache_shape("l1d", self.l1d_size, self.l1d_assoc)?;
         check_cache_shape("l2", self.l2_size, self.l2_assoc)?;
@@ -604,6 +614,9 @@ pub enum ConfigError {
     ZeroL2Banks,
     /// `bloom_bits` is zero: remote searches would have no signature.
     ZeroBloomBits,
+    /// `threads_per_point` is zero: every point needs at least the
+    /// simulating thread itself.
+    ZeroThreadsPerPoint,
     /// A cache is configured with zero ways.
     ZeroWayCache {
         /// Which cache field group (`l1i`, `l1d`, or `l2`).
@@ -660,6 +673,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroL2Banks => write!(f, "l2_banks: need at least one L2 bank"),
             ConfigError::ZeroBloomBits => {
                 write!(f, "bloom_bits: bloom signatures need at least one bit")
+            }
+            ConfigError::ZeroThreadsPerPoint => {
+                write!(f, "threads_per_point: a point needs at least one worker thread")
             }
             ConfigError::ZeroWayCache { cache } => {
                 write!(f, "{cache}_assoc: zero-way caches cannot hold blocks")
@@ -738,6 +754,10 @@ impl StableHash for SimConfig {
         self.seed.stable_hash(h);
         self.watchdog.stable_hash(h);
         self.fault_injection.stable_hash(h);
+        // `threads_per_point` is deliberately EXCLUDED: it only parallelizes
+        // trace pre-decoding, never the coherent event loop, so any worker
+        // count produces byte-identical metrics (asserted by the golden
+        // determinism test) and must share a run-cache slot.
     }
 }
 
@@ -939,6 +959,14 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the worker-thread count for intra-point trace pre-decoding
+    /// (validated ≥ 1 by [`SimConfigBuilder::build`]; never changes
+    /// simulated results).
+    pub fn threads_per_point(mut self, threads: usize) -> Self {
+        self.cfg.threads_per_point = threads;
+        self
+    }
+
     /// Sets the RNG seed for stochastic cache policies.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
@@ -1097,6 +1125,20 @@ mod tests {
         assert_ne!(stable_hash_of(&fueled), stable_hash_of(&cycles));
         let faulty = SimConfigBuilder::paper_baseline().inject_fault(InjectedFault::Panic).build().unwrap();
         assert_ne!(stable_hash_of(&base), stable_hash_of(&faulty));
+    }
+
+    #[test]
+    fn threads_per_point_is_validated_and_excluded_from_the_stable_hash() {
+        use slicc_common::stable_hash_of;
+        let err = SimConfigBuilder::paper_baseline().threads_per_point(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroThreadsPerPoint);
+        assert!(err.to_string().contains("threads_per_point"), "got: {err}");
+        // Decode parallelism never changes results, so it must alias into
+        // the same run-cache slot as the single-threaded point.
+        let base = SimConfig::paper_baseline();
+        let wide = SimConfigBuilder::paper_baseline().threads_per_point(8).build().unwrap();
+        assert_eq!(wide.threads_per_point, 8);
+        assert_eq!(stable_hash_of(&base), stable_hash_of(&wide));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 use crate::config::{InjectedFault, SchedulerMode, SimConfig, WatchdogConfig};
 use crate::error::{HotThread, LivelockSnapshot, SimError};
 use crate::metrics::RunMetrics;
+use crate::session::RunSession;
 use crate::system::System;
 use slicc_cache::MissClass;
 use slicc_common::{BlockAddr, CancelToken, CoreId, Cycle, RingFifo, ThreadId, TxnTypeId};
@@ -35,7 +36,7 @@ use slicc_obs::{
     Observation, ThreeC,
 };
 use slicc_core::{CoreMask, MigrationAdvice, ScoutHasher, SliccAgent, TeamFormer, TeamKind, TypeRegistry};
-use slicc_trace::{ThreadTrace, WorkloadSpec};
+use slicc_trace::{Record, ThreadTrace, WorkloadSpec};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
@@ -43,10 +44,18 @@ use std::time::Instant;
 /// Records processed per engine step before re-entering the heap.
 const BATCH: usize = 100;
 
-/// Heap steps between wall-clock deadline checks. Cancellation is a
-/// relaxed atomic load and is checked every step; `Instant::now()` is a
-/// real clock read, so it runs on a coarser (power-of-two) cadence.
-const DEADLINE_CHECK_MASK: u64 = 63;
+/// Records decoded per refill of a thread's reusable ring. Larger than
+/// [`BATCH`] so one refill feeds several heap steps; any value is
+/// semantics-preserving (the ring replays the generator's exact stream).
+const DECODE_BATCH: usize = 256;
+
+/// Heap steps between external-control checks in a controlled session:
+/// the cancellation flag (a relaxed atomic load) and the wall-clock
+/// deadline (a real clock read) are polled together on this power-of-two
+/// cadence, and not at all in a quiescent session. The first check lands
+/// on step 1 so even a 0 ms budget or pre-cancelled token trips
+/// deterministically.
+const CONTROL_CHECK_MASK: u64 = 63;
 
 /// External run control: a cooperative cancellation token plus an
 /// optional wall-clock deadline, checked by the engine's event loop on
@@ -95,22 +104,87 @@ enum ThreadState {
     Done,
 }
 
-struct ThreadRun<'a> {
-    trace: ThreadTrace<'a>,
-    state: ThreadState,
+/// Per-thread scheduler state in struct-of-arrays layout. The event loop
+/// touches different subsets of this state at very different rates — the
+/// decode ring on every record, `ready_at`/`state` on every dispatch
+/// decision, `team`/`is_stray` only at formation — so each concern lives
+/// in its own dense array instead of one padded record per thread, and
+/// the hot arrays stay resident while the cold ones stay out of the way.
+struct Threads<'a> {
+    /// Lazy trace generators, batch-drained into `pending`. Empty when
+    /// `decoded`: every stream was pre-decoded at construction.
+    traces: Vec<ThreadTrace<'a>>,
+    /// Per-thread reusable decode rings (or the whole stream when
+    /// `decoded`). A thread's unconsumed tail survives migration: the
+    /// ring is positional state, not a per-core cache.
+    pending: Vec<Vec<Record>>,
+    /// Consume cursor into each `pending` ring.
+    pos: Vec<usize>,
+    /// Records actually executed per thread (diagnostics; equals the old
+    /// `ThreadTrace::emitted` exactly, which batching would overcount).
+    executed: Vec<u64>,
+    state: Vec<ThreadState>,
     /// Earliest cycle the thread may start at its queued core (migration
     /// arrival or scout completion).
-    ready_at: Cycle,
+    ready_at: Vec<Cycle>,
     /// Local time of the core that completed the thread, when done (for
     /// transaction-latency statistics).
-    completed_at: Option<Cycle>,
+    completed_at: Vec<Option<Cycle>>,
     /// The thread's arrival time (dispatch eligibility).
-    arrived_at: Cycle,
+    arrived_at: Vec<Cycle>,
     /// Cores this thread may run on (team restriction).
-    allowed: CoreMask,
-    team: Option<usize>,
-    cores_visited: CoreMask,
-    is_stray: bool,
+    allowed: Vec<CoreMask>,
+    team: Vec<Option<usize>>,
+    cores_visited: Vec<CoreMask>,
+    is_stray: Vec<bool>,
+    /// Whether every stream was fully pre-decoded (threads_per_point > 1).
+    decoded: bool,
+}
+
+impl Threads<'_> {
+    fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// The next record of thread `t`'s stream, refilling its ring in
+    /// [`DECODE_BATCH`]es. Returns `None` exactly when the lazy
+    /// generator would: the ring changes decode locality, never content.
+    #[inline]
+    fn next_record(&mut self, t: usize) -> Option<Record> {
+        let pos = self.pos[t];
+        if let Some(&rec) = self.pending[t].get(pos) {
+            self.pos[t] = pos + 1;
+            self.executed[t] += 1;
+            return Some(rec);
+        }
+        if self.decoded {
+            return None;
+        }
+        self.pending[t].clear();
+        self.pos[t] = 0;
+        if self.traces[t].fill(&mut self.pending[t], DECODE_BATCH) == 0 {
+            return None;
+        }
+        self.pos[t] = 1;
+        self.executed[t] += 1;
+        Some(self.pending[t][0])
+    }
+}
+
+/// Per-run loop bounds, lowered from [`WatchdogConfig`] and
+/// [`InjectedFault`] once at session start: the inner loop compares the
+/// step counter and the popped core's clock against plain integers
+/// (`MAX` means unarmed) instead of unwrapping `Option`s every step.
+#[derive(Clone, Copy)]
+struct EpochPlan {
+    /// First heap step at which the fuel budget is spent (budget + 1, so
+    /// a budget of N admits exactly N steps; `u64::MAX` when unarmed).
+    fuel_trip: u64,
+    /// Watchdog cycle cap (`Cycle::MAX` when unarmed).
+    cycle_cap: Cycle,
+    /// First heap step at which an injected stall takes over
+    /// (`u64::MAX` when no `StallAt` fault is armed).
+    stall_at: u64,
 }
 
 struct Team {
@@ -126,61 +200,46 @@ struct Team {
 }
 
 /// Runs `spec` on the machine `cfg` describes and returns the metrics.
-///
-/// This is a thin wrapper kept for *custom* [`WorkloadSpec`]s (e.g. the
-/// hand-built scenarios in the test suite). Preset workloads should go
-/// through [`crate::RunRequest`] and [`crate::Runner`], which add
-/// parallel fan-out and run-cache memoization on top of this exact call.
+#[deprecated(note = "use `RunSession::new(spec, cfg)?.run()` instead")]
 pub fn run(spec: &WorkloadSpec, cfg: &SimConfig) -> RunMetrics {
-    try_run(spec, cfg).unwrap_or_else(|e| panic!("{e}"))
+    RunSession::new(spec, cfg)
+        .and_then(RunSession::run)
+        .map(|outcome| outcome.metrics)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Like [`run`], but reports failures — an invalid configuration, a
-/// stalled event loop, an exhausted watchdog fuel budget — as typed
-/// [`SimError`]s instead of panicking. [`crate::Runner`] builds its
-/// per-point fault isolation on this entry point.
+/// Like [`run`], but reports failures as typed [`SimError`]s.
+#[deprecated(note = "use `RunSession::new(spec, cfg)?.run()` instead")]
 pub fn try_run(spec: &WorkloadSpec, cfg: &SimConfig) -> Result<RunMetrics, SimError> {
-    let mut engine = Engine::try_new(spec, cfg)?;
-    engine.try_execute()?;
-    Ok(engine.into_metrics())
+    Ok(RunSession::new(spec, cfg)?.run()?.metrics)
 }
 
-/// Like [`try_run`], but additionally observes the run per `obs`: a
-/// typed event trace and/or an interval time-series (see
-/// [`slicc_obs::ObsConfig`]). Observation never changes simulated
-/// results — the returned metrics are identical to [`try_run`]'s for
-/// the same inputs (the golden tests pin this down).
+/// Like [`try_run`], but additionally observes the run per `obs`.
+#[deprecated(note = "use `RunSession::new(spec, cfg)?.observe(*obs).run()` instead")]
 pub fn try_run_observed(
     spec: &WorkloadSpec,
     cfg: &SimConfig,
     obs: &ObsConfig,
 ) -> Result<(RunMetrics, Observation), SimError> {
-    let mut engine = Engine::try_new_observed(spec, cfg, obs)?;
-    engine.try_execute()?;
-    Ok(engine.into_outcome())
+    // The matrix-era signature promised an Observation even for a
+    // disabled `obs` (an empty one); the session only attaches artifacts
+    // when observation is actually on.
+    let outcome = RunSession::new(spec, cfg)?.observe(*obs).run()?;
+    Ok((outcome.metrics, outcome.obs.unwrap_or_default()))
 }
 
-/// Like [`try_run_observed`], but under external [`RunControl`]: the
-/// event loop additionally honours a cooperative [`CancelToken`] and a
-/// wall-clock deadline on the watchdog cadence. Observation is optional
-/// (`None` when `obs` is disabled), so one entry point serves the runner
-/// for both observed and bare points. Control never changes the metrics
-/// of a run it does not abort.
+/// Like [`try_run_observed`], but under external [`RunControl`].
+#[deprecated(
+    note = "use `RunSession::new(spec, cfg)?.observe(*obs).control(ctrl.clone()).run()` instead"
+)]
 pub fn try_run_controlled(
     spec: &WorkloadSpec,
     cfg: &SimConfig,
     obs: &ObsConfig,
     ctrl: &RunControl,
 ) -> Result<(RunMetrics, Option<Observation>), SimError> {
-    let mut engine = Engine::try_new_observed(spec, cfg, obs)?;
-    engine.set_control(ctrl.clone());
-    engine.try_execute()?;
-    Ok(if obs.enabled() {
-        let (metrics, observation) = engine.into_outcome();
-        (metrics, Some(observation))
-    } else {
-        (engine.into_metrics(), None)
-    })
+    let outcome = RunSession::new(spec, cfg)?.observe(*obs).control(ctrl.clone()).run()?;
+    Ok((outcome.metrics, outcome.obs))
 }
 
 /// Maps the cache crate's miss taxonomy onto the obs crate's mirror.
@@ -199,7 +258,7 @@ pub struct Engine<'a> {
     sys: System,
     spec: &'a WorkloadSpec,
     mode: SchedulerMode,
-    threads: Vec<ThreadRun<'a>>,
+    threads: Threads<'a>,
     queues: Vec<RingFifo<ThreadId>>,
     running: Vec<Option<ThreadId>>,
     agents: Vec<SliccAgent>,
@@ -253,11 +312,13 @@ pub struct Engine<'a> {
     vacated_seq: Vec<u64>,
     watchdog: WatchdogConfig,
     fault: Option<InjectedFault>,
-    /// Cooperative stop flag, checked once per heap step (a relaxed
-    /// atomic load; the default token is never cancelled).
+    /// Whether external control is armed. Selects the controlled loop
+    /// body; the quiescent body never touches `cancel` or `deadline`.
+    controlled: bool,
+    /// Cooperative stop flag, polled every `CONTROL_CHECK_MASK + 1` heap
+    /// steps in a controlled session (a relaxed atomic load).
     cancel: CancelToken,
-    /// Absolute wall-clock deadline, checked every
-    /// `DEADLINE_CHECK_MASK + 1` heap steps.
+    /// Absolute wall-clock deadline, polled on the same cadence.
     deadline: Option<Instant>,
     /// Typed event trace (a disabled no-op sink unless the run is
     /// observed with event tracing on; see [`slicc_obs::ObsConfig`]).
@@ -285,12 +346,24 @@ impl<'a> Engine<'a> {
     /// Builds the engine, rejecting invalid configurations as typed
     /// errors instead of panicking.
     pub fn try_new(spec: &'a WorkloadSpec, cfg: &SimConfig) -> Result<Self, SimError> {
-        Engine::try_new_observed(spec, cfg, &ObsConfig::disabled())
+        Engine::try_new_with(spec, cfg, &ObsConfig::disabled())
     }
 
     /// Like [`Engine::try_new`], but arms the observability layer per
     /// `obs`. The disabled default costs nothing (see `slicc-obs`).
+    #[deprecated(note = "use `RunSession::new(spec, cfg)?.observe(*obs)` instead")]
     pub fn try_new_observed(
+        spec: &'a WorkloadSpec,
+        cfg: &SimConfig,
+        obs: &ObsConfig,
+    ) -> Result<Self, SimError> {
+        Engine::try_new_with(spec, cfg, obs)
+    }
+
+    /// Shared construction behind [`Engine::try_new`] and
+    /// [`RunSession::run`]: builds the system, decodes or stages every
+    /// thread trace, runs the scout phase (SLICC-Pp), and forms teams.
+    pub(crate) fn try_new_with(
         spec: &'a WorkloadSpec,
         cfg: &SimConfig,
         obs: &ObsConfig,
@@ -304,21 +377,43 @@ impl<'a> Engine<'a> {
             exec_cores.remove(s);
         }
 
-        let threads: Vec<ThreadRun<'a>> = spec
-            .threads()
-            .map(|t| ThreadRun {
-                trace: spec.thread_trace(t),
-                state: ThreadState::Pending,
-                // Transactions arrive spaced out, not in lockstep.
-                ready_at: t.raw() as Cycle * cfg.arrival_stagger_cycles,
-                completed_at: None,
-                arrived_at: t.raw() as Cycle * cfg.arrival_stagger_cycles,
-                allowed: exec_cores,
-                team: None,
-                cores_visited: CoreMask::empty(),
-                is_stray: false,
-            })
-            .collect();
+        let thread_ids: Vec<ThreadId> = spec.threads().collect();
+        let total = thread_ids.len();
+        let decoded = cfg.threads_per_point > 1;
+        let (traces, pending) = if decoded {
+            // Intra-point parallelism: independent threads' streams are
+            // pure functions of (spec, thread id), so pre-decoding them
+            // across workers is free of scheduling nondeterminism — any
+            // worker count yields byte-identical records, and the
+            // coherent event loop below stays single-threaded.
+            let full = slicc_common::parallel_map(total, cfg.threads_per_point, |i| {
+                spec.thread_trace(thread_ids[i]).collect::<Vec<Record>>()
+            });
+            (Vec::new(), full)
+        } else {
+            (
+                thread_ids.iter().map(|&t| spec.thread_trace(t)).collect(),
+                vec![Vec::new(); total],
+            )
+        };
+        // Transactions arrive spaced out, not in lockstep.
+        let arrivals: Vec<Cycle> =
+            thread_ids.iter().map(|t| t.raw() as Cycle * cfg.arrival_stagger_cycles).collect();
+        let threads = Threads {
+            traces,
+            pending,
+            pos: vec![0; total],
+            executed: vec![0; total],
+            state: vec![ThreadState::Pending; total],
+            ready_at: arrivals.clone(),
+            completed_at: vec![None; total],
+            arrived_at: arrivals,
+            allowed: vec![exec_cores; total],
+            team: vec![None; total],
+            cores_visited: vec![CoreMask::empty(); total],
+            is_stray: vec![false; total],
+            decoded,
+        };
 
         let pool_limit = match mode {
             SchedulerMode::Baseline => n,
@@ -371,6 +466,7 @@ impl<'a> Engine<'a> {
             vacated_seq: vec![0; n],
             watchdog: cfg.watchdog,
             fault: cfg.fault_injection,
+            controlled: false,
             cancel: CancelToken::new(),
             deadline: None,
             sink: if obs.events {
@@ -413,8 +509,8 @@ impl<'a> Engine<'a> {
             mask.insert(core);
             let team_idx = self.teams.len();
             for &m in &plan.members {
-                self.threads[m.index()].team = Some(team_idx);
-                self.threads[m.index()].allowed = mask;
+                self.threads.team[m.index()] = Some(team_idx);
+                self.threads.allowed[m.index()] = mask;
             }
             self.teams.push(Team {
                 members: plan.members,
@@ -448,7 +544,7 @@ impl<'a> Engine<'a> {
             let mut hasher = ScoutHasher::new(budget);
             let mut signature = None;
             while signature.is_none() {
-                let Some(rec) = self.threads[idx].trace.next() else {
+                let Some(rec) = self.threads.next_record(idx) else {
                     break;
                 };
                 self.sys.timer_mut(scout).retire_instruction();
@@ -466,7 +562,8 @@ impl<'a> Engine<'a> {
                 signature = hasher.observe(BlockAddr::new(token));
             }
             let detected = registry.type_for(signature.unwrap_or(0x5c007 ^ idx as u64));
-            self.threads[idx].ready_at = self.threads[idx].ready_at.max(self.sys.timer(scout).now());
+            self.threads.ready_at[idx] =
+                self.threads.ready_at[idx].max(self.sys.timer(scout).now());
             out.push((tid, detected));
         }
         out
@@ -479,14 +576,14 @@ impl<'a> Engine<'a> {
         for plan in former.form_teams(types) {
             if plan.kind == TeamKind::Stray {
                 for &m in &plan.members {
-                    self.threads[m.index()].is_stray = true;
+                    self.threads.is_stray[m.index()] = true;
                     self.strays.push(m);
                 }
                 continue;
             }
             let team_idx = self.teams.len();
             for &m in &plan.members {
-                self.threads[m.index()].team = Some(team_idx);
+                self.threads.team[m.index()] = Some(team_idx);
             }
             self.teams.push(Team {
                 members: plan.members,
@@ -514,10 +611,31 @@ impl<'a> Engine<'a> {
     }
 
     /// Arms external run control (see [`RunControl`]): cancellation and
-    /// deadline checks join the watchdog on the event-loop cadence.
+    /// deadline checks join the event loop on the control cadence.
+    #[deprecated(note = "use `RunSession::new(spec, cfg)?.control(ctrl)` instead")]
     pub fn set_control(&mut self, ctrl: RunControl) {
+        self.attach_control(ctrl);
+    }
+
+    /// Arms external run control and switches the engine onto the
+    /// controlled loop body (the session's `.control()` lowers to this).
+    pub(crate) fn attach_control(&mut self, ctrl: RunControl) {
+        self.controlled = true;
         self.cancel = ctrl.cancel;
         self.deadline = ctrl.deadline;
+    }
+
+    /// Lowers the run configuration into plain loop bounds (see
+    /// [`EpochPlan`]).
+    fn epoch_plan(&self) -> EpochPlan {
+        EpochPlan {
+            fuel_trip: self.watchdog.max_heap_steps.map_or(u64::MAX, |b| b.saturating_add(1)),
+            cycle_cap: self.watchdog.max_cycles.unwrap_or(Cycle::MAX),
+            stall_at: match self.fault {
+                Some(InjectedFault::StallAt { step }) => step,
+                _ => u64::MAX,
+            },
+        }
     }
 
     /// Runs the event loop to completion, reporting a stalled loop, an
@@ -528,9 +646,21 @@ impl<'a> Engine<'a> {
     /// state accessors still work, which is what lets the livelock
     /// snapshot describe the stuck machine.
     pub fn try_execute(&mut self) -> Result<(), SimError> {
+        // Quiescent-mode specialization: each arm monomorphizes its own
+        // loop body, so an uncontrolled session compiles to a loop with
+        // no atomic loads, no clock reads, and no `Option` unwraps.
+        if self.controlled {
+            self.run_loop::<true>()
+        } else {
+            self.run_loop::<false>()
+        }
+    }
+
+    fn run_loop<const CONTROLLED: bool>(&mut self) -> Result<(), SimError> {
         if let Some(InjectedFault::Panic) = self.fault {
             panic!("injected fault: panic on execute (SimConfig::fault_injection)");
         }
+        let plan = self.epoch_plan();
         let total = self.threads.len();
         let mut heap_steps: u64 = 0;
         self.try_dispatch();
@@ -547,34 +677,38 @@ impl<'a> Engine<'a> {
                 });
             };
             heap_steps += 1;
-            if self.fuel_exhausted(heap_steps, core) {
+            // Watchdog fuel: a heap-step budget of N admits exactly N
+            // steps (so zero trips immediately); the cycle cap compares
+            // the popped core's local clock, which is the global
+            // progress floor under the min-heap discipline.
+            if heap_steps >= plan.fuel_trip || self.sys.timer(core).now() > plan.cycle_cap {
                 if self.sink.is_enabled() {
                     let now = self.sys.timer(core).now();
                     self.sink.record(core, now, EventKind::WatchdogFired { heap_steps });
                 }
                 return Err(SimError::Livelock(Box::new(self.livelock_snapshot(heap_steps, core))));
             }
-            if self.cancel.is_cancelled() {
-                return Err(SimError::Cancelled(Box::new(self.livelock_snapshot(heap_steps, core))));
-            }
-            if let Some(deadline) = self.deadline {
-                // The first check lands on step 1 so even tiny budgets
-                // (0 ms in tests) trip deterministically.
-                if heap_steps & DEADLINE_CHECK_MASK == 1 && Instant::now() >= deadline {
-                    return Err(SimError::DeadlineExceeded(Box::new(
+            if CONTROLLED && heap_steps & CONTROL_CHECK_MASK == 1 {
+                if self.cancel.is_cancelled() {
+                    return Err(SimError::Cancelled(Box::new(
                         self.livelock_snapshot(heap_steps, core),
                     )));
                 }
-            }
-            if let Some(InjectedFault::StallAt { step }) = self.fault {
-                if heap_steps >= step {
-                    // Forward progress stops: re-queue the core at its
-                    // current time without executing, so the loop spins
-                    // until the watchdog or a deadline puts it down.
-                    let now = self.sys.timer(core).now();
-                    self.push_core(core, now);
-                    continue;
+                if let Some(deadline) = self.deadline {
+                    if Instant::now() >= deadline {
+                        return Err(SimError::DeadlineExceeded(Box::new(
+                            self.livelock_snapshot(heap_steps, core),
+                        )));
+                    }
                 }
+            }
+            if heap_steps >= plan.stall_at {
+                // Injected stall: re-queue the core at its current time
+                // without executing, so the loop spins until the
+                // watchdog or a deadline puts it down.
+                let now = self.sys.timer(core).now();
+                self.push_core(core, now);
+                continue;
             }
             self.step(core);
             // Epoch sampling off the popped core's clock: under the
@@ -591,29 +725,17 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
-    /// Whether the watchdog's fuel budget is spent. A budget of N heap
-    /// steps admits exactly N steps (so zero trips immediately); the
-    /// cycle bound compares against the popped core's local clock, which
-    /// is the global progress floor under the min-heap discipline.
-    fn fuel_exhausted(&self, heap_steps: u64, core: CoreId) -> bool {
-        self.watchdog.max_heap_steps.is_some_and(|budget| heap_steps > budget)
-            || self.watchdog.max_cycles.is_some_and(|budget| self.sys.timer(core).now() > budget)
-    }
-
     /// Captures the machine's state for the [`SimError::Livelock`]
     /// diagnostic: queue depths, migration counters, and the unfinished
     /// thread that has executed the most instructions.
     fn livelock_snapshot(&self, heap_steps: u64, core: CoreId) -> LivelockSnapshot {
-        let hottest_thread = self
-            .threads
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| t.state != ThreadState::Done && t.trace.emitted() > 0)
-            .max_by_key(|(idx, t)| (t.trace.emitted(), std::cmp::Reverse(*idx)))
-            .map(|(idx, t)| HotThread {
-                thread: idx as u32,
-                instructions: t.trace.emitted(),
-                cores_visited: t.cores_visited.len() as usize,
+        let hottest_thread = (0..self.threads.len())
+            .filter(|&t| self.threads.state[t] != ThreadState::Done && self.threads.executed[t] > 0)
+            .max_by_key(|&t| (self.threads.executed[t], std::cmp::Reverse(t)))
+            .map(|t| HotThread {
+                thread: t as u32,
+                instructions: self.threads.executed[t],
+                cores_visited: self.threads.cores_visited[t].len() as usize,
             });
         LivelockSnapshot {
             heap_steps,
@@ -685,7 +807,7 @@ impl<'a> Engine<'a> {
             let at = self.sys.timer(core).now();
             self.push_core(core, at);
         } else if let Some(&tid) = self.queues[c].front() {
-            let at = self.sys.timer(core).now().max(self.threads[tid.index()].ready_at);
+            let at = self.sys.timer(core).now().max(self.threads.ready_at[tid.index()]);
             self.push_core(core, at);
         }
     }
@@ -701,7 +823,7 @@ impl<'a> Engine<'a> {
         let t = tid.index();
 
         for _ in 0..BATCH {
-            let Some(rec) = self.threads[t].trace.next() else {
+            let Some(rec) = self.threads.next_record(t) else {
                 self.complete_thread(core, tid);
                 break;
             };
@@ -820,10 +942,10 @@ impl<'a> Engine<'a> {
             },
         };
         let t = tid.index();
-        let ready = self.threads[t].ready_at;
+        let ready = self.threads.ready_at[t];
         self.sys.timer_mut(core).idle_until(ready);
-        self.threads[t].state = ThreadState::Running;
-        self.threads[t].cores_visited.insert(core);
+        self.threads.state[t] = ThreadState::Running;
+        self.threads.cores_visited[t].insert(core);
         self.running[c] = Some(tid);
         self.last_iblock[c] = None;
         self.last_segment[c] = None;
@@ -840,7 +962,7 @@ impl<'a> Engine<'a> {
     fn try_migrate(&mut self, core: CoreId, tid: ThreadId) -> bool {
         let c = core.index();
         let advice = self.agents[c].advice();
-        let allowed = self.threads[tid.index()].allowed;
+        let allowed = self.threads.allowed[tid.index()];
         let (target, matched) = match advice {
             MigrationAdvice::Stay => (None, false),
             MigrationAdvice::Migrate(mask) => {
@@ -873,7 +995,7 @@ impl<'a> Engine<'a> {
                 from: core,
                 to: target,
                 at: self.sys.timer(core).now(),
-                thread_instructions: self.threads[tid.index()].trace.emitted(),
+                thread_instructions: self.threads.executed[tid.index()],
                 matched,
             });
         }
@@ -900,8 +1022,8 @@ impl<'a> Engine<'a> {
         }
         self.sys.timer_mut(core).migration(self.steps_switch_cycles);
         let t = tid.index();
-        self.threads[t].state = ThreadState::Queued;
-        self.threads[t].ready_at = self.sys.timer(core).now();
+        self.threads.state[t] = ThreadState::Queued;
+        self.threads.ready_at[t] = self.sys.timer(core).now();
         self.queues[c].push(tid);
         self.agents[c].on_thread_departed();
         self.running[c] = None;
@@ -954,7 +1076,7 @@ impl<'a> Engine<'a> {
                 self.running[v.index()].is_some()
                     && self.queues[v.index()]
                         .back()
-                        .is_some_and(|&t| self.threads[t.index()].allowed.contains(thief))
+                        .is_some_and(|&t| self.threads.allowed[t.index()].contains(thief))
             })
             .max_by_key(|&v| (self.queues[v.index()].len(), v.index()))?;
         // Take the back (newest) entry: the head may already be waiting
@@ -982,8 +1104,8 @@ impl<'a> Engine<'a> {
         self.migrations += 1;
 
         let t = tid.index();
-        self.threads[t].state = ThreadState::Queued;
-        self.threads[t].ready_at = ready;
+        self.threads.state[t] = ThreadState::Queued;
+        self.threads.ready_at[t] = ready;
         self.queues[to.index()].push(tid);
         self.agents[from.index()].on_thread_departed();
         self.running[from.index()] = None;
@@ -1020,8 +1142,8 @@ impl<'a> Engine<'a> {
     fn complete_thread(&mut self, core: CoreId, tid: ThreadId) {
         let c = core.index();
         let t = tid.index();
-        self.threads[t].state = ThreadState::Done;
-        self.threads[t].completed_at = Some(self.sys.timer(core).now());
+        self.threads.state[t] = ThreadState::Done;
+        self.threads.completed_at[t] = Some(self.sys.timer(core).now());
         if self.sink.is_enabled() {
             let now = self.sys.timer(core).now();
             self.sink.record(core, now, EventKind::ThreadComplete { thread: tid.raw() });
@@ -1042,7 +1164,7 @@ impl<'a> Engine<'a> {
                 self.mark_vacated(core);
             }
         }
-        if let Some(team_idx) = self.threads[t].team {
+        if let Some(team_idx) = self.threads.team[t] {
             let team = &mut self.teams[team_idx];
             team.done_members += 1;
             if team.done_members == team.members.len() {
@@ -1069,12 +1191,12 @@ impl<'a> Engine<'a> {
     fn enqueue(&mut self, tid: ThreadId, core: CoreId) {
         debug_assert!(!self.queue_full(core));
         let t = tid.index();
-        debug_assert_eq!(self.threads[t].state, ThreadState::Pending);
-        self.threads[t].state = ThreadState::Queued;
+        debug_assert_eq!(self.threads.state[t], ThreadState::Pending);
+        self.threads.state[t] = ThreadState::Queued;
         self.queues[core.index()].push(tid);
         self.refresh_core_sets(core);
         self.in_flight += 1;
-        let ready = self.threads[t].ready_at;
+        let ready = self.threads.ready_at[t];
         if self.running[core.index()].is_none() && self.queues[core.index()].len() == 1 {
             let wake = self.sys.timer(core).now().max(ready);
             self.push_core(core, wake);
@@ -1165,7 +1287,7 @@ impl<'a> Engine<'a> {
                 let tid = team.members[team.next_member];
                 let (lead, cores) = (team.lead, team.cores);
                 self.teams[team_idx].next_member += 1;
-                self.threads[tid.index()].allowed = cores;
+                self.threads.allowed[tid.index()] = cores;
                 self.enqueue(tid, lead);
             }
         }
@@ -1177,7 +1299,7 @@ impl<'a> Engine<'a> {
             };
             let tid = self.strays[self.stray_cursor];
             self.stray_cursor += 1;
-            self.threads[tid.index()].allowed = self.exec_cores;
+            self.threads.allowed[tid.index()] = self.exec_cores;
             self.enqueue(tid, core);
         }
     }
@@ -1244,13 +1366,15 @@ impl<'a> Engine<'a> {
         self.sys.collect_metrics(&mut out);
         let n_threads = self.threads.len().max(1) as f64;
         out.mean_cores_per_thread =
-            self.threads.iter().map(|t| t.cores_visited.len() as f64).sum::<f64>() / n_threads;
+            self.threads.cores_visited.iter().map(|v| v.len() as f64).sum::<f64>() / n_threads;
         out.stray_fraction = self.strays.len() as f64 / n_threads;
         // Transaction latency: arrival to completion.
         let mut latencies: Vec<Cycle> = self
             .threads
+            .completed_at
             .iter()
-            .filter_map(|t| t.completed_at.map(|done| done.saturating_sub(t.arrived_at)))
+            .zip(&self.threads.arrived_at)
+            .filter_map(|(done, &arrived)| done.map(|d| d.saturating_sub(arrived)))
             .collect();
         latencies.sort_unstable();
         if !latencies.is_empty() {

@@ -44,9 +44,10 @@
 //!
 //! Configurations are built through [`SimConfigBuilder`], which validates
 //! cross-field invariants and reports violations as typed
-//! [`ConfigError`]s. The free function [`run`] remains as a thin wrapper
-//! for custom [`slicc_trace::WorkloadSpec`]s that no preset
-//! [`slicc_trace::Workload`] describes.
+//! [`ConfigError`]s. Custom [`slicc_trace::WorkloadSpec`]s that no preset
+//! [`slicc_trace::Workload`] describes run through a [`RunSession`]
+//! (`RunSession::new(&spec, &cfg)?.run()`), the single engine entry
+//! point that composes control and observation at the boundary.
 
 pub mod checkpoint;
 pub mod config;
@@ -54,6 +55,7 @@ pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod runner;
+pub mod session;
 pub mod system;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointLoad, OpenedCheckpoint};
@@ -61,10 +63,12 @@ pub use config::{
     ConfigError, DeadlineConfig, InjectedFault, SchedulerMode, SimConfig, SimConfigBuilder,
     WatchdogConfig,
 };
+#[allow(deprecated)] // one-release shims stay reachable at the old paths
 pub use engine::{run, try_run, try_run_observed, Engine, MigrationEvent, RunControl};
 pub use error::{HotThread, LivelockSnapshot, PointSummary, RunError, SimError};
 pub use metrics::RunMetrics;
 pub use runner::{RetryPolicy, RunRequest, RunResult, Runner, RunnerStats};
+pub use session::{RunOutcome, RunSession};
 pub use system::System;
 
 // The observability vocabulary, re-exported so binaries and tests reach

@@ -51,9 +51,10 @@
 
 use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointLoad};
 use crate::config::{DeadlineConfig, SchedulerMode, SimConfig};
-use crate::engine::{self, RunControl};
+use crate::engine::RunControl;
 use crate::error::{PointSummary, RunError, SimError};
 use crate::metrics::RunMetrics;
+use crate::session::{RunOutcome, RunSession};
 use slicc_common::{lock_unpoisoned, ArtifactIo, CancelToken, StableHash, StableHasher};
 use slicc_obs::{ObsConfig, Observation, ProgressEvent, Reporter, WarningsOnlyReporter};
 use slicc_trace::{TraceScale, Workload, WorkloadSpec};
@@ -209,11 +210,22 @@ impl RunRequest {
     /// Honours the request's own [`DeadlineConfig`]; external
     /// cancellation needs [`RunRequest::try_execute_controlled`].
     pub fn try_execute_with_spec(&self, spec: &WorkloadSpec) -> Result<RunResult, SimError> {
-        let ctrl = RunControl {
-            cancel: CancelToken::new(),
-            deadline: self.deadline.budget().map(|b| Instant::now() + b),
-        };
-        self.try_execute_controlled(spec, &ctrl)
+        match self.deadline.budget() {
+            // Nothing can interrupt this point, so run the quiescent
+            // session: its loop body polls no control state at all.
+            None => {
+                let started = Instant::now();
+                let outcome = RunSession::new(spec, &self.config)?.observe(self.obs).run()?;
+                Ok(RunResult::of(outcome, started))
+            }
+            Some(budget) => {
+                let ctrl = RunControl {
+                    cancel: CancelToken::new(),
+                    deadline: Some(Instant::now() + budget),
+                };
+                self.try_execute_controlled(spec, &ctrl)
+            }
+        }
     }
 
     /// [`RunRequest::try_execute_with_spec`] under explicit external
@@ -226,10 +238,9 @@ impl RunRequest {
         ctrl: &RunControl,
     ) -> Result<RunResult, SimError> {
         let started = Instant::now();
-        let (metrics, obs) = engine::try_run_controlled(spec, &self.config, &self.obs, ctrl)?;
-        let wall = started.elapsed();
-        let sim_ips = if wall.as_secs_f64() > 0.0 { metrics.instructions as f64 / wall.as_secs_f64() } else { 0.0 };
-        Ok(RunResult { metrics, wall, sim_ips, from_cache: false, obs, attempts: 1 })
+        let outcome =
+            RunSession::new(spec, &self.config)?.observe(self.obs).control(ctrl.clone()).run()?;
+        Ok(RunResult::of(outcome, started))
     }
 }
 
@@ -257,6 +268,28 @@ pub struct RunResult {
     /// like [`RunResult::from_cache`]: not persisted by the checkpoint
     /// codec — decoded results report 1.
     pub attempts: u32,
+}
+
+impl RunResult {
+    /// Wraps a freshly-run session outcome with the runner-level
+    /// bookkeeping: wall time since `started`, derived sim-ips, and the
+    /// fresh-run defaults for cache/attempt metadata.
+    fn of(outcome: RunOutcome, started: Instant) -> RunResult {
+        let wall = started.elapsed();
+        let sim_ips = if wall.as_secs_f64() > 0.0 {
+            outcome.metrics.instructions as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        RunResult {
+            metrics: outcome.metrics,
+            wall,
+            sim_ips,
+            from_cache: false,
+            obs: outcome.obs,
+            attempts: 1,
+        }
+    }
 }
 
 /// How the [`Runner`] re-attempts failed points.

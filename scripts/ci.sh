@@ -8,6 +8,21 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
+# API-freeze lane: the deprecated engine entry points exist for one
+# release as shims; no in-tree code may grow new uses. The shims
+# themselves (engine.rs) and the golden equivalence tests that pin
+# shim == session are the only legitimate mentions.
+if grep -rnE '\b(try_run_observed|try_run_controlled|try_new_observed|set_control)\b' \
+    --include='*.rs' crates tests examples \
+    | grep -v 'crates/sim/src/engine.rs' \
+    | grep -v 'crates/sim/src/session.rs' \
+    | grep -v 'crates/sim/src/lib.rs' \
+    | grep -v 'tests/golden.rs'; then
+    echo "deprecated engine entry points used in-tree: migrate to RunSession" >&2
+    exit 1
+fi
+echo "API-freeze lane ok (no new uses of deprecated entry points)"
+
 # Obs-off lane: with event capture compiled out the golden digests must
 # still be byte-identical — observability is zero-cost AND zero-effect.
 cargo test -p slicc-sim --no-default-features --test golden -q
@@ -75,4 +90,54 @@ doc = json.load(open("BENCH_sim.json"))
 assert doc["schema"] == 1, "unknown BENCH_sim.json schema"
 assert doc["sim_ips_speedup"] > 0, "tracked baseline lacks a speedup figure"
 print(f"BENCH_sim.json ok (tracked speedup {doc['sim_ips_speedup']}x)")
+EOF
+
+# Bench-regression gate: the tracked BENCH_sim.json is a before/after
+# document; the recorded "after" may not regress against its recorded
+# "before" beyond noise. Three rules: aggregate sim-ips speedup >= 0.97,
+# no *micro* row more than 10% slower than its before counterpart, and
+# the dedicated hot-path row — cache/access/LRU — at or under its
+# 35 ns/iter budget (the pre-resilience level).
+#
+# The 10% per-row rule applies only to sub-microsecond rows (the
+# steady structure benches: cache and L2 access). The engine/tiny rows
+# are single ~20 ms whole-engine wall-clock runs — far too noisy for a
+# 10% gate (a flaky gate gets ignored, which is how the last
+# regression slipped through) — and what they proxy is exactly what
+# the aggregate-speedup rule already measures over 5-sample medians.
+python3 - <<'EOF'
+import json, sys
+doc = json.load(open("BENCH_sim.json"))
+after = doc["after"]
+before = doc["before"]
+# A re-benched file nests the previous before/after document whole;
+# compare against its "after" side (the previous generation's result).
+if "after" in before:
+    before = before["after"]
+
+failures = []
+speedup = doc["sim_ips_speedup"]
+if speedup < 0.97:
+    failures.append(f"aggregate sim-ips speedup {speedup} < 0.97")
+
+b_micro = before.get("micro_ns_per_iter", {})
+a_micro = after.get("micro_ns_per_iter", {})
+MICRO_NS_CEILING = 1_000.0  # see the lane comment: sub-us rows only
+for name, a_ns in sorted(a_micro.items()):
+    b_ns = b_micro.get(name)
+    if b_ns and a_ns <= MICRO_NS_CEILING and a_ns > b_ns * 1.10:
+        failures.append(f"micro {name}: {a_ns} ns/iter > 1.10x before ({b_ns})")
+
+lru = a_micro.get("cache/access/LRU")
+if lru is None:
+    failures.append("micro cache/access/LRU row missing from BENCH_sim.json")
+elif lru > 35.0:
+    failures.append(f"cache/access/LRU {lru} ns/iter over its 35 ns budget")
+
+if failures:
+    print("bench-regression gate failed:", file=sys.stderr)
+    for f in failures:
+        print(f"  - {f}", file=sys.stderr)
+    sys.exit(1)
+print(f"bench-regression gate ok (speedup {speedup}x, LRU {lru} ns/iter)")
 EOF

@@ -287,6 +287,52 @@ fn cancellation_stops_new_work_but_keeps_everything_banked() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Session-level drill: cancellation and deadlines delivered straight
+/// through [`slicc_sim::RunSession::control`] abort with diagnostic
+/// snapshots, and the abort is contained — the same spec re-runs
+/// quiescently afterwards with byte-identical healthy metrics.
+#[test]
+fn run_session_cancel_and_deadline_drills_abort_cleanly_and_are_contained() {
+    use slicc_common::CancelToken;
+    use slicc_sim::{RunControl, RunSession, SimError};
+    use std::time::Instant;
+
+    let spec = Workload::TpcC1.spec(TraceScale::tiny());
+    let cfg = SimConfig::tiny_test();
+    let reference = RunSession::new(&spec, &cfg)
+        .expect("valid config")
+        .run()
+        .expect("healthy run completes")
+        .metrics
+        .digest();
+
+    // Cancel drill: a token cancelled before the run starts must trip on
+    // the session's very first control check, with a usable snapshot.
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let ctrl = RunControl { cancel, deadline: None };
+    match RunSession::new(&spec, &cfg).unwrap().control(ctrl).run() {
+        Err(SimError::Cancelled(snap)) => {
+            assert!(snap.heap_steps > 0, "the snapshot must show where it stopped");
+        }
+        other => panic!("expected Cancelled, got {:?}", other.err()),
+    }
+
+    // Deadline drill: an already-expired deadline aborts the same way.
+    let ctrl = RunControl { cancel: CancelToken::new(), deadline: Some(Instant::now()) };
+    match RunSession::new(&spec, &cfg).unwrap().control(ctrl).run() {
+        Err(SimError::DeadlineExceeded(snap)) => {
+            assert!(snap.heap_steps > 0, "the snapshot must show where it stopped");
+        }
+        other => panic!("expected DeadlineExceeded, got {:?}", other.err()),
+    }
+
+    // Containment: the aborted runs leave no residue — a fresh quiescent
+    // session still produces the healthy digest.
+    let again = RunSession::new(&spec, &cfg).unwrap().run().unwrap().metrics.digest();
+    assert_eq!(again, reference, "an aborted session must not change later runs");
+}
+
 // ---------------------------------------------------------------------
 // CLI half of the matrix: documented exit codes, end to end.
 // ---------------------------------------------------------------------

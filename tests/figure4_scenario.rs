@@ -12,8 +12,14 @@
 //! (T1 returning to A hits the core that still caches A), inter-thread
 //! reuse (T2 reuses the blocks T1 loaded), and collective assembly.
 
-use slicc_sim::{run, Engine, SchedulerMode, SimConfig};
+use slicc_sim::{Engine, RunMetrics, RunSession, SchedulerMode, SimConfig};
 use slicc_trace::{TraceScale, WorkloadBuilder, WorkloadSpec};
+
+/// Runs one point through the session API, panicking on any error (these
+/// scenarios are hand-crafted and must always complete).
+fn run(spec: &WorkloadSpec, cfg: &SimConfig) -> RunMetrics {
+    RunSession::new(spec, cfg).expect("valid config").run().expect("scenario completes").metrics
+}
 
 /// Segment size in blocks: fits the 4 KiB (64-block) test L1-I; two do
 /// not fit together.

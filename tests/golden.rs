@@ -8,7 +8,7 @@
 //! change lands, re-capture with `cargo test --test golden -- --nocapture`
 //! and update the table in the same commit that changes the model.
 
-use slicc_sim::{RunRequest, SchedulerMode, SimConfig};
+use slicc_sim::{ObsConfig, RunControl, RunRequest, RunSession, SchedulerMode, SimConfig};
 use slicc_trace::{TraceScale, Workload};
 
 /// Pre-optimization digests of the full metrics struct, one per mode, on
@@ -52,4 +52,65 @@ fn digest_is_stable_across_runs_and_sensitive_to_results() {
     let b = digest_of(SchedulerMode::Slicc);
     assert_eq!(a, b, "same point must digest identically");
     assert_ne!(a, digest_of(SchedulerMode::Baseline), "different runs must differ");
+}
+
+/// The [`RunSession`] API and the deprecated one-release shims must
+/// simulate the same machine: every composition (quiescent, observed,
+/// controlled-but-never-fired) reproduces the golden digest in every
+/// mode. This is the equivalence contract that lets the shims delegate.
+#[test]
+#[allow(deprecated)] // the point of this test is shim equivalence
+fn run_session_compositions_match_the_deprecated_entry_points_in_every_mode() {
+    for (mode, want) in GOLDEN {
+        let spec = Workload::TpcC1.spec(TraceScale::tiny());
+        let cfg = SimConfig::tiny_test().with_mode(mode);
+
+        let quiescent =
+            RunSession::new(&spec, &cfg).unwrap().run().unwrap().metrics.digest();
+        let observed = RunSession::new(&spec, &cfg)
+            .unwrap()
+            .observe(ObsConfig::disabled().with_events().with_epochs(1_000))
+            .run()
+            .unwrap()
+            .metrics
+            .digest();
+        let controlled = RunSession::new(&spec, &cfg)
+            .unwrap()
+            .control(RunControl::unbounded())
+            .run()
+            .unwrap()
+            .metrics
+            .digest();
+        let shim_run = slicc_sim::run(&spec, &cfg).digest();
+        let shim_try = slicc_sim::try_run(&spec, &cfg).unwrap().digest();
+        let shim_observed = slicc_sim::try_run_observed(&spec, &cfg, &ObsConfig::disabled())
+            .unwrap()
+            .0
+            .digest();
+
+        for (what, got) in [
+            ("quiescent session", quiescent),
+            ("observed session", observed),
+            ("controlled session", controlled),
+            ("deprecated run", shim_run),
+            ("deprecated try_run", shim_try),
+            ("deprecated try_run_observed", shim_observed),
+        ] {
+            assert_eq!(got, want, "{mode:?}: {what} drifted from the golden digest");
+        }
+    }
+}
+
+/// `threads_per_point` parallelizes trace *decoding*, never the
+/// simulation itself: a multi-threaded point must be byte-identical to
+/// its single-threaded twin (and to the golden capture) in every mode.
+#[test]
+fn threads_per_point_never_changes_simulated_results() {
+    for (mode, want) in GOLDEN {
+        let spec = Workload::TpcC1.spec(TraceScale::tiny());
+        let mut cfg = SimConfig::tiny_test().with_mode(mode);
+        cfg.threads_per_point = 4;
+        let wide = RunSession::new(&spec, &cfg).unwrap().run().unwrap().metrics.digest();
+        assert_eq!(wide, want, "{mode:?}: 4 decode threads drifted from the golden digest");
+    }
 }

@@ -7,10 +7,16 @@
 
 use proptest::prelude::*;
 use slicc_common::ThreadId;
-use slicc_sim::{run, SchedulerMode, SimConfig};
+use slicc_sim::{RunMetrics, RunSession, SchedulerMode, SimConfig};
 use slicc_trace::{
     CodeParams, CodePool, DataParams, DataPattern, TraceScale, TypeSpec, Workload, WorkloadSpec,
 };
+
+/// Runs one point through the session API, panicking on any error (the
+/// generated workloads are structurally valid by construction).
+fn run(spec: &WorkloadSpec, cfg: &SimConfig) -> RunMetrics {
+    RunSession::new(spec, cfg).expect("valid config").run().expect("point completes").metrics
+}
 
 /// Builds a small but structurally valid random workload.
 fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
