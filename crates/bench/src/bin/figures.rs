@@ -3,7 +3,7 @@
 //! ```text
 //! figures [EXPERIMENT ...] [--scale small|paper] [--jobs N] [--checkpoint PATH]
 //!         [--progress quiet|plain|json] [--deadline-ms N] [--retries N]
-//!         [--out PATH]
+//!         [--cache-bytes N] [--queue-limit N] [--out PATH]
 //!
 //! EXPERIMENT: fig1 fig2 fig3 fig7 fig8 fig9 fig10 fig11
 //!             table1 table2 table3 bpki ablations extensions scaling all
@@ -29,7 +29,10 @@
 //! next engine step, completed ones stay checkpointed, and the process
 //! exits 130 with a resume hint. `--deadline-ms` bounds each point's
 //! wall-clock time; `--retries` re-attempts transient failures with an
-//! escalating fuel budget.
+//! escalating fuel budget. `--cache-bytes` bounds the shared run cache
+//! (LRU eviction by serialized size; results never change) and
+//! `--queue-limit` sheds submissions beyond the worker pool's backlog
+//! with a typed overload error — see DESIGN.md §12.
 
 use slicc_bench::{Experiment, ExperimentScale};
 use slicc_common::{atomic_write, install_sigint_cancel, sigint_count};
@@ -40,7 +43,8 @@ use std::panic::{self, AssertUnwindSafe};
 fn usage() -> ! {
     eprintln!(
         "usage: figures [EXPERIMENT ...] [--scale small|paper] [--jobs N] [--checkpoint PATH] \
-         [--progress quiet|plain|json] [--deadline-ms N] [--retries N] [--out PATH]"
+         [--progress quiet|plain|json] [--deadline-ms N] [--retries N] \
+         [--cache-bytes N] [--queue-limit N] [--out PATH]"
     );
     eprintln!("experiments:");
     for e in Experiment::ALL {
@@ -58,6 +62,8 @@ fn main() {
     let mut progress = ProgressKind::Plain;
     let mut deadline_ms: Option<u64> = None;
     let mut retries: u32 = 0;
+    let mut cache_bytes: Option<u64> = None;
+    let mut queue_limit: Option<usize> = None;
     let mut out: Option<std::path::PathBuf> = None;
     let mut selected: Vec<Experiment> = Vec::new();
     let mut i = 0;
@@ -106,6 +112,20 @@ fn main() {
                     None => usage(),
                 };
             }
+            "--cache-bytes" => {
+                i += 1;
+                cache_bytes = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => usage(),
+                };
+            }
+            "--queue-limit" => {
+                i += 1;
+                queue_limit = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => usage(),
+                };
+            }
             "--out" => {
                 i += 1;
                 out = match args.get(i) {
@@ -136,6 +156,12 @@ fn main() {
             max_attempts: retries.saturating_add(1),
             ..RetryPolicy::standard()
         });
+    }
+    if let Some(bytes) = cache_bytes {
+        runner.set_cache_bytes(bytes);
+    }
+    if let Some(limit) = queue_limit {
+        runner.set_queue_limit(Some(limit));
     }
     install_sigint_cancel(&runner.cancel_token());
     if let Some(path) = &checkpoint {
@@ -213,12 +239,21 @@ fn main() {
         }
     }
     let stats = runner.stats();
-    if stats.cache_hits + stats.cache_misses > 0 {
+    let served = stats.cache_hits + stats.coalesced_hits;
+    if served + stats.cache_misses > 0 {
+        let mut suffix = String::new();
+        if stats.cache_evictions > 0 {
+            let _ = write!(suffix, ", {} evicted", stats.cache_evictions);
+        }
+        if stats.shed_points > 0 {
+            let _ = write!(suffix, ", {} shed", stats.shed_points);
+        }
         reporter.report(ProgressEvent::Note {
             message: format!(
-                "{} simulation points ({} served from the run cache), {} jobs, {:.0} instructions/s",
-                stats.cache_hits + stats.cache_misses,
+                "{} simulation points ({} memoized + {} coalesced{suffix}), {} jobs, {:.0} instructions/s",
+                served + stats.cache_misses,
                 stats.cache_hits,
+                stats.coalesced_hits,
                 jobs,
                 stats.sim_ips(),
             ),

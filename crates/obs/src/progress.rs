@@ -100,6 +100,25 @@ pub enum ProgressEvent {
         /// Points that failed.
         failed: usize,
     },
+    /// A resource-pressure snapshot from the runner's governance layer
+    /// (bounded run cache, admission control): emitted at batch end and
+    /// whenever a submission is shed, so operators and `--progress json`
+    /// consumers can watch queue depth, cache residency, and shed counts
+    /// without polling.
+    Pressure {
+        /// Submissions waiting for an execution slot.
+        queue_depth: usize,
+        /// Fresh simulations currently executing.
+        inflight: usize,
+        /// Bytes resident in the bounded run cache.
+        cache_bytes: u64,
+        /// The run cache's byte budget.
+        cache_budget: u64,
+        /// Entries resident in the run cache.
+        cache_entries: usize,
+        /// Submissions shed by admission control so far (process total).
+        shed: u64,
+    },
     /// Informational narration (checkpoint loaded, file written, ...).
     Note {
         /// The message.
@@ -236,6 +255,17 @@ impl Reporter for PlainReporter {
                     );
                 }
             }
+            ProgressEvent::Pressure { queue_depth, inflight, cache_bytes, cache_budget, cache_entries, shed } => {
+                // Routine snapshots stay quiet on the human reporter;
+                // sheds are worth a line.
+                if shed > 0 {
+                    let _ = writeln!(
+                        s.out,
+                        "pressure: {shed} shed, {inflight} in flight, {queue_depth} queued, \
+                         cache {cache_bytes}/{cache_budget} B ({cache_entries} entries)"
+                    );
+                }
+            }
             ProgressEvent::Note { message } => {
                 let _ = writeln!(s.out, "{message}");
             }
@@ -306,6 +336,13 @@ impl Reporter for JsonLinesReporter {
             ProgressEvent::BatchFinished { fresh, cached, failed } => {
                 line.push_str(&format!(
                     "\"batch_finished\", \"fresh\": {fresh}, \"cached\": {cached}, \"failed\": {failed}"
+                ));
+            }
+            ProgressEvent::Pressure { queue_depth, inflight, cache_bytes, cache_budget, cache_entries, shed } => {
+                line.push_str(&format!(
+                    "\"pressure\", \"queue_depth\": {queue_depth}, \"inflight\": {inflight}, \
+                     \"cache_bytes\": {cache_bytes}, \"cache_budget\": {cache_budget}, \
+                     \"cache_entries\": {cache_entries}, \"shed\": {shed}"
                 ));
             }
             ProgressEvent::Note { message } => {
@@ -472,6 +509,43 @@ mod tests {
         let lines: Vec<&str> = out.lines().collect();
         assert!(lines[0].starts_with("{\"event\": \"point_retried\", \"attempt\": 2"), "got: {out}");
         assert!(lines[1].starts_with("{\"event\": \"point_cancelled\", \"index\": 1"), "got: {out}");
+    }
+
+    #[test]
+    fn pressure_snapshots_render_on_json_and_only_sheds_on_plain() {
+        let snapshot = ProgressEvent::Pressure {
+            queue_depth: 3,
+            inflight: 2,
+            cache_bytes: 4096,
+            cache_budget: 8192,
+            cache_entries: 7,
+            shed: 0,
+        };
+        let (w, buf) = capture();
+        let r = JsonLinesReporter::to_writer(Box::new(w));
+        r.report(snapshot.clone());
+        let out = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(out.starts_with("{\"event\": \"pressure\""), "got: {out}");
+        for field in ["\"queue_depth\": 3", "\"inflight\": 2", "\"cache_bytes\": 4096", "\"cache_budget\": 8192", "\"cache_entries\": 7", "\"shed\": 0"] {
+            assert!(out.contains(field), "missing {field} in: {out}");
+        }
+
+        // The human reporter stays quiet for routine snapshots and
+        // narrates once submissions are actually being shed.
+        let (w, buf) = capture();
+        let r = PlainReporter::to_writer(Box::new(w));
+        r.report(snapshot);
+        assert!(buf.lock().unwrap().is_empty(), "a routine snapshot must not narrate");
+        r.report(ProgressEvent::Pressure {
+            queue_depth: 3,
+            inflight: 2,
+            cache_bytes: 4096,
+            cache_budget: 8192,
+            cache_entries: 7,
+            shed: 5,
+        });
+        let out = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(out.contains("pressure: 5 shed"), "got: {out}");
     }
 
     #[test]

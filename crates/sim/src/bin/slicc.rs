@@ -61,6 +61,13 @@ OPTIONS:
                           drills: panic mid-run, stall the event loop at
                           STEP, fail the Nth artifact write, or tear
                           every checkpoint record's final byte
+    --cache-bytes N       byte budget for the memoized run cache
+                          (default 64 MiB); least-recently-used
+                          results are evicted, never altered
+    --queue-limit N       shed new submissions once N points are
+                          already waiting behind the worker pool
+                          (typed 'overloaded' failure with a
+                          retry-after hint; default unlimited)
     --checkpoint PATH     load completed points from PATH and append
                           each newly completed point to it; an
                           unreadable file is quarantined to PATH.corrupt
@@ -120,6 +127,8 @@ enum Command {
         obs_summary: bool,
         retries: u32,
         inject: Option<InjectedFault>,
+        cache_bytes: Option<u64>,
+        queue_limit: Option<usize>,
     },
 }
 
@@ -142,6 +151,8 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut deadline_ms: Option<u64> = None;
     let mut retries: u32 = 0;
     let mut inject: Option<InjectedFault> = None;
+    let mut cache_bytes: Option<u64> = None;
+    let mut queue_limit: Option<usize> = None;
 
     let mut i = 0;
     fn value(args: &[String], i: &mut usize, opt: &str) -> Result<String, CliError> {
@@ -223,6 +234,8 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 builder = builder.inject_fault(fault);
                 inject = Some(fault);
             }
+            "--cache-bytes" => cache_bytes = Some(number(&opt, &value(args, &mut i, &opt)?)?),
+            "--queue-limit" => queue_limit = Some(number(&opt, &value(args, &mut i, &opt)?)?),
             "--checkpoint" => checkpoint = Some(PathBuf::from(value(args, &mut i, &opt)?)),
             "--keep-going" => keep_going = true,
             "--progress" => {
@@ -292,6 +305,8 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
         obs_summary,
         retries,
         inject,
+        cache_bytes,
+        queue_limit,
     })
 }
 
@@ -338,24 +353,24 @@ fn main() {
         eprintln!("run 'slicc --help' for the option list");
         std::process::exit(2);
     });
-    let (request, compare, keep_going, checkpoint, progress, obs_out, obs_summary, retries, inject) =
-        match command {
-            Command::Help => {
-                println!("{USAGE}");
-                return;
-            }
-            Command::Run {
-                request,
-                compare,
-                keep_going,
-                checkpoint,
-                progress,
-                obs_out,
-                obs_summary,
-                retries,
-                inject,
-            } => (*request, compare, keep_going, checkpoint, progress, obs_out, obs_summary, retries, inject),
-        };
+    let Command::Run {
+        request,
+        compare,
+        keep_going,
+        checkpoint,
+        progress,
+        obs_out,
+        obs_summary,
+        retries,
+        inject,
+        cache_bytes,
+        queue_limit,
+    } = command
+    else {
+        println!("{USAGE}");
+        return;
+    };
+    let request = *request;
 
     // Two points (the run and its baseline) are independent jobs, so even
     // the CLI benefits from the runner's pool and cache.
@@ -367,6 +382,15 @@ fn main() {
             max_attempts: retries.saturating_add(1),
             ..RetryPolicy::standard()
         });
+    }
+    // Resource governance (DESIGN.md §12): a byte budget on the memoized
+    // run cache and an admission limit on fresh work. Neither changes what
+    // a completed run computes.
+    if let Some(bytes) = cache_bytes {
+        runner.set_cache_bytes(bytes);
+    }
+    if let Some(limit) = queue_limit {
+        runner.set_queue_limit(Some(limit));
     }
     // The first Ctrl-C cancels in-flight points cooperatively; the second
     // hard-exits from the handler itself.
@@ -581,6 +605,8 @@ mod tests {
                 obs_summary,
                 retries,
                 inject,
+                cache_bytes,
+                queue_limit,
             } => {
                 assert_eq!(request.workload, Workload::TpcC1);
                 assert_eq!(request.mode(), SchedulerMode::SliccSw);
@@ -592,6 +618,8 @@ mod tests {
                 assert!(!obs_summary);
                 assert_eq!(retries, 0, "retries must be opt-in");
                 assert!(inject.is_none());
+                assert!(cache_bytes.is_none(), "default budget lives in the runner");
+                assert!(queue_limit.is_none(), "admission is unlimited unless asked");
                 assert!(!request.deadline.is_enabled(), "no deadline unless asked");
                 assert!(!request.obs.enabled(), "observation must be off by default");
             }
@@ -652,6 +680,22 @@ mod tests {
             }
             Command::Help => panic!("expected a run"),
         }
+    }
+
+    #[test]
+    fn governance_flags_reach_the_runner_knobs() {
+        match parse(&["--cache-bytes", "4096", "--queue-limit", "0"]).unwrap() {
+            Command::Run { cache_bytes, queue_limit, .. } => {
+                assert_eq!(cache_bytes, Some(4096));
+                assert_eq!(queue_limit, Some(0), "zero means shed every fresh point");
+            }
+            Command::Help => panic!("expected a run"),
+        }
+        let err = parse(&["--cache-bytes", "plenty"]).unwrap_err();
+        assert_eq!(err.option, "--cache-bytes");
+        let err = parse(&["--queue-limit"]).unwrap_err();
+        assert_eq!(err.option, "--queue-limit");
+        assert!(err.message.contains("missing"));
     }
 
     #[test]

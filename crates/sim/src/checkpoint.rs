@@ -318,6 +318,13 @@ fn read_record(bytes: &[u8], pos: usize) -> Option<(u64, RunResult, usize)> {
 // encoding. Field order is part of the version-1 format; changing it (or
 // RunMetrics' shape) requires bumping VERSION.
 
+/// The serialized size of `result` in the version-1 payload encoding:
+/// the byte-weight basis the bounded run cache charges per entry (see
+/// [`crate::service::BoundedResultCache`]).
+pub(crate) fn encoded_size(result: &RunResult) -> usize {
+    encode_result(result).len()
+}
+
 fn encode_result(result: &RunResult) -> Vec<u8> {
     let mut out = Vec::with_capacity(256);
     put_u64(&mut out, result.wall.as_nanos() as u64);

@@ -158,29 +158,55 @@ pub enum InjectedFault {
     /// final hash byte lands flipped), modelling a crash mid-append. Also
     /// I/O-layer-only, like [`InjectedFault::IoErrorOnNthWrite`].
     CorruptCheckpointTail,
+    /// Hold the completed result for `delay_ms` wall-clock milliseconds
+    /// before releasing it, modelling a client that drains results slowly
+    /// (a stalled socket, a saturated downstream). Runner-layer-only: the
+    /// engine ignores it, the simulation completes normally, and the
+    /// metrics are byte-identical to the unfaulted twin's — what the
+    /// fault holds open is the service's in-flight slot, so coalesced
+    /// waiters and admission control feel the backpressure.
+    SlowConsumer {
+        /// How long the result is held after completion, in milliseconds.
+        delay_ms: u64,
+    },
+    /// Allocate and touch `mib` MiB of host scratch memory for the
+    /// duration of the attempt, modelling allocator pressure from an
+    /// oversized neighbour. Runner-layer-only like
+    /// [`InjectedFault::SlowConsumer`]: the simulation itself is
+    /// untouched and its metrics byte-identical.
+    AllocPressure {
+        /// Scratch allocation held across the attempt, in MiB.
+        mib: u64,
+    },
 }
 
 impl InjectedFault {
     /// Every variant, for exhaustive chaos matrices.
-    pub const ALL: [InjectedFault; 4] = [
+    pub const ALL: [InjectedFault; 6] = [
         InjectedFault::Panic,
         InjectedFault::StallAt { step: 0 },
         InjectedFault::IoErrorOnNthWrite { n: 1 },
         InjectedFault::CorruptCheckpointTail,
+        InjectedFault::SlowConsumer { delay_ms: 10 },
+        InjectedFault::AllocPressure { mib: 1 },
     ];
 
     /// The I/O-layer translation of this fault, if it is an I/O fault.
-    /// Engine-level faults (panic, stall) return `None`.
+    /// Engine-level faults (panic, stall) and runner-layer faults
+    /// (slow-consumer, alloc-pressure) return `None`.
     pub fn artifact_fault(&self) -> Option<slicc_common::IoFault> {
         match *self {
-            InjectedFault::Panic | InjectedFault::StallAt { .. } => None,
+            InjectedFault::Panic
+            | InjectedFault::StallAt { .. }
+            | InjectedFault::SlowConsumer { .. }
+            | InjectedFault::AllocPressure { .. } => None,
             InjectedFault::IoErrorOnNthWrite { n } => Some(slicc_common::IoFault::FailOnNth(n)),
             InjectedFault::CorruptCheckpointTail => Some(slicc_common::IoFault::CorruptTail),
         }
     }
 
     /// Parses the CLI spelling: `panic`, `stall:STEP`, `io-error:N`,
-    /// `corrupt-tail`.
+    /// `corrupt-tail`, `slow-consumer:MS`, `alloc-pressure:MIB`.
     pub fn parse(s: &str) -> Option<InjectedFault> {
         if s == "panic" {
             return Some(InjectedFault::Panic);
@@ -194,6 +220,12 @@ impl InjectedFault {
         if let Some(n) = s.strip_prefix("io-error:") {
             return n.parse().ok().map(|n| InjectedFault::IoErrorOnNthWrite { n });
         }
+        if let Some(ms) = s.strip_prefix("slow-consumer:") {
+            return ms.parse().ok().map(|delay_ms| InjectedFault::SlowConsumer { delay_ms });
+        }
+        if let Some(mib) = s.strip_prefix("alloc-pressure:") {
+            return mib.parse().ok().map(|mib| InjectedFault::AllocPressure { mib });
+        }
         None
     }
 }
@@ -206,12 +238,16 @@ impl StableHash for InjectedFault {
             InjectedFault::StallAt { .. } => 1,
             InjectedFault::IoErrorOnNthWrite { .. } => 2,
             InjectedFault::CorruptCheckpointTail => 3,
+            InjectedFault::SlowConsumer { .. } => 4,
+            InjectedFault::AllocPressure { .. } => 5,
         };
         ordinal.stable_hash(h);
         match self {
             InjectedFault::Panic | InjectedFault::CorruptCheckpointTail => {}
             InjectedFault::StallAt { step } => step.stable_hash(h),
             InjectedFault::IoErrorOnNthWrite { n } => n.stable_hash(h),
+            InjectedFault::SlowConsumer { delay_ms } => delay_ms.stable_hash(h),
+            InjectedFault::AllocPressure { mib } => mib.stable_hash(h),
         }
     }
 }
@@ -1165,6 +1201,18 @@ mod tests {
                 .build()
                 .unwrap(),
         ));
+        keys.push(stable_hash_of(
+            &SimConfigBuilder::paper_baseline()
+                .inject_fault(InjectedFault::SlowConsumer { delay_ms: 77 })
+                .build()
+                .unwrap(),
+        ));
+        keys.push(stable_hash_of(
+            &SimConfigBuilder::paper_baseline()
+                .inject_fault(InjectedFault::AllocPressure { mib: 77 })
+                .build()
+                .unwrap(),
+        ));
         let distinct: std::collections::HashSet<u64> = keys.iter().copied().collect();
         assert_eq!(distinct.len(), keys.len(), "fault keys must not collide: {keys:x?}");
     }
@@ -1178,7 +1226,17 @@ mod tests {
             Some(InjectedFault::IoErrorOnNthWrite { n: 3 })
         );
         assert_eq!(InjectedFault::parse("corrupt-tail"), Some(InjectedFault::CorruptCheckpointTail));
-        for bad in ["", "stall", "stall:", "stall:x", "io-error:", "panic!"] {
+        assert_eq!(
+            InjectedFault::parse("slow-consumer:25"),
+            Some(InjectedFault::SlowConsumer { delay_ms: 25 })
+        );
+        assert_eq!(
+            InjectedFault::parse("alloc-pressure:8"),
+            Some(InjectedFault::AllocPressure { mib: 8 })
+        );
+        for bad in
+            ["", "stall", "stall:", "stall:x", "io-error:", "panic!", "slow-consumer:", "alloc-pressure:x"]
+        {
             assert_eq!(InjectedFault::parse(bad), None, "{bad:?} must not parse");
         }
     }
@@ -1196,6 +1254,8 @@ mod tests {
             InjectedFault::CorruptCheckpointTail.artifact_fault(),
             Some(IoFault::CorruptTail)
         );
+        assert_eq!(InjectedFault::SlowConsumer { delay_ms: 5 }.artifact_fault(), None);
+        assert_eq!(InjectedFault::AllocPressure { mib: 2 }.artifact_fault(), None);
     }
 
     #[test]

@@ -27,7 +27,6 @@
 use crate::config::{InjectedFault, SchedulerMode, SimConfig, WatchdogConfig};
 use crate::error::{HotThread, LivelockSnapshot, SimError};
 use crate::metrics::RunMetrics;
-use crate::session::RunSession;
 use crate::system::System;
 use slicc_cache::MissClass;
 use slicc_common::{BlockAddr, CancelToken, CoreId, Cycle, RingFifo, ThreadId, TxnTypeId};
@@ -199,49 +198,6 @@ struct Team {
     active: bool,
 }
 
-/// Runs `spec` on the machine `cfg` describes and returns the metrics.
-#[deprecated(note = "use `RunSession::new(spec, cfg)?.run()` instead")]
-pub fn run(spec: &WorkloadSpec, cfg: &SimConfig) -> RunMetrics {
-    RunSession::new(spec, cfg)
-        .and_then(RunSession::run)
-        .map(|outcome| outcome.metrics)
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Like [`run`], but reports failures as typed [`SimError`]s.
-#[deprecated(note = "use `RunSession::new(spec, cfg)?.run()` instead")]
-pub fn try_run(spec: &WorkloadSpec, cfg: &SimConfig) -> Result<RunMetrics, SimError> {
-    Ok(RunSession::new(spec, cfg)?.run()?.metrics)
-}
-
-/// Like [`try_run`], but additionally observes the run per `obs`.
-#[deprecated(note = "use `RunSession::new(spec, cfg)?.observe(*obs).run()` instead")]
-pub fn try_run_observed(
-    spec: &WorkloadSpec,
-    cfg: &SimConfig,
-    obs: &ObsConfig,
-) -> Result<(RunMetrics, Observation), SimError> {
-    // The matrix-era signature promised an Observation even for a
-    // disabled `obs` (an empty one); the session only attaches artifacts
-    // when observation is actually on.
-    let outcome = RunSession::new(spec, cfg)?.observe(*obs).run()?;
-    Ok((outcome.metrics, outcome.obs.unwrap_or_default()))
-}
-
-/// Like [`try_run_observed`], but under external [`RunControl`].
-#[deprecated(
-    note = "use `RunSession::new(spec, cfg)?.observe(*obs).control(ctrl.clone()).run()` instead"
-)]
-pub fn try_run_controlled(
-    spec: &WorkloadSpec,
-    cfg: &SimConfig,
-    obs: &ObsConfig,
-    ctrl: &RunControl,
-) -> Result<(RunMetrics, Option<Observation>), SimError> {
-    let outcome = RunSession::new(spec, cfg)?.observe(*obs).control(ctrl.clone()).run()?;
-    Ok((outcome.metrics, outcome.obs))
-}
-
 /// Maps the cache crate's miss taxonomy onto the obs crate's mirror.
 fn three_c(class: MissClass) -> ThreeC {
     match class {
@@ -251,9 +207,9 @@ fn three_c(class: MissClass) -> ThreeC {
     }
 }
 
-/// The simulation engine. Most callers should use [`run`]; the engine is
-/// public for tests and custom experiment loops that need intermediate
-/// state access.
+/// The simulation engine. Most callers should use [`crate::RunSession`]
+/// (or the [`crate::Runner`] above it); the engine is public for tests
+/// and custom experiment loops that need intermediate state access.
 pub struct Engine<'a> {
     sys: System,
     spec: &'a WorkloadSpec,
@@ -347,17 +303,6 @@ impl<'a> Engine<'a> {
     /// errors instead of panicking.
     pub fn try_new(spec: &'a WorkloadSpec, cfg: &SimConfig) -> Result<Self, SimError> {
         Engine::try_new_with(spec, cfg, &ObsConfig::disabled())
-    }
-
-    /// Like [`Engine::try_new`], but arms the observability layer per
-    /// `obs`. The disabled default costs nothing (see `slicc-obs`).
-    #[deprecated(note = "use `RunSession::new(spec, cfg)?.observe(*obs)` instead")]
-    pub fn try_new_observed(
-        spec: &'a WorkloadSpec,
-        cfg: &SimConfig,
-        obs: &ObsConfig,
-    ) -> Result<Self, SimError> {
-        Engine::try_new_with(spec, cfg, obs)
     }
 
     /// Shared construction behind [`Engine::try_new`] and
@@ -608,13 +553,6 @@ impl<'a> Engine<'a> {
         if let Err(e) = self.try_execute() {
             panic!("{e}");
         }
-    }
-
-    /// Arms external run control (see [`RunControl`]): cancellation and
-    /// deadline checks join the event loop on the control cadence.
-    #[deprecated(note = "use `RunSession::new(spec, cfg)?.control(ctrl)` instead")]
-    pub fn set_control(&mut self, ctrl: RunControl) {
-        self.attach_control(ctrl);
     }
 
     /// Arms external run control and switches the engine onto the

@@ -257,6 +257,23 @@ pub enum RunError {
         /// Diagnostic state at abort time.
         snapshot: Box<LivelockSnapshot>,
     },
+    /// The point was shed by admission control before any simulation
+    /// work: the pending queue was full (see
+    /// [`crate::Runner::set_queue_limit`] and
+    /// [`crate::service::SimService`]). A typed, graceful rejection — the
+    /// run never started, nothing was computed, and the client should
+    /// resubmit after roughly [`retry_after`](RunError::Overloaded).
+    Overloaded {
+        /// The shed point.
+        point: PointSummary,
+        /// A hint for when resubmission is likely to be admitted, derived
+        /// from the mean wall-clock cost of recent fresh points.
+        retry_after: std::time::Duration,
+        /// Fresh simulations in flight when the point was shed.
+        inflight: usize,
+        /// The admission limit that was hit.
+        limit: usize,
+    },
 }
 
 impl RunError {
@@ -282,8 +299,15 @@ impl RunError {
             | RunError::Config { point, .. }
             | RunError::Lost { point }
             | RunError::Cancelled { point, .. }
-            | RunError::DeadlineExceeded { point, .. } => point,
+            | RunError::DeadlineExceeded { point, .. }
+            | RunError::Overloaded { point, .. } => point,
         }
+    }
+
+    /// True for admission-control rejections (the point was shed before
+    /// any simulation work; resubmitting later is expected to succeed).
+    pub fn is_overload(&self) -> bool {
+        matches!(self, RunError::Overloaded { .. })
     }
 
     /// True for cancellation outcomes (the point did not fail on its own
@@ -321,6 +345,14 @@ impl fmt::Display for RunError {
             }
             RunError::DeadlineExceeded { point, snapshot } => {
                 write!(f, "point {point} exceeded its deadline: {snapshot}")
+            }
+            RunError::Overloaded { point, retry_after, inflight, limit } => {
+                write!(
+                    f,
+                    "point {point} shed: service overloaded ({inflight} in flight, \
+                     limit {limit}); retry in ~{} ms",
+                    retry_after.as_millis()
+                )
             }
         }
     }
@@ -389,6 +421,22 @@ mod tests {
         let unstarted =
             RunError::Cancelled { point: point(), snapshot: Box::default() };
         assert!(unstarted.to_string().contains("before it started"), "got: {unstarted}");
+    }
+
+    #[test]
+    fn overload_rejections_carry_a_retry_hint() {
+        let e = RunError::Overloaded {
+            point: point(),
+            retry_after: std::time::Duration::from_millis(120),
+            inflight: 4,
+            limit: 4,
+        };
+        assert!(e.is_overload());
+        assert!(!e.is_cancellation(), "a shed point was not cancelled mid-run");
+        let rendered = e.to_string();
+        assert!(rendered.contains("overloaded"), "got: {rendered}");
+        assert!(rendered.contains("retry in ~120 ms"), "got: {rendered}");
+        assert!(rendered.contains("key=0x"), "got: {rendered}");
     }
 
     #[test]

@@ -42,6 +42,13 @@
 //! [`Runner::attach_checkpoint`] persists completed points incrementally
 //! so interrupted sweeps resume where they left off.
 //!
+//! Long-lived embeddings front the runner with a [`SimService`]: the
+//! run cache is byte-bounded and LRU-evicting ([`Runner::set_cache_bytes`]),
+//! concurrent identical submissions coalesce onto one simulation, and
+//! load beyond the configured limits is shed with a typed
+//! [`RunError::Overloaded`] instead of queueing without bound (see
+//! [`mod@service`]).
+//!
 //! Configurations are built through [`SimConfigBuilder`], which validates
 //! cross-field invariants and reports violations as typed
 //! [`ConfigError`]s. Custom [`slicc_trace::WorkloadSpec`]s that no preset
@@ -55,6 +62,7 @@ pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod runner;
+pub mod service;
 pub mod session;
 pub mod system;
 
@@ -63,11 +71,13 @@ pub use config::{
     ConfigError, DeadlineConfig, InjectedFault, SchedulerMode, SimConfig, SimConfigBuilder,
     WatchdogConfig,
 };
-#[allow(deprecated)] // one-release shims stay reachable at the old paths
-pub use engine::{run, try_run, try_run_observed, Engine, MigrationEvent, RunControl};
+pub use engine::{Engine, MigrationEvent, RunControl};
 pub use error::{HotThread, LivelockSnapshot, PointSummary, RunError, SimError};
 pub use metrics::RunMetrics;
 pub use runner::{RetryPolicy, RunRequest, RunResult, Runner, RunnerStats};
+pub use service::{
+    BoundedResultCache, PressureSnapshot, ServiceConfig, SimService, DEFAULT_CACHE_BYTES,
+};
 pub use session::{RunOutcome, RunSession};
 pub use system::System;
 

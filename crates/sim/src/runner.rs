@@ -1,5 +1,6 @@
 //! Parallel experiment runner: typed run descriptors, a std::thread job
-//! pool, a memoizing run cache, and per-point fault isolation.
+//! pool, a bounded byte-weighted run cache, and per-point fault
+//! isolation.
 //!
 //! Every simulation point is an independent, deterministic, single-threaded
 //! job, so a figure's point set can fan out across host cores. This module
@@ -14,7 +15,12 @@
 //! - [`Runner`] — a job pool of `jobs` worker threads fed through an mpsc
 //!   work queue. Results always come back in submission order, and
 //!   completed points are memoized, so a Baseline point shared by several
-//!   figures simulates once per process.
+//!   figures simulates once per process. The memo is a
+//!   [`crate::service::BoundedResultCache`]: byte-weighted, LRU-evicting,
+//!   and capped ([`Runner::set_cache_bytes`]) so a long-lived process
+//!   cannot grow without limit. Admission control
+//!   ([`Runner::set_queue_limit`]) and the [`crate::service::SimService`]
+//!   submission layer build on the same runner.
 //!
 //! Failures are contained per point: each worker runs its simulation
 //! under `catch_unwind`, so a panicking or livelocking point becomes a
@@ -50,10 +56,11 @@
 //! ```
 
 use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointLoad};
-use crate::config::{DeadlineConfig, SchedulerMode, SimConfig};
+use crate::config::{DeadlineConfig, InjectedFault, SchedulerMode, SimConfig};
 use crate::engine::RunControl;
 use crate::error::{PointSummary, RunError, SimError};
 use crate::metrics::RunMetrics;
+use crate::service::{BoundedResultCache, PressureSnapshot, DEFAULT_CACHE_BYTES};
 use crate::session::{RunOutcome, RunSession};
 use slicc_common::{lock_unpoisoned, ArtifactIo, CancelToken, StableHash, StableHasher};
 use slicc_obs::{ObsConfig, Observation, ProgressEvent, Reporter, WarningsOnlyReporter};
@@ -62,7 +69,7 @@ use std::collections::HashMap;
 use std::collections::hash_map::Entry;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -311,6 +318,9 @@ impl RunResult {
 /// | `Lost`               | permanent | —                                   |
 /// | `Cancelled`          | permanent | the caller asked it to stop         |
 /// | `DeadlineExceeded`   | permanent | the budget is already spent         |
+/// | `Overloaded`         | permanent | nothing ran; the *caller* should back
+///                                      off per the error's retry-after hint
+///                                      and resubmit                        |
 ///
 /// A fuel-escalated retry runs a *modified* config, but its result is
 /// cached and checkpointed under the original request's key — safe
@@ -388,12 +398,29 @@ impl Default for RetryPolicy {
 /// Aggregate observability counters for a [`Runner`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RunnerStats {
-    /// Requests served from the memoized run cache (including duplicates
-    /// within one batch and points seeded from a checkpoint).
+    /// Requests served from a result that was already memoized when the
+    /// request arrived (including points seeded from a checkpoint file).
+    /// Duplicates that piggy-back on an in-flight simulation are counted
+    /// separately as [`RunnerStats::coalesced_hits`].
     pub cache_hits: u64,
+    /// Requests served by attaching to a simulation that was already in
+    /// flight: intra-batch duplicates, and concurrent
+    /// [`crate::service::SimService`] submissions coalesced onto one
+    /// flight. Together with [`RunnerStats::cache_hits`] these are the
+    /// requests that cost nothing; the split tells memoization apart
+    /// from stampede suppression.
+    pub coalesced_hits: u64,
     /// Requests that required a fresh simulation attempt (successful or
     /// not).
     pub cache_misses: u64,
+    /// Entries evicted from the bounded run cache to stay inside its
+    /// byte budget (inserts too heavy to ever fit count once each).
+    pub cache_evictions: u64,
+    /// Bytes currently resident in the bounded run cache.
+    pub cache_bytes: u64,
+    /// Submissions rejected by admission control with
+    /// [`RunError::Overloaded`] (process total, never reset).
+    pub shed_points: u64,
     /// Fresh simulation attempts that failed with a [`RunError`]. Failed
     /// points are never cached, so they are re-attempted by every batch
     /// that names them.
@@ -438,7 +465,9 @@ impl RunnerStats {
 /// [`Runner::cached_points`] or [`Runner::stats`].
 pub struct Runner {
     jobs: usize,
-    cache: Mutex<HashMap<u64, RunResult>>,
+    /// The memoized run cache: byte-weighted, LRU-evicting, bounded by
+    /// [`Runner::set_cache_bytes`].
+    cache: Mutex<BoundedResultCache>,
     /// Materialized traces keyed by [`RunRequest::spec_key`]: every mode
     /// variant of a (workload, scale) point shares one spec build.
     specs: Mutex<HashMap<u64, Arc<WorkloadSpec>>>,
@@ -456,31 +485,46 @@ pub struct Runner {
     /// Deadline applied to requests that do not carry their own
     /// [`RunRequest::deadline`]; the per-request value wins.
     default_deadline: Mutex<Option<Duration>>,
+    /// Admission bound on concurrently executing fresh points; `None`
+    /// (the default) admits everything. See [`Runner::set_queue_limit`].
+    queue_limit: Mutex<Option<usize>>,
+    /// Fresh points currently holding an admission slot.
+    inflight: AtomicUsize,
     hits: AtomicU64,
+    coalesced: AtomicU64,
     misses: AtomicU64,
     failures: AtomicU64,
     retries: AtomicU64,
+    shed: AtomicU64,
     spec_builds: AtomicU64,
     simulated_instructions: AtomicU64,
     busy_nanos: AtomicU64,
 }
+
+/// One batch's deduplicated fresh points, keyed by stable key, in
+/// submission order.
+type KeyedPoints<'a> = Vec<(u64, &'a RunRequest)>;
 
 impl Runner {
     /// A runner with `jobs` worker threads (clamped to at least 1).
     pub fn new(jobs: usize) -> Self {
         Runner {
             jobs: jobs.max(1),
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(BoundedResultCache::new(DEFAULT_CACHE_BYTES)),
             specs: Mutex::new(HashMap::new()),
             checkpoint: Mutex::new(None),
             reporter: Mutex::new(Arc::new(WarningsOnlyReporter::stderr())),
             cancel: CancelToken::new(),
             retry: Mutex::new(RetryPolicy::none()),
             default_deadline: Mutex::new(None),
+            queue_limit: Mutex::new(None),
+            inflight: AtomicUsize::new(0),
             hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             failures: AtomicU64::new(0),
             retries: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             spec_builds: AtomicU64::new(0),
             simulated_instructions: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
@@ -543,6 +587,97 @@ impl Runner {
         *lock_unpoisoned(&self.default_deadline)
     }
 
+    /// Rebudgets the run cache to `max_bytes` (the `--cache-bytes` flag),
+    /// evicting least-recently-used entries if the resident set no longer
+    /// fits. Governance only: changes what stays memoized, never what any
+    /// simulation computes — the budget is not part of
+    /// [`RunRequest::stable_key`].
+    pub fn set_cache_bytes(&self, max_bytes: u64) {
+        lock_unpoisoned(&self.cache).set_max_bytes(max_bytes);
+    }
+
+    /// The run cache's byte budget (default
+    /// [`crate::service::DEFAULT_CACHE_BYTES`]).
+    pub fn cache_budget(&self) -> u64 {
+        lock_unpoisoned(&self.cache).max_bytes()
+    }
+
+    /// Bounds how many fresh points may execute concurrently through this
+    /// runner (the `--queue-limit` flag). With a limit of `n`, a batch
+    /// admits at most `n` fresh simulations at a time; the overflow is
+    /// *shed* — failed fast with [`RunError::Overloaded`] and a
+    /// retry-after hint — rather than queued without bound. Cache hits
+    /// and coalesced duplicates are always served: only fresh work
+    /// consumes slots. `None` (the default) admits everything.
+    ///
+    /// The batch [`Runner`] sheds because it has no one to queue for; the
+    /// [`crate::service::SimService`] front door adds a bounded wait
+    /// queue on top for interactive submitters.
+    pub fn set_queue_limit(&self, limit: Option<usize>) {
+        *lock_unpoisoned(&self.queue_limit) = limit;
+    }
+
+    /// The admission bound, if any.
+    pub fn queue_limit(&self) -> Option<usize> {
+        *lock_unpoisoned(&self.queue_limit)
+    }
+
+    /// How long a shed client should wait before resubmitting: the mean
+    /// busy time of completed fresh points (clamped to 10 ms..10 s), or
+    /// 50 ms before any point has completed. A hint, not a reservation —
+    /// the service makes no admission promise to returning clients.
+    pub fn retry_after_hint(&self) -> Duration {
+        let busy = self.busy_nanos.load(Ordering::Relaxed);
+        let completed =
+            self.misses.load(Ordering::Relaxed).saturating_sub(self.failures.load(Ordering::Relaxed));
+        if busy == 0 || completed == 0 {
+            return Duration::from_millis(50);
+        }
+        Duration::from_nanos(busy / completed)
+            .clamp(Duration::from_millis(10), Duration::from_secs(10))
+    }
+
+    /// The runner's current pressure: in-flight count, cache residency,
+    /// and shed totals. `queue_depth` is always 0 at the bare runner (it
+    /// sheds instead of queueing); [`crate::service::SimService::pressure`]
+    /// fills in its real wait-queue depth.
+    pub fn pressure(&self) -> PressureSnapshot {
+        let (cache_bytes, cache_budget, cache_entries) = {
+            let cache = lock_unpoisoned(&self.cache);
+            (cache.bytes(), cache.max_bytes(), cache.len())
+        };
+        PressureSnapshot {
+            queue_depth: 0,
+            inflight: self.inflight.load(Ordering::Relaxed),
+            cache_bytes,
+            cache_budget,
+            cache_entries,
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The memoized result for `key`, if resident: promoted to
+    /// most-recently-used, counted as a cache hit, and returned with
+    /// [`RunResult::from_cache`] set. The [`crate::service::SimService`]
+    /// fast path.
+    pub fn cached_result(&self, key: u64) -> Option<RunResult> {
+        let mut result = lock_unpoisoned(&self.cache).get(key)?.clone();
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        result.from_cache = true;
+        Some(result)
+    }
+
+    /// Counts a duplicate submission coalesced onto an in-flight
+    /// simulation (the [`crate::service::SimService`] single-flight path).
+    pub(crate) fn note_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a submission shed by a layer above the runner.
+    pub(crate) fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Attaches a checkpoint file: previously completed points are seeded
     /// into the run cache (they will be served as cache hits), and every
     /// point completed from now on is appended to the file as it
@@ -565,7 +700,7 @@ impl Runner {
         {
             let mut cache = lock_unpoisoned(&self.cache);
             for (key, result) in entries {
-                cache.entry(key).or_insert(result);
+                cache.insert_if_absent(key, result);
             }
         }
         *lock_unpoisoned(&self.checkpoint) = Some(ckpt);
@@ -591,45 +726,84 @@ impl Runner {
     pub fn run_all(&self, reqs: &[RunRequest]) -> Vec<Result<RunResult, RunError>> {
         let keys: Vec<u64> = reqs.iter().map(RunRequest::stable_key).collect();
 
-        // Serve whatever the cache already has, and collect the distinct
-        // missing points in first-occurrence order (stable across runs, so
-        // scheduling is reproducible).
+        // One pass under the cache lock: pin every resident result (a
+        // clone, so this batch's own inserts can never evict a result we
+        // still owe the caller), and collect the distinct missing points
+        // in first-occurrence order (stable across runs, so scheduling is
+        // reproducible).
+        let mut pinned: HashMap<u64, RunResult> = HashMap::new();
         let mut fresh: Vec<(u64, &RunRequest)> = Vec::new();
         {
-            let cache = lock_unpoisoned(&self.cache);
+            let mut cache = lock_unpoisoned(&self.cache);
             for (&key, req) in keys.iter().zip(reqs) {
-                if !cache.contains_key(&key) && fresh.iter().all(|&(k, _)| k != key) {
-                    fresh.push((key, req));
+                if pinned.contains_key(&key) || fresh.iter().any(|&(k, _)| k == key) {
+                    continue;
+                }
+                match cache.get(key) {
+                    Some(result) => {
+                        pinned.insert(key, result.clone());
+                    }
+                    None => fresh.push((key, req)),
                 }
             }
         }
 
+        // Admission control: each fresh point needs an execution slot;
+        // with a queue limit set, the overflow is shed with a typed
+        // rejection instead of piling up. Cache hits cost nothing and are
+        // never shed.
+        let (admitted, shed) = self.admit(fresh);
+
         let reporter = self.reporter();
-        reporter.report(ProgressEvent::BatchStarted { points: reqs.len(), fresh: fresh.len() });
-        let computed = self.simulate_batch(&fresh);
+        reporter.report(ProgressEvent::BatchStarted { points: reqs.len(), fresh: admitted.len() });
+        let computed = self.simulate_batch(&admitted);
+        self.inflight.fetch_sub(admitted.len(), Ordering::Relaxed);
 
         let mut failed: HashMap<u64, RunError> = HashMap::new();
-        let mut cache = lock_unpoisoned(&self.cache);
-        for ((key, _), outcome) in fresh.iter().zip(computed) {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            match outcome {
-                Ok(result) => {
-                    self.simulated_instructions.fetch_add(result.metrics.instructions, Ordering::Relaxed);
-                    self.busy_nanos.fetch_add(result.wall.as_nanos() as u64, Ordering::Relaxed);
-                    cache.insert(*key, result);
-                }
-                Err(error) => {
-                    self.failures.fetch_add(1, Ordering::Relaxed);
-                    failed.insert(*key, error);
+        let limit = self.queue_limit().unwrap_or(usize::MAX);
+        for (key, req) in &shed {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            failed.insert(
+                *key,
+                RunError::Overloaded {
+                    point: PointSummary::of(req),
+                    retry_after: self.retry_after_hint(),
+                    inflight: limit,
+                    limit,
+                },
+            );
+        }
+
+        // Bank successes into the cache *and* a batch-local map: the
+        // cache may evict them immediately under a tiny byte budget, but
+        // this batch's callers still get their results.
+        let mut banked: HashMap<u64, RunResult> = HashMap::new();
+        {
+            let mut cache = lock_unpoisoned(&self.cache);
+            for ((key, _), outcome) in admitted.iter().zip(computed) {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                match outcome {
+                    Ok(result) => {
+                        self.simulated_instructions.fetch_add(result.metrics.instructions, Ordering::Relaxed);
+                        self.busy_nanos.fetch_add(result.wall.as_nanos() as u64, Ordering::Relaxed);
+                        cache.insert(*key, result.clone());
+                        banked.insert(*key, result);
+                    }
+                    Err(error) => {
+                        self.failures.fetch_add(1, Ordering::Relaxed);
+                        failed.insert(*key, error);
+                    }
                 }
             }
         }
 
         // Assemble results in submission order. The first occurrence of a
-        // freshly simulated point reports from_cache = false; everything
-        // else (cache hits and intra-batch duplicates) reports true.
-        // Failed points are reported (cloned for duplicates) and counted
-        // neither as hits nor as extra misses.
+        // freshly simulated point reports from_cache = false; repeats of
+        // it are coalesced hits, and occurrences of pinned (pre-resident)
+        // results are cache hits — the split tells memoization apart from
+        // intra-batch stampede suppression. Failed and shed points are
+        // reported (cloned for duplicates) and counted neither as hits
+        // nor as extra misses.
         let mut first_use: Vec<u64> = Vec::new();
         let mut cached_served = 0usize;
         let results: Vec<Result<RunResult, RunError>> = keys
@@ -639,12 +813,20 @@ impl Runner {
                 if let Some(error) = failed.get(key) {
                     return Err(error.clone());
                 }
-                let mut result = cache.get(key).expect("every key was simulated or cached").clone();
-                let fresh_now = fresh.iter().any(|&(k, _)| k == *key) && !first_use.contains(key);
+                let fresh_now = banked.contains_key(key) && !first_use.contains(key);
+                let mut result = banked
+                    .get(key)
+                    .or_else(|| pinned.get(key))
+                    .expect("every key was simulated, pinned, or failed")
+                    .clone();
                 if fresh_now {
                     first_use.push(*key);
                 } else {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    if pinned.contains_key(key) {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
                     cached_served += 1;
                     reporter.report(ProgressEvent::PointCached { label: point_label(req) });
                 }
@@ -653,11 +835,57 @@ impl Runner {
             })
             .collect();
         reporter.report(ProgressEvent::BatchFinished {
-            fresh: fresh.len(),
+            fresh: admitted.len(),
             cached: cached_served,
             failed: failed.len(),
         });
+        reporter.report(self.pressure().event());
         results
+    }
+
+    /// Splits `fresh` into the points that won an execution slot and the
+    /// overflow to shed. Slots are reserved with a bounded CAS loop so
+    /// concurrent batches through one runner share the same admission
+    /// budget; without a queue limit every point is admitted (and still
+    /// counted in-flight for [`Runner::pressure`]).
+    fn admit<'a>(&self, fresh: KeyedPoints<'a>) -> (KeyedPoints<'a>, KeyedPoints<'a>) {
+        let limit = self.queue_limit();
+        let mut admitted = Vec::with_capacity(fresh.len());
+        let mut shed = Vec::new();
+        for (key, req) in fresh {
+            let slot = match limit {
+                None => {
+                    self.inflight.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+                Some(limit) => self.try_reserve_slot(limit),
+            };
+            if slot {
+                admitted.push((key, req));
+            } else {
+                shed.push((key, req));
+            }
+        }
+        (admitted, shed)
+    }
+
+    /// Reserves one in-flight slot below `limit`, lock-free.
+    fn try_reserve_slot(&self, limit: usize) -> bool {
+        let mut current = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if current >= limit {
+                return false;
+            }
+            match self.inflight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
     }
 
     /// Convenience over [`Runner::run_all`] when only the metrics matter
@@ -679,9 +907,17 @@ impl Runner {
 
     /// Aggregate cache and throughput counters.
     pub fn stats(&self) -> RunnerStats {
+        let (cache_evictions, cache_bytes) = {
+            let cache = lock_unpoisoned(&self.cache);
+            (cache.evictions(), cache.bytes())
+        };
         RunnerStats {
             cache_hits: self.hits.load(Ordering::Relaxed),
+            coalesced_hits: self.coalesced.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),
+            cache_evictions,
+            cache_bytes,
+            shed_points: self.shed.load(Ordering::Relaxed),
             failed_points: self.failures.load(Ordering::Relaxed),
             retried_attempts: self.retries.load(Ordering::Relaxed),
             spec_builds: self.spec_builds.load(Ordering::Relaxed),
@@ -719,6 +955,18 @@ impl Runner {
     /// returned result's [`RunResult::attempts`] records how many tries
     /// it took. A cancelled runner fails the point fast, before any
     /// simulation work.
+    /// Runs `req` now, on the calling thread, bypassing the run cache and
+    /// admission control entirely: nothing is looked up, banked, shed, or
+    /// counted toward hit/miss stats. The spec memo, retry policy, default
+    /// deadline, and cancellation token still apply, so the result is
+    /// digest-identical to what a cached [`Runner::run`] of the same
+    /// request would compute — which is exactly what the governance
+    /// invariance tests use it for (a reference run untouched by cache
+    /// policy).
+    pub fn execute_uncached(&self, req: &RunRequest) -> Result<RunResult, RunError> {
+        self.execute_point(req)
+    }
+
     fn execute_point(&self, req: &RunRequest) -> Result<RunResult, RunError> {
         if self.cancel.is_cancelled() {
             // heap_steps = 0 reads as "cancelled before it started".
@@ -778,7 +1026,22 @@ impl Runner {
             cancel: self.cancel.clone(),
             deadline: budget.map(|b| Instant::now() + b),
         };
-        match panic::catch_unwind(AssertUnwindSafe(|| run_req.try_execute_controlled(spec, &ctrl))) {
+        // Runner-layer fault injection: AllocPressure holds a touched
+        // ballast allocation across the attempt (the engine never sees
+        // it), stressing the host the way an obs-heavy neighbour would.
+        let _ballast = match run_req.config.fault_injection {
+            Some(InjectedFault::AllocPressure { mib }) => {
+                let mut ballast = vec![0u8; (mib as usize) << 20];
+                for page in ballast.chunks_mut(4096) {
+                    page[0] = 1;
+                }
+                Some(ballast)
+            }
+            _ => None,
+        };
+        let outcome = match panic::catch_unwind(AssertUnwindSafe(|| {
+            run_req.try_execute_controlled(spec, &ctrl)
+        })) {
             Ok(Ok(result)) => Ok(result),
             Ok(Err(sim_error)) => Err(RunError::from_sim(point, sim_error)),
             // `as_ref` matters: `&payload` would coerce the Box itself into
@@ -786,7 +1049,17 @@ impl Runner {
             Err(payload) => {
                 Err(RunError::Panicked { point, payload: panic_message(payload.as_ref()) })
             }
+        };
+        // SlowConsumer holds the finished result (and with it the worker
+        // slot) before releasing it — the deterministic way the chaos
+        // drills keep an admission slot occupied. The metrics are already
+        // computed, so they stay byte-identical to the healthy run.
+        if let Some(InjectedFault::SlowConsumer { delay_ms }) = run_req.config.fault_injection {
+            if outcome.is_ok() {
+                std::thread::sleep(Duration::from_millis(delay_ms));
+            }
         }
+        outcome
     }
 
     /// Appends a completed point to the attached checkpoint, if any.
@@ -1015,9 +1288,12 @@ mod tests {
         assert_eq!(format!("{:?}", first.metrics), format!("{:?}", second.metrics));
         let stats = runner.stats();
         assert_eq!(stats.cache_misses, 1);
-        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_hits, 1, "a cross-call repeat is a true memoized hit");
+        assert_eq!(stats.coalesced_hits, 0);
         assert_eq!(stats.failed_points, 0);
         assert_eq!(runner.cached_points(), 1);
+        assert!(stats.cache_bytes > 0, "the resident result must be charged");
+        assert!(stats.cache_bytes <= runner.cache_budget());
     }
 
     #[test]
@@ -1046,7 +1322,10 @@ mod tests {
             .map(expect_ok)
             .collect();
         assert_eq!(results.len(), 4);
-        assert_eq!(runner.stats().cache_misses, 2, "two distinct points in the batch");
+        let stats = runner.stats();
+        assert_eq!(stats.cache_misses, 2, "two distinct points in the batch");
+        assert_eq!(stats.coalesced_hits, 2, "intra-batch duplicates coalesce onto the fresh run");
+        assert_eq!(stats.cache_hits, 0, "nothing was memoized before this batch");
         assert!(!results[0].from_cache);
         assert!(!results[1].from_cache);
         assert!(results[2].from_cache);
@@ -1307,6 +1586,90 @@ mod tests {
         expect_ok(runner.run(&roomy));
         runner.set_default_deadline(None);
         assert_eq!(runner.default_deadline(), None);
+    }
+
+    #[test]
+    fn a_tiny_cache_budget_evicts_but_never_changes_results() {
+        let runner = Runner::new(1);
+        let first = tiny_request();
+        let reference = expect_ok(runner.run(&first));
+        // Rebudget below one entry's weight: the resident result is
+        // evicted and nothing can become resident.
+        runner.set_cache_bytes(8);
+        let stats = runner.stats();
+        assert_eq!(stats.cache_bytes, 0);
+        assert!(stats.cache_evictions >= 1);
+        assert_eq!(runner.cached_points(), 0);
+        // The evicted point re-simulates — a miss, not a hit — and its
+        // metrics are byte-identical: eviction is a cost, never a change.
+        let again = expect_ok(runner.run(&first));
+        assert!(!again.from_cache);
+        assert_eq!(again.metrics.digest(), reference.metrics.digest());
+        assert_eq!(runner.stats().cache_misses, 2);
+        assert!(runner.stats().cache_bytes <= runner.cache_budget());
+    }
+
+    #[test]
+    fn a_zero_queue_limit_sheds_fresh_points_but_serves_hits() {
+        let runner = Runner::new(1);
+        let req = tiny_request();
+        expect_ok(runner.run(&req));
+        runner.set_queue_limit(Some(0));
+        // The memoized point is still served: hits are never shed.
+        assert!(expect_ok(runner.run(&req)).from_cache);
+        // A fresh point cannot win a slot and is shed with a hint.
+        let err = runner.run(&req.clone().with_seed(5)).expect_err("no slots means shed");
+        assert!(err.is_overload(), "got {err}");
+        match &err {
+            RunError::Overloaded { retry_after, .. } => assert!(*retry_after > Duration::ZERO),
+            other => panic!("expected Overloaded, got {other}"),
+        }
+        let stats = runner.stats();
+        assert_eq!(stats.shed_points, 1);
+        assert_eq!(stats.failed_points, 0, "a shed point never simulated, so it never failed");
+        // Lifting the limit recovers the same point.
+        runner.set_queue_limit(None);
+        expect_ok(runner.run(&req.clone().with_seed(5)));
+        assert_eq!(runner.queue_limit(), None);
+    }
+
+    #[test]
+    fn execute_uncached_bypasses_cache_and_stats() {
+        let runner = Runner::new(1);
+        let req = tiny_request();
+        let cached = expect_ok(runner.run(&req));
+        let direct = runner.execute_uncached(&req).expect("uncached run completes");
+        assert!(!direct.from_cache);
+        assert_eq!(direct.metrics.digest(), cached.metrics.digest());
+        let stats = runner.stats();
+        assert_eq!(stats.cache_misses, 1, "the uncached run is not a miss");
+        assert_eq!(stats.cache_hits, 0, "...and not a hit");
+    }
+
+    #[test]
+    fn pressure_reports_cache_residency_and_idle_slots() {
+        let runner = Runner::new(2);
+        expect_ok(runner.run(&tiny_request()));
+        let p = runner.pressure();
+        assert_eq!(p.queue_depth, 0);
+        assert_eq!(p.inflight, 0, "no batch is running");
+        assert_eq!(p.cache_entries, 1);
+        assert!(p.cache_bytes > 0 && p.cache_bytes <= p.cache_budget);
+        assert_eq!(p.shed, 0);
+    }
+
+    #[test]
+    fn governance_knobs_are_excluded_from_the_stable_key() {
+        // A cache budget or admission limit changes when work is refused
+        // or recomputed, never what any simulation computes — so equal
+        // requests stay equal across differently-governed runners.
+        let runner_a = Runner::new(1);
+        let runner_b = Runner::new(1);
+        runner_b.set_cache_bytes(8);
+        runner_b.set_queue_limit(Some(64));
+        let a = expect_ok(runner_a.run(&tiny_request()));
+        let b = expect_ok(runner_b.run(&tiny_request()));
+        assert_eq!(a.metrics.digest(), b.metrics.digest());
     }
 
     #[test]

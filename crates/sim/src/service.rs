@@ -1,0 +1,746 @@
+//! Resource governance for simulation-as-a-service: a bounded,
+//! byte-weighted, LRU-evicting run cache, single-flight stampede
+//! coalescing, and admission control with graceful shedding.
+//!
+//! The batch [`Runner`] memoizes completed points so repeated requests
+//! are free — but a long-lived server built on an unbounded memo map
+//! OOMs, a traffic spike of identical requests simulates each copy
+//! independently, and "too much work" has no answer but collapse. This
+//! module supplies the three governing policies:
+//!
+//! - [`BoundedResultCache`] — the run cache itself, now weighted by each
+//!   entry's serialized size (the checkpoint codec's encoding, plus any
+//!   in-memory observation payload) and bounded by a configurable byte
+//!   budget ([`Runner::set_cache_bytes`], `--cache-bytes`). Inserting
+//!   past the budget evicts least-recently-used entries; the budget is
+//!   never exceeded.
+//! - [`SimService`] — a submission front door over a shared [`Runner`].
+//!   Concurrent submissions with the same
+//!   [`RunRequest::stable_key`] attach to one in-flight simulation
+//!   (*single-flight*): exactly one client simulates, the rest wait on
+//!   the flight and receive clones. Submissions beyond the service's
+//!   slot and queue limits are shed with a typed
+//!   [`RunError::Overloaded`] carrying a retry-after hint instead of
+//!   queueing without bound.
+//! - [`PressureSnapshot`] — the observable state of both policies
+//!   (queue depth, in-flight count, cache residency, shed count),
+//!   surfaced through the [`Reporter`] telemetry as
+//!   [`ProgressEvent::Pressure`] and queryable directly.
+//!
+//! None of this governance enters [`RunRequest::stable_key`], exactly
+//! like observation and deadline config before it (DESIGN.md §12): a
+//! byte budget, a queue limit, or an eviction can change *whether* and
+//! *when* a result is served from memory, never *what* a finished run
+//! computed. The golden-digest suite pins that invariant.
+
+use crate::checkpoint::encoded_size;
+use crate::error::{PointSummary, RunError};
+use crate::runner::{Runner, RunRequest, RunResult};
+use slicc_common::lock_unpoisoned;
+use slicc_obs::{Epoch, ProgressEvent, TraceEvent};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Default run-cache byte budget: 64 MiB. Generous enough that every
+/// paper sweep (bare metrics results are a few hundred bytes each) is
+/// effectively unbounded, small enough that a long-lived service cannot
+/// grow without limit. Override with [`Runner::set_cache_bytes`] /
+/// `--cache-bytes`.
+pub const DEFAULT_CACHE_BYTES: u64 = 64 << 20;
+
+/// Per-record framing overhead charged on top of the payload encoding
+/// (mirrors the checkpoint record: tag + key + len + hash), so an
+/// entry's weight is "what this result costs to keep", not zero for an
+/// empty payload.
+const ENTRY_OVERHEAD: u64 = 1 + 8 + 4 + 8;
+
+/// The byte weight of one cached result: its serialized payload size in
+/// the checkpoint codec plus the in-memory footprint of any observation
+/// artifacts it carries (event trace, interval series). Observation
+/// payloads dominate when present — an observed run with a deep event
+/// ring weighs thousands of entries' worth of bare metrics — which is
+/// exactly why they must be charged.
+pub fn result_weight(result: &RunResult) -> u64 {
+    let mut weight = ENTRY_OVERHEAD + encoded_size(result) as u64;
+    if let Some(obs) = &result.obs {
+        weight += (obs.events.len() * std::mem::size_of::<TraceEvent>()) as u64;
+        if let Some(series) = &obs.series {
+            weight += (series.epochs.len() * std::mem::size_of::<Epoch>()) as u64;
+        }
+    }
+    weight
+}
+
+/// One resident cache entry, threaded into the intrusive LRU list by
+/// key (`prev` toward the MRU end, `next` toward the LRU end).
+struct CacheEntry {
+    result: RunResult,
+    weight: u64,
+    prev: Option<u64>,
+    next: Option<u64>,
+}
+
+/// A bounded, byte-weighted, LRU-evicting map from
+/// [`RunRequest::stable_key`] to [`RunResult`].
+///
+/// Every entry is charged its [`result_weight`]; inserting past
+/// [`BoundedResultCache::max_bytes`] evicts from the least-recently-used
+/// end until the new entry fits. Reads ([`BoundedResultCache::get`])
+/// promote to most-recently-used. A result heavier than the entire
+/// budget is never admitted (the caller still holds it; it just is not
+/// memoized). The structure is a plain `HashMap` plus an intrusive
+/// doubly-linked list of keys — O(1) insert/get/evict, no external
+/// dependencies.
+pub struct BoundedResultCache {
+    max_bytes: u64,
+    bytes: u64,
+    evictions: u64,
+    map: HashMap<u64, CacheEntry>,
+    /// Most-recently-used key.
+    head: Option<u64>,
+    /// Least-recently-used key (the eviction end).
+    tail: Option<u64>,
+}
+
+impl BoundedResultCache {
+    /// An empty cache with a budget of `max_bytes`.
+    pub fn new(max_bytes: u64) -> Self {
+        BoundedResultCache {
+            max_bytes,
+            bytes: 0,
+            evictions: 0,
+            map: HashMap::new(),
+            head: None,
+            tail: None,
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn max_bytes(&self) -> u64 {
+        self.max_bytes
+    }
+
+    /// Bytes currently resident. Never exceeds
+    /// [`BoundedResultCache::max_bytes`].
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entries evicted over the cache's lifetime (including inserts too
+    /// heavy to ever become resident, which count as self-evictions).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Rebudgets the cache, evicting LRU-first if the new budget is
+    /// smaller than the resident set.
+    pub fn set_max_bytes(&mut self, max_bytes: u64) {
+        self.max_bytes = max_bytes;
+        self.evict_to(max_bytes);
+    }
+
+    /// Whether `key` is resident (no LRU promotion).
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// The resident result for `key`, promoted to most-recently-used.
+    pub fn get(&mut self, key: u64) -> Option<&RunResult> {
+        if !self.map.contains_key(&key) {
+            return None;
+        }
+        self.detach(key);
+        self.push_front(key);
+        Some(&self.map[&key].result)
+    }
+
+    /// Inserts (or replaces) `key`, evicting LRU entries until the new
+    /// entry fits. Returns whether the entry is resident afterwards
+    /// (false only when it alone outweighs the whole budget).
+    pub fn insert(&mut self, key: u64, result: RunResult) -> bool {
+        let weight = result_weight(&result);
+        if self.map.contains_key(&key) {
+            self.remove(key);
+        }
+        if weight > self.max_bytes {
+            // Too heavy to ever fit: count the refusal as an eviction of
+            // itself so thrash under a tiny budget is visible in stats.
+            self.evictions += 1;
+            return false;
+        }
+        self.evict_to(self.max_bytes - weight);
+        self.map.insert(key, CacheEntry { result, weight, prev: None, next: None });
+        self.bytes += weight;
+        self.push_front(key);
+        true
+    }
+
+    /// [`BoundedResultCache::insert`] only if `key` is not already
+    /// resident (checkpoint seeding must not clobber newer results).
+    pub fn insert_if_absent(&mut self, key: u64, result: RunResult) {
+        if !self.map.contains_key(&key) {
+            self.insert(key, result);
+        }
+    }
+
+    /// Removes `key`, returning whether it was resident.
+    pub fn remove(&mut self, key: u64) -> bool {
+        if !self.map.contains_key(&key) {
+            return false;
+        }
+        self.detach(key);
+        let entry = self.map.remove(&key).expect("checked resident");
+        self.bytes -= entry.weight;
+        true
+    }
+
+    /// Evicts least-recently-used entries until at most `budget` bytes
+    /// are resident.
+    fn evict_to(&mut self, budget: u64) {
+        while self.bytes > budget {
+            let victim = self.tail.expect("bytes > 0 implies a tail entry");
+            self.remove(victim);
+            self.evictions += 1;
+        }
+    }
+
+    /// Unlinks `key` from the LRU list (the map entry stays).
+    fn detach(&mut self, key: u64) {
+        let (prev, next) = {
+            let e = &self.map[&key];
+            (e.prev, e.next)
+        };
+        match prev {
+            Some(p) => self.map.get_mut(&p).expect("linked prev exists").next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.map.get_mut(&n).expect("linked next exists").prev = prev,
+            None => self.tail = prev,
+        }
+        let e = self.map.get_mut(&key).expect("detaching a resident key");
+        e.prev = None;
+        e.next = None;
+    }
+
+    /// Links `key` in at the most-recently-used end.
+    fn push_front(&mut self, key: u64) {
+        let old_head = self.head;
+        {
+            let e = self.map.get_mut(&key).expect("pushing a resident key");
+            e.prev = None;
+            e.next = old_head;
+        }
+        if let Some(h) = old_head {
+            self.map.get_mut(&h).expect("old head exists").prev = Some(key);
+        }
+        self.head = Some(key);
+        if self.tail.is_none() {
+            self.tail = Some(key);
+        }
+    }
+}
+
+/// The observable state of the governance layer at one instant: what an
+/// operator needs to tell "healthy", "hot", and "shedding" apart.
+/// Surfaced as [`ProgressEvent::Pressure`] on the runner's [`Reporter`]
+/// and queryable via [`Runner::pressure`] / [`SimService::pressure`].
+///
+/// [`Reporter`]: slicc_obs::Reporter
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PressureSnapshot {
+    /// Submissions waiting for an execution slot (always 0 at the bare
+    /// [`Runner`], which sheds instead of queueing; the [`SimService`]
+    /// queues up to its configured limit).
+    pub queue_depth: usize,
+    /// Fresh simulations currently executing.
+    pub inflight: usize,
+    /// Bytes resident in the bounded run cache.
+    pub cache_bytes: u64,
+    /// The run cache's byte budget.
+    pub cache_budget: u64,
+    /// Entries resident in the run cache.
+    pub cache_entries: usize,
+    /// Submissions shed by admission control so far (process total).
+    pub shed: u64,
+}
+
+impl PressureSnapshot {
+    /// Renders this snapshot as its telemetry event.
+    pub fn event(&self) -> ProgressEvent {
+        ProgressEvent::Pressure {
+            queue_depth: self.queue_depth,
+            inflight: self.inflight,
+            cache_bytes: self.cache_bytes,
+            cache_budget: self.cache_budget,
+            cache_entries: self.cache_entries,
+            shed: self.shed,
+        }
+    }
+}
+
+/// Sizing policy for a [`SimService`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Fresh simulations allowed to execute concurrently through this
+    /// service (clamped to at least 1). Coalesced waiters and cache hits
+    /// do not consume slots.
+    pub max_inflight: usize,
+    /// Submissions allowed to *wait* for a slot before further arrivals
+    /// are shed with [`RunError::Overloaded`]. Zero means "never queue":
+    /// anything beyond the in-flight slots is shed immediately.
+    pub queue_limit: usize,
+}
+
+impl ServiceConfig {
+    /// `max_inflight` slots with a queue of twice that depth — a
+    /// reasonable default for a service sized to the host.
+    pub fn with_inflight(max_inflight: usize) -> Self {
+        let max_inflight = max_inflight.max(1);
+        ServiceConfig { max_inflight, queue_limit: max_inflight * 2 }
+    }
+}
+
+/// One in-flight simulation that duplicate submissions attach to.
+struct Flight {
+    outcome: Mutex<Option<Result<RunResult, RunError>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight { outcome: Mutex::new(None), done: Condvar::new() }
+    }
+
+    /// Blocks until the owning submission fills the flight, then returns
+    /// a clone of its outcome with `from_cache` set (the waiter did not
+    /// simulate anything).
+    fn wait(&self) -> Result<RunResult, RunError> {
+        let guard = lock_unpoisoned(&self.outcome);
+        let guard = wait_unpoisoned(&self.done, guard, |o| o.is_none());
+        let mut outcome = guard.clone().expect("flight filled before notify");
+        if let Ok(result) = &mut outcome {
+            result.from_cache = true;
+        }
+        outcome
+    }
+
+    fn fill(&self, outcome: &Result<RunResult, RunError>) {
+        *lock_unpoisoned(&self.outcome) = Some(outcome.clone());
+        self.done.notify_all();
+    }
+}
+
+/// `Condvar::wait_while` with the workspace's poison-recovery policy
+/// (see [`slicc_common::lock_unpoisoned`]): a panicked peer must not
+/// wedge every waiter behind a poisoned lock.
+fn wait_unpoisoned<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    mut while_: impl FnMut(&mut T) -> bool,
+) -> MutexGuard<'a, T> {
+    cv.wait_while(guard, &mut while_).unwrap_or_else(|e| {
+        let mut guard = e.into_inner();
+        while while_(&mut guard) {
+            // The condvar itself is not poisoned, only the mutex; spin
+            // through wait() manually. This path only runs after a peer
+            // panicked while holding the lock — correctness over speed.
+            guard = cv
+                .wait_timeout(guard, Duration::from_millis(10))
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        guard
+    })
+}
+
+struct ServiceState {
+    /// In-flight simulations by stable key; duplicate submissions attach
+    /// here instead of simulating.
+    flights: HashMap<u64, Arc<Flight>>,
+    /// Submissions currently holding an execution slot.
+    executing: usize,
+    /// Submissions currently waiting for a slot.
+    queued: usize,
+}
+
+/// A resource-governed submission front door over a shared [`Runner`]:
+/// the piece a long-lived server exposes to its clients (ROADMAP item
+/// 1's wire protocol plugs in directly above this).
+///
+/// Each client calls [`SimService::submit`] from its own thread.
+/// The service resolves the submission in this order:
+///
+/// 1. **Memoized** — the bounded run cache has the result: served
+///    immediately, no slot consumed (`cache_hits` in
+///    [`crate::RunnerStats`]).
+/// 2. **Coalesced** — an identical submission is already simulating:
+///    attach to its flight and wait (`coalesced_hits`). Exactly one
+///    simulation runs no matter how many clients stampede.
+/// 3. **Admitted** — a free execution slot: simulate on the calling
+///    thread through the shared runner (which banks the result in the
+///    bounded cache and any attached checkpoint).
+/// 4. **Queued** — all slots busy but the wait queue has room: block
+///    until a slot frees or the result materializes.
+/// 5. **Shed** — slots and queue both full: fail fast with
+///    [`RunError::Overloaded`] and a retry-after hint
+///    ([`Runner::retry_after_hint`]). Nothing simulates; the client is
+///    expected to back off and resubmit.
+pub struct SimService {
+    runner: Arc<Runner>,
+    cfg: ServiceConfig,
+    state: Mutex<ServiceState>,
+    /// Signalled when an execution slot frees or a flight registers, so
+    /// queued submissions re-evaluate their options.
+    slots: Condvar,
+}
+
+impl SimService {
+    /// A service over `runner` with the given sizing policy.
+    pub fn new(runner: Arc<Runner>, cfg: ServiceConfig) -> Self {
+        let cfg = ServiceConfig { max_inflight: cfg.max_inflight.max(1), ..cfg };
+        SimService {
+            runner,
+            cfg,
+            state: Mutex::new(ServiceState { flights: HashMap::new(), executing: 0, queued: 0 }),
+            slots: Condvar::new(),
+        }
+    }
+
+    /// A service sized to its runner's worker pool.
+    pub fn with_runner(runner: Arc<Runner>) -> Self {
+        let jobs = runner.jobs();
+        SimService::new(runner, ServiceConfig::with_inflight(jobs))
+    }
+
+    /// The shared runner (stats, cancellation, checkpoint attachment).
+    pub fn runner(&self) -> &Arc<Runner> {
+        &self.runner
+    }
+
+    /// The sizing policy.
+    pub fn config(&self) -> ServiceConfig {
+        self.cfg
+    }
+
+    /// The service's current pressure: real queue depth and in-flight
+    /// count from the submission layer, cache and shed state from the
+    /// shared runner.
+    pub fn pressure(&self) -> PressureSnapshot {
+        let (queued, executing) = {
+            let st = lock_unpoisoned(&self.state);
+            (st.queued, st.executing)
+        };
+        let mut p = self.runner.pressure();
+        p.queue_depth = queued;
+        p.inflight = executing;
+        p
+    }
+
+    /// Submits one request, blocking until it resolves (served, simulated,
+    /// failed, or shed). See the struct docs for the resolution order.
+    pub fn submit(&self, req: &RunRequest) -> Result<RunResult, RunError> {
+        let key = req.stable_key();
+        loop {
+            // Memoized? (Also re-checked after every wait: a flight we
+            // waited out banks its result here.)
+            if let Some(hit) = self.runner.cached_result(key) {
+                return Ok(hit);
+            }
+
+            let mut st = lock_unpoisoned(&self.state);
+            if let Some(flight) = st.flights.get(&key).map(Arc::clone) {
+                drop(st);
+                self.runner.note_coalesced();
+                return flight.wait();
+            }
+
+            if st.executing < self.cfg.max_inflight {
+                st.executing += 1;
+                let flight = Arc::new(Flight::new());
+                st.flights.insert(key, Arc::clone(&flight));
+                drop(st);
+                // Late arrivals in the window between our cache check and
+                // the flight registration attach to the flight; the
+                // runner re-checks its cache anyway.
+                self.slots.notify_all();
+
+                let outcome = self.runner.run(req);
+                flight.fill(&outcome);
+                let mut st = lock_unpoisoned(&self.state);
+                st.flights.remove(&key);
+                st.executing -= 1;
+                drop(st);
+                self.slots.notify_all();
+                self.report_pressure();
+                return outcome;
+            }
+
+            // No free slot: queue if there is room, shed otherwise.
+            if st.queued >= self.cfg.queue_limit {
+                drop(st);
+                self.runner.note_shed();
+                self.report_pressure();
+                return Err(RunError::Overloaded {
+                    point: PointSummary::of(req),
+                    retry_after: self.runner.retry_after_hint(),
+                    inflight: self.cfg.max_inflight,
+                    limit: self.cfg.queue_limit,
+                });
+            }
+            st.queued += 1;
+            let max_inflight = self.cfg.max_inflight;
+            let mut st = wait_unpoisoned(&self.slots, st, |s| {
+                s.executing >= max_inflight && !s.flights.contains_key(&key)
+            });
+            st.queued -= 1;
+            drop(st);
+            // Loop: re-check cache, flights, and slots from the top.
+        }
+    }
+
+    /// Emits the current pressure snapshot on the runner's reporter.
+    fn report_pressure(&self) {
+        let snapshot = self.pressure();
+        self.runner.reporter().report(snapshot.event());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use slicc_trace::{TraceScale, Workload};
+
+    fn tiny_request(seed: u64) -> RunRequest {
+        RunRequest::new(Workload::TpcC1, TraceScale::tiny(), SimConfig::tiny_test()).with_seed(seed)
+    }
+
+    /// A synthetic result whose weight is controlled through the
+    /// workload-name string (the codec stores it length-prefixed).
+    fn padded_result(pad: usize) -> RunResult {
+        let mut result = RunResult {
+            metrics: Default::default(),
+            wall: Duration::from_millis(1),
+            sim_ips: 0.0,
+            from_cache: false,
+            obs: None,
+            attempts: 1,
+        };
+        result.metrics.workload = "w".repeat(pad);
+        result
+    }
+
+    #[test]
+    fn weights_charge_the_serialized_size_and_obs_payloads() {
+        let small = padded_result(1);
+        let big = padded_result(1000);
+        assert!(result_weight(&big) >= result_weight(&small) + 999);
+
+        let mut observed = padded_result(1);
+        let event = TraceEvent {
+            core: slicc_common::CoreId::new(0),
+            cycle: 0,
+            kind: slicc_obs::EventKind::ThreadStart { thread: 0 },
+        };
+        observed.obs = Some(slicc_obs::Observation {
+            events: vec![event; 100],
+            dropped_events: 0,
+            series: None,
+        });
+        assert!(
+            result_weight(&observed)
+                >= result_weight(&small) + 100 * std::mem::size_of::<TraceEvent>() as u64,
+            "an event trace must weigh what it occupies"
+        );
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget_and_recency() {
+        let unit = result_weight(&padded_result(16));
+        let mut cache = BoundedResultCache::new(unit * 3);
+        for key in 0..3u64 {
+            assert!(cache.insert(key, padded_result(16)));
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.bytes(), unit * 3);
+        assert_eq!(cache.evictions(), 0);
+
+        // Touch key 0 so key 1 is now least-recently-used.
+        assert!(cache.get(0).is_some());
+        assert!(cache.insert(3, padded_result(16)));
+        assert_eq!(cache.evictions(), 1);
+        assert!(!cache.contains(1), "the LRU entry must be the victim");
+        assert!(cache.contains(0) && cache.contains(2) && cache.contains(3));
+        assert!(cache.bytes() <= cache.max_bytes());
+    }
+
+    #[test]
+    fn an_entry_heavier_than_the_budget_is_refused_not_overflowed() {
+        let mut cache = BoundedResultCache::new(64);
+        assert!(!cache.insert(1, padded_result(4096)));
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.evictions(), 1, "the refusal is a self-eviction in stats");
+    }
+
+    #[test]
+    fn replacing_a_key_recharges_its_weight() {
+        let mut cache = BoundedResultCache::new(1 << 20);
+        cache.insert(1, padded_result(16));
+        let light = cache.bytes();
+        cache.insert(1, padded_result(512));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.bytes() > light, "the replacement's weight must be charged");
+        cache.insert(1, padded_result(16));
+        assert_eq!(cache.bytes(), light, "shrinking back must refund the difference");
+    }
+
+    #[test]
+    fn rebudgeting_down_evicts_to_fit() {
+        let unit = result_weight(&padded_result(16));
+        let mut cache = BoundedResultCache::new(unit * 4);
+        for key in 0..4u64 {
+            cache.insert(key, padded_result(16));
+        }
+        cache.set_max_bytes(unit * 2);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.bytes() <= cache.max_bytes());
+        assert!(cache.contains(2) && cache.contains(3), "the newest entries survive");
+    }
+
+    #[test]
+    fn insert_if_absent_preserves_the_resident_result() {
+        let mut cache = BoundedResultCache::new(1 << 20);
+        cache.insert(1, padded_result(16));
+        cache.insert_if_absent(1, padded_result(512));
+        assert_eq!(cache.get(1).unwrap().metrics.workload.len(), 16);
+    }
+
+    #[test]
+    fn service_serves_cache_hits_without_consuming_slots() {
+        let runner = Arc::new(Runner::new(1));
+        let service = SimService::new(
+            Arc::clone(&runner),
+            ServiceConfig { max_inflight: 1, queue_limit: 0 },
+        );
+        let req = tiny_request(1);
+        let first = service.submit(&req).expect("fresh point completes");
+        assert!(!first.from_cache);
+        let second = service.submit(&req).expect("memoized point is served");
+        assert!(second.from_cache);
+        let stats = runner.stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.coalesced_hits, 0);
+        assert_eq!(stats.shed_points, 0);
+    }
+
+    #[test]
+    fn a_stampede_coalesces_to_exactly_one_simulation() {
+        let runner = Arc::new(Runner::new(2));
+        let service = SimService::new(
+            Arc::clone(&runner),
+            ServiceConfig { max_inflight: 2, queue_limit: 16 },
+        );
+        let req = tiny_request(2);
+        let reference = runner.execute_uncached(&req).expect("reference run completes");
+
+        let digests: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| service.submit(&req).map(|r| r.metrics.digest())))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap().expect("submission completes")).collect()
+        });
+        for digest in &digests {
+            assert_eq!(*digest, reference.metrics.digest(), "coalesced results must be identical");
+        }
+        let stats = runner.stats();
+        assert_eq!(stats.cache_misses, 1, "one simulation no matter how many clients");
+        assert_eq!(
+            stats.cache_hits + stats.coalesced_hits,
+            7,
+            "every duplicate is served, not simulated: {stats:?}"
+        );
+        assert_eq!(service.pressure().inflight, 0, "all slots released");
+    }
+
+    #[test]
+    fn overload_sheds_with_a_typed_rejection_and_recovers() {
+        use crate::config::{InjectedFault, SimConfigBuilder};
+        let runner = Arc::new(Runner::new(1));
+        let service = SimService::new(
+            Arc::clone(&runner),
+            ServiceConfig { max_inflight: 1, queue_limit: 0 },
+        );
+        // A slow point holds the only slot long enough for the shed to be
+        // deterministic.
+        let slow_config = SimConfigBuilder::tiny_test()
+            .inject_fault(InjectedFault::SlowConsumer { delay_ms: 400 })
+            .build()
+            .expect("valid config");
+        let slow = RunRequest::new(Workload::TpcC1, TraceScale::tiny(), slow_config);
+
+        std::thread::scope(|scope| {
+            let occupant = scope.spawn(|| service.submit(&slow));
+            // Wait until the slow submission actually holds the slot.
+            while service.pressure().inflight == 0 {
+                std::thread::yield_now();
+            }
+            let err = service
+                .submit(&tiny_request(3))
+                .expect_err("with the slot held and no queue, arrivals must shed");
+            match &err {
+                RunError::Overloaded { retry_after, inflight, limit, .. } => {
+                    assert!(*retry_after > Duration::ZERO);
+                    assert_eq!(*inflight, 1);
+                    assert_eq!(*limit, 0);
+                }
+                other => panic!("expected Overloaded, got {other}"),
+            }
+            assert!(err.is_overload());
+            occupant.join().unwrap().expect("the slow point itself completes");
+        });
+
+        // Recovery: the same request is admitted once the slot frees.
+        let recovered = service.submit(&tiny_request(3)).expect("post-overload submission");
+        assert!(!recovered.from_cache);
+        let stats = runner.stats();
+        assert_eq!(stats.shed_points, 1);
+        assert_eq!(service.pressure().shed, 1);
+    }
+
+    #[test]
+    fn queued_submissions_wait_instead_of_shedding() {
+        let runner = Arc::new(Runner::new(1));
+        let service = SimService::new(
+            Arc::clone(&runner),
+            ServiceConfig { max_inflight: 1, queue_limit: 8 },
+        );
+        let reqs: Vec<RunRequest> = (10..14).map(tiny_request).collect();
+        let service = &service;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                reqs.iter().map(|req| scope.spawn(move || service.submit(req))).collect();
+            for h in handles {
+                h.join().unwrap().expect("queued submissions complete");
+            }
+        });
+        let stats = runner.stats();
+        assert_eq!(stats.cache_misses, 4, "all distinct points simulate");
+        assert_eq!(stats.shed_points, 0, "a roomy queue sheds nothing");
+        let p = service.pressure();
+        assert_eq!((p.queue_depth, p.inflight), (0, 0));
+    }
+}

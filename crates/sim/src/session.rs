@@ -1,11 +1,11 @@
 //! The single engine entry point: [`RunSession`].
 //!
-//! PR 5 grew the engine a 2×2×2 matrix of entry points (`run` /
-//! `try_run` / `try_run_observed` / `try_run_controlled`, plus
-//! `set_control` on the engine itself), and the cross-cutting concerns
-//! each axis bolted on — cancellation polling, deadline clock reads, the
-//! observation seam — leaked into the per-step hot path, costing ~3.4%
-//! aggregate sim-ips. The session collapses the matrix into one builder:
+//! PR 5 grew the engine a 2×2×2 matrix of free-function entry points
+//! (run / try-run, observed, controlled — since removed), and the
+//! cross-cutting concerns each axis bolted on — cancellation polling,
+//! deadline clock reads, the observation seam — leaked into the per-step
+//! hot path, costing ~3.4% aggregate sim-ips. The session collapses the
+//! matrix into one builder:
 //!
 //! ```
 //! use slicc_sim::{RunControl, RunSession, SimConfig};

@@ -8,20 +8,15 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
-# API-freeze lane: the deprecated engine entry points exist for one
-# release as shims; no in-tree code may grow new uses. The shims
-# themselves (engine.rs) and the golden equivalence tests that pin
-# shim == session are the only legitimate mentions.
+# API-freeze lane: the PR-6 engine shims are gone — the removed entry
+# points may not exist anywhere in-tree, by any name, even as a
+# definition. Migrate to RunSession (or the Runner/SimService above it).
 if grep -rnE '\b(try_run_observed|try_run_controlled|try_new_observed|set_control)\b' \
-    --include='*.rs' crates tests examples \
-    | grep -v 'crates/sim/src/engine.rs' \
-    | grep -v 'crates/sim/src/session.rs' \
-    | grep -v 'crates/sim/src/lib.rs' \
-    | grep -v 'tests/golden.rs'; then
-    echo "deprecated engine entry points used in-tree: migrate to RunSession" >&2
+    --include='*.rs' crates tests examples; then
+    echo "removed engine entry points resurfaced in-tree: use RunSession" >&2
     exit 1
 fi
-echo "API-freeze lane ok (no new uses of deprecated entry points)"
+echo "API-freeze lane ok (removed entry points stay removed)"
 
 # Obs-off lane: with event capture compiled out the golden digests must
 # still be byte-identical — observability is zero-cost AND zero-effect.
@@ -48,6 +43,32 @@ EOF
 # Chaos lane: the fault matrix (injected panics, stalls, I/O failures,
 # torn checkpoint tails), deadline aborts, and cancellation drills.
 cargo test -p slicc-sim --test chaos -q
+
+# Service-chaos lane: the resource-governance drills by name — cache
+# thrash under a tiny byte budget, stampede storms coalescing to one
+# flight, overload shedding with recovery, and eviction racing coalesced
+# waiters (DESIGN.md §12). Named explicitly so the governance drills
+# run (and fail) as their own lane.
+cargo test -p slicc-sim --test chaos -q -- \
+    cache_thrash stampede_storm overload_shedding eviction_racing cli_zero_queue_limit
+
+# Pressure smoke: a JSON-progress run must emit at least one pressure
+# snapshot carrying the full governance surface.
+pressure_log="$(mktemp /tmp/slicc-ci-pressure.XXXXXX)"
+./target/release/slicc --scale tiny --progress json --cache-bytes 4096 \
+    > /dev/null 2> "$pressure_log"
+python3 - "$pressure_log" <<'EOF'
+import json, sys
+snapshots = [json.loads(line) for line in open(sys.argv[1])
+             if '"pressure"' in line]
+assert snapshots, "no pressure snapshot in --progress json output"
+for field in ("queue_depth", "inflight", "cache_bytes", "cache_budget",
+              "cache_entries", "shed"):
+    assert field in snapshots[-1], f"pressure snapshot lacks {field}"
+assert snapshots[-1]["cache_budget"] == 4096, "--cache-bytes must reach the snapshot"
+print(f"pressure smoke ok ({len(snapshots)} snapshot(s))")
+EOF
+rm -f "$pressure_log"
 
 # SIGINT-resume smoke: interrupt a checkpointed sweep after its first
 # point lands, expect a graceful 130 (or a photo-finish 0), then resume

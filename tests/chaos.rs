@@ -162,6 +162,16 @@ fn every_injected_fault_is_contained_and_healthy_digests_are_unchanged() {
                         assert!(!again.from_cache, "{what}: torn points re-simulate");
                         assert_eq!(again.metrics.digest(), reference, "{what}");
                     }
+                    // Runner-layer faults (a slow consumer holding its
+                    // worker slot, allocation pressure) touch neither the
+                    // engine nor the artifact layer: both points complete
+                    // and bank normally.
+                    InjectedFault::SlowConsumer { .. } | InjectedFault::AllocPressure { .. } => {
+                        assert_eq!(load.loaded, 2, "{what}: both points must be banked");
+                        let again = resumed.run(&healthy_request()).expect("resumed point");
+                        assert!(again.from_cache, "{what}: resume must not re-simulate");
+                        assert_eq!(again.metrics.digest(), reference, "{what}");
+                    }
                 }
                 let _ = std::fs::remove_file(&path);
                 let _ = std::fs::remove_file(slicc_sim::Checkpoint::quarantine_path(&path));
@@ -334,6 +344,216 @@ fn run_session_cancel_and_deadline_drills_abort_cleanly_and_are_contained() {
 }
 
 // ---------------------------------------------------------------------
+// Service drills: cache thrash, stampede storms, overload shedding —
+// the ISSUE-7 resource-governance half of the matrix. The invariant
+// throughout: governance changes when work is refused or recomputed,
+// never what a finished run computes.
+// ---------------------------------------------------------------------
+
+use slicc_sim::service::result_weight;
+use slicc_sim::{ServiceConfig, SimService};
+
+/// Thrash drill: a byte budget of ~1.5 entries forces every batch to
+/// evict. Results must stay digest-identical across passes, the budget
+/// must hold after every pass, and evicted points must simply
+/// re-simulate as misses.
+#[test]
+fn cache_thrash_under_a_tiny_byte_budget_is_bounded_and_digest_stable() {
+    let points: Vec<RunRequest> =
+        (0..6u64).map(|seed| healthy_request().with_seed(seed)).collect();
+    let runner = Runner::new(2);
+    let reference: Vec<u64> = points
+        .iter()
+        .map(|p| runner.execute_uncached(p).expect("reference run").metrics.digest())
+        .collect();
+
+    // Size the budget off a real entry so the drill survives codec
+    // changes: room for one resident result, never two.
+    let probe = runner.execute_uncached(&points[0]).expect("probe run");
+    let budget = result_weight(&probe) * 3 / 2;
+    runner.set_cache_bytes(budget);
+
+    for pass in 0..3 {
+        let results = runner.run_all(&points);
+        for (i, r) in results.iter().enumerate() {
+            let result = r.as_ref().expect("thrashing must not fail points");
+            assert_eq!(
+                result.metrics.digest(),
+                reference[i],
+                "pass {pass}: eviction changed point {i}'s result"
+            );
+        }
+        let stats = runner.stats();
+        assert!(
+            stats.cache_bytes <= budget,
+            "pass {pass}: {} resident bytes exceed the {budget} budget",
+            stats.cache_bytes
+        );
+    }
+    let stats = runner.stats();
+    assert!(stats.cache_evictions > 0, "a 1.5-entry budget must evict: {stats:?}");
+    assert!(
+        stats.cache_misses > points.len() as u64,
+        "evicted points re-simulate on later passes: {stats:?}"
+    );
+}
+
+/// Stampede drill: N clients storm one identical point while M more
+/// submit distinct points, all concurrently. Exactly one simulation per
+/// distinct key may run; every client gets the right digest.
+#[test]
+fn stampede_storm_of_identical_and_distinct_clients_coalesces_to_one_flight() {
+    const IDENTICAL_CLIENTS: usize = 6;
+    const DISTINCT_CLIENTS: usize = 3;
+
+    let runner = Arc::new(Runner::new(4));
+    let service = SimService::new(
+        Arc::clone(&runner),
+        ServiceConfig { max_inflight: 4, queue_limit: 32 },
+    );
+    let hot = healthy_request().with_seed(1000);
+    let hot_digest = runner.execute_uncached(&hot).expect("reference").metrics.digest();
+    let cold: Vec<RunRequest> =
+        (0..DISTINCT_CLIENTS as u64).map(|s| healthy_request().with_seed(s)).collect();
+    let cold_digests: Vec<u64> = cold
+        .iter()
+        .map(|p| runner.execute_uncached(p).expect("reference").metrics.digest())
+        .collect();
+
+    let (service, hot, cold) = (&service, &hot, &cold);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..IDENTICAL_CLIENTS {
+            handles.push(scope.spawn(move || {
+                service.submit(hot).expect("hot submission completes").metrics.digest()
+            }));
+        }
+        let cold_handles: Vec<_> = (0..DISTINCT_CLIENTS)
+            .map(|i| {
+                scope.spawn(move || {
+                    service.submit(&cold[i]).expect("cold submission completes").metrics.digest()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("hot client"), hot_digest);
+        }
+        for (i, h) in cold_handles.into_iter().enumerate() {
+            assert_eq!(h.join().expect("cold client"), cold_digests[i]);
+        }
+    });
+
+    let stats = runner.stats();
+    assert_eq!(
+        stats.cache_misses,
+        1 + DISTINCT_CLIENTS as u64,
+        "one flight per distinct key, no matter how many clients: {stats:?}"
+    );
+    assert_eq!(
+        stats.cache_hits + stats.coalesced_hits,
+        (IDENTICAL_CLIENTS - 1) as u64,
+        "every duplicate hot client is served without simulating: {stats:?}"
+    );
+}
+
+/// Overload drill: one slot, no queue, and a slow consumer holding the
+/// slot. Concurrent arrivals must shed with typed rejections and usable
+/// retry hints — and once the slot drains, the same submissions succeed.
+#[test]
+fn overload_shedding_rejects_typed_and_recovers_after_the_drain() {
+    let runner = Arc::new(Runner::new(1));
+    let service = SimService::new(
+        Arc::clone(&runner),
+        ServiceConfig { max_inflight: 1, queue_limit: 0 },
+    );
+    let slow = faulty_request(InjectedFault::SlowConsumer { delay_ms: 400 });
+
+    let (service, slow) = (&service, &slow);
+    std::thread::scope(|scope| {
+        let occupant = scope.spawn(move || service.submit(slow));
+        while service.pressure().inflight == 0 {
+            std::thread::yield_now();
+        }
+        // Three arrivals while the slot is held: all shed, none simulate.
+        for seed in 0..3 {
+            let err = service
+                .submit(&healthy_request().with_seed(seed))
+                .expect_err("no slot and no queue must shed");
+            assert!(err.is_overload(), "got {err}");
+            match &err {
+                RunError::Overloaded { retry_after, .. } => {
+                    assert!(*retry_after > Duration::ZERO, "the hint must be usable")
+                }
+                other => panic!("expected Overloaded, got {other}"),
+            }
+        }
+        occupant.join().expect("occupant thread").expect("the slow point itself completes");
+    });
+
+    assert_eq!(runner.stats().shed_points, 3);
+    assert_eq!(service.pressure().shed, 3);
+    // Recovery: the shed submissions are admitted once the slot frees.
+    for seed in 0..3 {
+        service
+            .submit(&healthy_request().with_seed(seed))
+            .expect("post-overload submission completes");
+    }
+    assert_eq!(runner.stats().failed_points, 0, "shed points never simulated, so never failed");
+}
+
+/// Eviction-race drill: the budget is smaller than one entry, so the
+/// result a stampede coalesces on can never become resident — waiters
+/// must still be served from the flight itself, digest-identical.
+#[test]
+fn eviction_racing_coalesced_waiters_still_serves_identical_results() {
+    let runner = Arc::new(Runner::new(2));
+    runner.set_cache_bytes(16); // below any entry's weight: nothing is ever resident
+    let service = SimService::new(
+        Arc::clone(&runner),
+        ServiceConfig { max_inflight: 2, queue_limit: 16 },
+    );
+    // A slow consumer holds the flight open long enough that every
+    // waiter deterministically attaches to it instead of racing a new
+    // simulation after the (impossible) cache insert.
+    let req = faulty_request(InjectedFault::SlowConsumer { delay_ms: 400 }).with_seed(77);
+    let reference = runner.execute_uncached(&req).expect("reference").metrics.digest();
+
+    let (service, req) = (&service, &req);
+    std::thread::scope(|scope| {
+        let owner = scope.spawn(move || {
+            service.submit(req).expect("owner submission completes").metrics.digest()
+        });
+        while service.pressure().inflight == 0 {
+            std::thread::yield_now();
+        }
+        let waiters: Vec<_> = (0..5)
+            .map(|_| {
+                scope.spawn(move || {
+                    service.submit(req).expect("waiter submission completes").metrics.digest()
+                })
+            })
+            .collect();
+        assert_eq!(owner.join().expect("owner"), reference);
+        for h in waiters {
+            assert_eq!(
+                h.join().expect("waiter"),
+                reference,
+                "a waiter raced an eviction and got a wrong result"
+            );
+        }
+    });
+
+    let stats = runner.stats();
+    assert_eq!(stats.cache_bytes, 0, "nothing can be resident under a 16-byte budget");
+    assert!(stats.cache_evictions > 0, "the refused insert counts as an eviction: {stats:?}");
+    assert_eq!(
+        stats.cache_misses, 1, // the uncached reference run is not counted
+        "every waiter must coalesce onto the one flight: {stats:?}"
+    );
+    assert_eq!(stats.coalesced_hits, 5, "{stats:?}");
+}
+
+// ---------------------------------------------------------------------
 // CLI half of the matrix: documented exit codes, end to end.
 // ---------------------------------------------------------------------
 
@@ -370,6 +590,18 @@ fn cli_expired_deadline_exits_one_with_a_snapshot() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("exceeded its deadline"), "got: {stderr}");
     assert!(stderr.contains("heap steps"), "the snapshot must be printed, got: {stderr}");
+}
+
+#[test]
+fn cli_zero_queue_limit_sheds_with_a_typed_overload_error() {
+    let out = slicc()
+        .args(["--scale", "tiny", "--queue-limit", "0", "--progress", "quiet"])
+        .output()
+        .expect("slicc runs");
+    assert_eq!(out.status.code(), Some(1), "a shed point must fail the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("overloaded"), "got: {stderr}");
+    assert!(stderr.contains("retry in"), "the retry-after hint must be printed, got: {stderr}");
 }
 
 #[test]

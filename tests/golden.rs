@@ -54,13 +54,13 @@ fn digest_is_stable_across_runs_and_sensitive_to_results() {
     assert_ne!(a, digest_of(SchedulerMode::Baseline), "different runs must differ");
 }
 
-/// The [`RunSession`] API and the deprecated one-release shims must
-/// simulate the same machine: every composition (quiescent, observed,
-/// controlled-but-never-fired) reproduces the golden digest in every
-/// mode. This is the equivalence contract that lets the shims delegate.
+/// Every [`RunSession`] composition — quiescent, observed,
+/// controlled-but-never-fired — must simulate the same machine: each
+/// reproduces the golden digest in every mode. This is the equivalence
+/// contract that let PR 6 collapse the engine's entry-point matrix into
+/// the one session builder.
 #[test]
-#[allow(deprecated)] // the point of this test is shim equivalence
-fn run_session_compositions_match_the_deprecated_entry_points_in_every_mode() {
+fn run_session_compositions_all_match_the_golden_digest_in_every_mode() {
     for (mode, want) in GOLDEN {
         let spec = Workload::TpcC1.spec(TraceScale::tiny());
         let cfg = SimConfig::tiny_test().with_mode(mode);
@@ -81,24 +81,42 @@ fn run_session_compositions_match_the_deprecated_entry_points_in_every_mode() {
             .unwrap()
             .metrics
             .digest();
-        let shim_run = slicc_sim::run(&spec, &cfg).digest();
-        let shim_try = slicc_sim::try_run(&spec, &cfg).unwrap().digest();
-        let shim_observed = slicc_sim::try_run_observed(&spec, &cfg, &ObsConfig::disabled())
-            .unwrap()
-            .0
-            .digest();
 
         for (what, got) in [
             ("quiescent session", quiescent),
             ("observed session", observed),
             ("controlled session", controlled),
-            ("deprecated run", shim_run),
-            ("deprecated try_run", shim_try),
-            ("deprecated try_run_observed", shim_observed),
         ] {
             assert_eq!(got, want, "{mode:?}: {what} drifted from the golden digest");
         }
     }
+}
+
+/// Resource governance — a bounded cache, admission limits, a service
+/// front door — must never change what a finished run computes: the
+/// golden digests reproduce under a thrashing byte budget and through
+/// [`slicc_sim::SimService`] submission alike (DESIGN.md §12).
+#[test]
+fn governed_runners_reproduce_the_golden_digests() {
+    use slicc_sim::{Runner, ServiceConfig, SimService};
+    use std::sync::Arc;
+
+    let runner = Arc::new(Runner::new(2));
+    runner.set_cache_bytes(64); // far below one entry: every insert evicts
+    let service = SimService::new(
+        Arc::clone(&runner),
+        ServiceConfig { max_inflight: 2, queue_limit: 8 },
+    );
+    for (mode, want) in GOLDEN {
+        let req = RunRequest::new(
+            Workload::TpcC1,
+            TraceScale::tiny(),
+            SimConfig::tiny_test().with_mode(mode),
+        );
+        let got = service.submit(&req).expect("governed submission completes").metrics.digest();
+        assert_eq!(got, want, "{mode:?}: governance changed a simulated result");
+    }
+    assert!(runner.stats().cache_bytes <= 64, "the byte budget must hold");
 }
 
 /// `threads_per_point` parallelizes trace *decoding*, never the

@@ -192,6 +192,115 @@ proptest! {
     }
 }
 
+/// A completed tiny run with its serialized weight padded via the
+/// workload name, for the cache-budget properties below. The base point
+/// is simulated once and cloned per case.
+fn padded_result(pad: usize) -> slicc_sim::RunResult {
+    use std::sync::OnceLock;
+    static BASE: OnceLock<slicc_sim::RunResult> = OnceLock::new();
+    let mut result = BASE
+        .get_or_init(|| {
+            slicc_sim::RunRequest::new(Workload::TpcC1, TraceScale::tiny(), SimConfig::tiny_test())
+                .try_execute()
+                .expect("tiny run completes")
+        })
+        .clone();
+    result.metrics.workload = "w".repeat(pad);
+    result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The bounded run cache's byte budget is an invariant, not a goal:
+    /// after *every* insert, resident bytes stay at or under the budget,
+    /// and an entry heavier than the whole budget is never resident
+    /// (DESIGN.md §12).
+    #[test]
+    fn bounded_cache_inserts_never_exceed_the_byte_budget(
+        budget in 64u64..16_384,
+        inserts in proptest::collection::vec((any::<u64>(), 0usize..4_096), 1..48),
+    ) {
+        use slicc_sim::service::result_weight;
+        use slicc_sim::BoundedResultCache;
+        let mut cache = BoundedResultCache::new(budget);
+        for (key, pad) in inserts {
+            let result = padded_result(pad);
+            let weight = result_weight(&result);
+            cache.insert(key, result);
+            prop_assert!(
+                cache.bytes() <= budget,
+                "{} bytes resident under a {} byte budget", cache.bytes(), budget
+            );
+            if weight > budget {
+                prop_assert!(
+                    !cache.contains(key),
+                    "an entry heavier than the whole budget must be refused, not resident"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case simulates three reference points plus a storm of
+    // submissions: keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any interleaving of concurrent duplicate submissions — through the
+    /// service front door, under an arbitrary (possibly thrashing) cache
+    /// budget — is digest-identical to an uncached execution of the same
+    /// points: governance never changes what a finished run computes.
+    #[test]
+    fn duplicate_submission_interleavings_match_uncached_execution(
+        order in proptest::collection::vec(0usize..3, 1..10),
+        budget_kib in 0u64..3,
+    ) {
+        use slicc_sim::{Runner, RunRequest, ServiceConfig, SimService};
+        use std::sync::Arc;
+
+        let runner = Arc::new(Runner::new(2));
+        runner.set_cache_bytes(budget_kib * 1024); // 0 refuses every entry
+        let service = SimService::new(
+            Arc::clone(&runner),
+            ServiceConfig { max_inflight: 2, queue_limit: 64 },
+        );
+        let points: Vec<RunRequest> = (0..3u64)
+            .map(|seed| {
+                RunRequest::new(Workload::TpcC1, TraceScale::tiny(), SimConfig::tiny_test())
+                    .with_seed(seed)
+            })
+            .collect();
+        let reference: Vec<u64> = points
+            .iter()
+            .map(|p| runner.execute_uncached(p).expect("reference run").metrics.digest())
+            .collect();
+
+        let (service, points, reference) = (&service, &points, &reference);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = order
+                .iter()
+                .map(|&which| {
+                    scope.spawn(move || {
+                        let result = service.submit(&points[which]).expect("submission completes");
+                        (which, result.metrics.digest())
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (which, got) = h.join().expect("client panicked");
+                assert_eq!(
+                    got, reference[which],
+                    "an interleaved submission diverged from uncached execution"
+                );
+            }
+        });
+        prop_assert!(runner.stats().cache_bytes <= runner.cache_budget());
+        let pressure = service.pressure();
+        prop_assert_eq!((pressure.queue_depth, pressure.inflight), (0, 0));
+    }
+}
+
 /// A checkpoint file seeded with three known records, for the damage
 /// properties below.
 fn seeded_checkpoint(tag: &str) -> (std::path::PathBuf, Vec<u8>) {

@@ -8,8 +8,8 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use slicc_sim::{
-    InjectedFault, RunError, RunRequest, RunResult, Runner, SchedulerMode, SimConfig,
-    SimConfigBuilder,
+    InjectedFault, RunError, RunRequest, RunResult, Runner, SchedulerMode, ServiceConfig,
+    SimConfig, SimConfigBuilder, SimService,
 };
 use slicc_trace::{TraceScale, Workload};
 
@@ -72,12 +72,22 @@ fn run_cache_deduplicates_shared_points_across_figures() {
     runner.run_all(&points);
     let after_first = runner.stats();
     assert_eq!(after_first.cache_misses, distinct as u64);
-    assert_eq!(after_first.cache_hits, (points.len() - distinct) as u64);
+    // The repeated baselines ride along with the fresh simulations in the
+    // same batch: they are coalesced duplicates, not memoized hits —
+    // nothing was resident when the batch arrived.
+    assert_eq!(after_first.coalesced_hits, (points.len() - distinct) as u64);
+    assert_eq!(after_first.cache_hits, 0);
 
-    // A second figure re-requesting the same points simulates nothing.
+    // A second figure re-requesting the same points simulates nothing:
+    // now every point is a true memoized hit.
     runner.run_all(&points);
     let after_second = runner.stats();
     assert_eq!(after_second.cache_misses, distinct as u64, "second pass must be fully cached");
+    assert_eq!(after_second.cache_hits, points.len() as u64);
+    assert_eq!(
+        after_second.coalesced_hits, after_first.coalesced_hits,
+        "a fully-resident pass coalesces nothing"
+    );
     assert_eq!(runner.cached_points(), distinct);
 }
 
@@ -169,6 +179,75 @@ fn faulty_points_are_isolated_and_checkpoint_resume_skips_completed_ones() {
     assert_eq!(stats.failed_points, 2);
 
     std::fs::remove_file(&path).ok();
+}
+
+/// The ISSUE-7 acceptance stress: thousands of submissions through the
+/// service front door — duplicates must coalesce to exactly one
+/// simulation per distinct point, every response must carry the right
+/// result, and the bounded cache must never exceed its byte budget.
+#[test]
+fn a_submission_storm_coalesces_to_one_simulation_per_distinct_point() {
+    use std::sync::Arc;
+
+    const DISTINCT: usize = 8;
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 250; // 8 x 250 = 2000 submissions
+
+    let runner = Arc::new(Runner::new(4));
+    let service = SimService::new(
+        Arc::clone(&runner),
+        ServiceConfig { max_inflight: 4, queue_limit: CLIENTS * PER_CLIENT },
+    );
+    let points: Vec<RunRequest> = (0..DISTINCT as u64)
+        .map(|seed| {
+            RunRequest::new(Workload::TpcC1, TraceScale::tiny(), SimConfig::tiny_test())
+                .with_seed(seed)
+        })
+        .collect();
+    let reference: Vec<u64> = points
+        .iter()
+        .map(|p| runner.execute_uncached(p).expect("reference run").metrics.digest())
+        .collect();
+
+    let (service, points, reference) = (&service, &points, &reference);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                scope.spawn(move || {
+                    for i in 0..PER_CLIENT {
+                        // Interleave so every point sees concurrent
+                        // duplicate submissions from several clients.
+                        let which = (i + client) % DISTINCT;
+                        let result =
+                            service.submit(&points[which]).expect("storm submission completes");
+                        assert_eq!(
+                            result.metrics.digest(),
+                            reference[which],
+                            "client {client} got the wrong result for point {which}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("storm client panicked");
+        }
+    });
+
+    let stats = runner.stats();
+    assert_eq!(
+        stats.cache_misses, DISTINCT as u64,
+        "duplicate in-flight requests must coalesce to exactly one simulation: {stats:?}"
+    );
+    assert_eq!(
+        stats.cache_hits + stats.coalesced_hits,
+        (CLIENTS * PER_CLIENT - DISTINCT) as u64,
+        "every other submission is served without simulating: {stats:?}"
+    );
+    assert_eq!(stats.shed_points, 0, "a roomy queue sheds nothing");
+    assert!(stats.cache_bytes <= runner.cache_budget(), "the byte budget must hold");
+    let pressure = service.pressure();
+    assert_eq!((pressure.queue_depth, pressure.inflight), (0, 0), "the storm fully drained");
 }
 
 /// Checkpoint-served results carry the same metrics the original
