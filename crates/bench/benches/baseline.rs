@@ -1,26 +1,28 @@
 //! The tracked performance baseline: times full small simulation points
-//! per scheduler mode plus the hot-structure microbenches, and emits
-//! machine-readable JSON so every PR has a perf trajectory to compare
-//! against (`BENCH_sim.json` at the repo root is the checked-in record).
+//! per scheduler mode, the hot-structure microbenches, and the
+//! `point_threads` scaling pair, and emits machine-readable JSON so
+//! every PR has a perf trajectory to compare against
+//! (`BENCH_history.json` at the repo root is the checked-in record —
+//! one append-only row per commit).
 //!
 //! ```text
 //! cargo bench --bench baseline                      # table + JSON to stdout
 //! cargo bench --bench baseline -- --quick           # 1 sample per point
-//! cargo bench --bench baseline -- --out BENCH_sim.json
-//! cargo bench --bench baseline -- --before old.json --out BENCH_sim.json
+//! cargo bench --bench baseline -- --out now.json    # measurement document
+//! cargo bench --bench baseline -- --history BENCH_history.json
 //! ```
 //!
-//! With `--before`, the previous JSON is embedded under `"before"` and the
-//! emitted document reports `"sim_ips_speedup"` — current aggregate
-//! simulated-instructions-per-second over the previous file's *best*
-//! `aggregate_sim_ips` (nested before/after documents carry one per
-//! generation; the maximum is the high-water mark to beat).
+//! With `--history`, one `{commit, date, host_cpus, benches[]}` row is
+//! appended to the named JSON array (created if missing). Rows are never
+//! rewritten: the rolling-baseline gate in `scripts/ci.sh` compares a
+//! fresh measurement against the median of the checked-in tail, so the
+//! file is a trend, not a ledger of one hand-nested before/after chain.
 
 use slicc_bench::{time_ns_per_iter, time_ns_per_run};
 use slicc_cache::{AccessKind, Cache, PolicyKind};
 use slicc_common::{BlockAddr, CacheGeometry, CoreId, SplitMix64};
 use slicc_mem::{L2AccessKind, L2Nuca};
-use slicc_sim::{RunRequest, SchedulerMode, SimConfig};
+use slicc_sim::{RunRequest, SchedulerMode, SimConfig, SimConfigBuilder};
 use slicc_trace::{TraceScale, Workload};
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -33,20 +35,20 @@ const MICRO_TIME: Duration = Duration::from_millis(300);
 struct Options {
     quick: bool,
     out: Option<String>,
-    before: Option<String>,
+    history: Option<String>,
 }
 
 fn parse_args() -> Options {
-    let mut opts = Options { quick: false, out: None, before: None };
+    let mut opts = Options { quick: false, out: None, history: None };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--bench" => {}
             "--quick" => opts.quick = true,
             "--out" => opts.out = args.next(),
-            "--before" => opts.before = args.next(),
+            "--history" => opts.history = args.next(),
             other => {
-                eprintln!("usage: bench baseline [--quick] [--out PATH] [--before PATH]");
+                eprintln!("usage: bench baseline [--quick] [--out PATH] [--history PATH]");
                 eprintln!("unknown argument '{other}'");
                 std::process::exit(2);
             }
@@ -148,17 +150,65 @@ fn bench_micro(measure: Duration, samples: usize) -> Vec<(String, f64)> {
     rows
 }
 
-/// Renders the measurement document (without any `before` nesting).
-fn render_doc(samples: usize, points: &[PointRow], micro: &[(String, f64)]) -> String {
+/// The intra-point scaling pair: a 32-core TPC-C point at
+/// `point_threads` 1 and 4, plus the digest cross-check that the lanes
+/// changed nothing. Reported sim-ips feed the `scaling/*` history rows;
+/// the speedup is only meaningful on hosts with CPUs to spare (the row
+/// records `host_cpus` so the CI gate can tell).
+fn bench_scaling(samples: usize) -> Vec<(String, f64)> {
+    let point = |threads: usize| {
+        let cfg = SimConfigBuilder::paper_baseline()
+            .cores(32, 8, 4)
+            .point_threads(threads)
+            .build()
+            .expect("32-core scaling machine is valid");
+        RunRequest::new(Workload::TpcC1, TraceScale::small(), cfg).with_tasks(256)
+    };
+    let mut rows = Vec::new();
+    let mut ips = Vec::new();
+    let mut digests = Vec::new();
+    for threads in [1usize, 4] {
+        let req = point(threads);
+        let metrics = req.execute().metrics; // warm-up + digest capture
+        digests.push(metrics.digest());
+        let ns = time_ns_per_run(samples, || req.execute());
+        let sim_ips = metrics.instructions as f64 * 1e9 / ns;
+        eprintln!(
+            "scaling/point-threads-{threads} {:>7.2} ms/run {:>10.2} M sim-ips",
+            ns / 1e6,
+            sim_ips / 1e6
+        );
+        rows.push((format!("scaling/point-threads-{threads}/sim_ips"), sim_ips));
+        ips.push(sim_ips);
+    }
+    assert_eq!(digests[0], digests[1], "point_threads changed the scaling point's digest");
+    let speedup = ips[1] / ips[0];
+    eprintln!("scaling/speedup-p4            {speedup:>12.3} x");
+    rows.push(("scaling/speedup-p4".to_string(), speedup));
+    rows
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Renders the standalone measurement document.
+fn render_doc(
+    samples: usize,
+    points: &[PointRow],
+    micro: &[(String, f64)],
+    scaling: &[(String, f64)],
+) -> String {
     let total_instr: u64 = points.iter().map(|p| p.instructions).sum();
     let total_ns: u64 = points.iter().map(|p| p.median_wall_ns).sum();
     let aggregate = total_instr as f64 * 1e9 / total_ns as f64;
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 1,");
+    let _ = writeln!(s, "  \"schema\": 2,");
     let _ = writeln!(s, "  \"workload\": \"TPC-C-1\",");
     let _ = writeln!(s, "  \"scale\": \"small\",");
     let _ = writeln!(s, "  \"samples\": {samples},");
+    let _ = writeln!(s, "  \"host_cpus\": {},", host_cpus());
     s.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         let comma = if i + 1 < points.len() { "," } else { "" };
@@ -175,43 +225,107 @@ fn render_doc(samples: usize, points: &[PointRow], micro: &[(String, f64)]) -> S
         let comma = if i + 1 < micro.len() { "," } else { "" };
         let _ = writeln!(s, "    \"{name}\": {ns:.1}{comma}");
     }
+    s.push_str("  },\n");
+    s.push_str("  \"scaling\": {\n");
+    for (i, (name, v)) in scaling.iter().enumerate() {
+        let comma = if i + 1 < scaling.len() { "," } else { "" };
+        let _ = writeln!(s, "    \"{name}\": {v:.3}{comma}");
+    }
     s.push_str("  }\n}");
     s
 }
 
-/// Pulls the best `"aggregate_sim_ips"` value out of a JSON document.
-/// Nested before/after documents carry one aggregate per generation;
-/// comparing against the *maximum* makes the reported speedup answer
-/// "did we beat the best this file has ever recorded?" rather than
-/// only the most recent (possibly already-regressed) generation.
-fn last_aggregate(json: &str) -> Option<f64> {
-    let needle = "\"aggregate_sim_ips\":";
-    let mut best: Option<f64> = None;
-    let mut rest = json;
-    while let Some(at) = rest.find(needle) {
-        let tail = &rest[at + needle.len()..];
-        let num: String = tail
-            .trim_start()
-            .chars()
-            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == 'E' || *c == '+')
-            .collect();
-        if let Ok(v) = num.parse::<f64>() {
-            best = Some(best.map_or(v, |b: f64| b.max(v)));
-        }
-        rest = tail;
-    }
-    best
+/// The current commit, `-dirty` suffixed when the tree has
+/// uncommitted changes, or `"unknown"` outside a git checkout.
+fn commit_label() -> String {
+    let rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string());
+    let Some(rev) = rev else { return "unknown".to_string() };
+    let dirty = std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .is_some_and(|o| !o.stdout.is_empty());
+    if dirty { format!("{rev}-dirty") } else { rev }
 }
 
-/// Indents every line of `block` by `indent` spaces (JSON nesting).
-fn indent_block(block: &str, indent: usize) -> String {
-    let pad = " ".repeat(indent);
-    block
-        .trim_end()
-        .lines()
-        .map(|l| format!("{pad}{l}"))
-        .collect::<Vec<_>>()
-        .join("\n")
+fn today() -> String {
+    std::process::Command::new("date")
+        .arg("+%F")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Renders one benchmark-action-style history row: flat named values so
+/// trend tooling never needs this file's schema beyond `benches[]`.
+fn render_history_row(
+    points: &[PointRow],
+    micro: &[(String, f64)],
+    scaling: &[(String, f64)],
+) -> String {
+    let total_instr: u64 = points.iter().map(|p| p.instructions).sum();
+    let total_ns: u64 = points.iter().map(|p| p.median_wall_ns).sum();
+    let aggregate = total_instr as f64 * 1e9 / total_ns as f64;
+    let mut benches: Vec<(String, f64, &str)> = Vec::new();
+    for p in points {
+        benches.push((format!("point/{}/sim_ips", p.mode), p.sim_ips, "sim-ips"));
+    }
+    benches.push(("aggregate_sim_ips".to_string(), aggregate, "sim-ips"));
+    for (name, ns) in micro {
+        benches.push((format!("micro/{name}"), *ns, "ns/iter"));
+    }
+    for (name, v) in scaling {
+        let unit = if name.ends_with("sim_ips") { "sim-ips" } else { "x" };
+        benches.push((name.clone(), *v, unit));
+    }
+
+    let mut s = String::new();
+    s.push_str("  {\n");
+    let _ = writeln!(s, "    \"commit\": \"{}\",", commit_label());
+    let _ = writeln!(s, "    \"date\": \"{}\",", today());
+    let _ = writeln!(s, "    \"host_cpus\": {},", host_cpus());
+    s.push_str("    \"benches\": [\n");
+    for (i, (name, value, unit)) in benches.iter().enumerate() {
+        let comma = if i + 1 < benches.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "      {{\"name\": \"{name}\", \"value\": {value:.3}, \"unit\": \"{unit}\"}}{comma}"
+        );
+    }
+    s.push_str("    ]\n  }");
+    s
+}
+
+/// Appends `row` to the JSON array at `path`, creating the file when
+/// missing. Existing rows are never touched: the append splices before
+/// the closing bracket.
+fn append_history(path: &str, row: &str) {
+    let rendered = match std::fs::read_to_string(path) {
+        Err(_) => format!("[\n{row}\n]\n"),
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let body = trimmed
+                .strip_suffix(']')
+                .unwrap_or_else(|| panic!("{path} is not a JSON array"))
+                .trim_end();
+            if body == "[" {
+                format!("[\n{row}\n]\n")
+            } else {
+                format!("{},\n{row}\n]\n", body.strip_suffix(',').unwrap_or(body))
+            }
+        }
+    };
+    std::fs::write(path, rendered)
+        .unwrap_or_else(|e| panic!("cannot write --history {path}: {e}"));
+    eprintln!("appended history row to {path}");
 }
 
 fn main() {
@@ -221,31 +335,20 @@ fn main() {
 
     let points = bench_points(samples);
     let micro = bench_micro(micro_time, samples);
-    let doc = render_doc(samples, &points, &micro);
+    let scaling = bench_scaling(samples);
+    let doc = render_doc(samples, &points, &micro, &scaling);
 
-    let rendered = match &opts.before {
-        None => doc,
-        Some(path) => {
-            let before = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("cannot read --before {path}: {e}"));
-            let speedup = match (last_aggregate(&before), last_aggregate(&doc)) {
-                (Some(b), Some(a)) if b > 0.0 => format!("{:.3}", a / b),
-                _ => "null".to_string(),
-            };
-            format!(
-                "{{\n  \"schema\": 1,\n  \"sim_ips_speedup\": {speedup},\n  \"before\":\n{},\n  \"after\":\n{}\n}}",
-                indent_block(&before, 2),
-                indent_block(&doc, 2)
-            )
-        }
-    };
+    if let Some(path) = &opts.history {
+        let row = render_history_row(&points, &micro, &scaling);
+        append_history(path, &row);
+    }
 
     match &opts.out {
         Some(path) => {
-            std::fs::write(path, format!("{rendered}\n"))
+            std::fs::write(path, format!("{doc}\n"))
                 .unwrap_or_else(|e| panic!("cannot write --out {path}: {e}"));
             eprintln!("wrote {path}");
         }
-        None => println!("{rendered}"),
+        None => println!("{doc}"),
     }
 }

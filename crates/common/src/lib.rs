@@ -19,6 +19,8 @@
 //!   [`fasthash`];
 //! - poison-recovering mutex access ([`lock_unpoisoned`]), cooperative
 //!   cancellation ([`CancelToken`]) and SIGINT wiring — see [`sync`];
+//! - a process-global scoped worker pool ([`pool::scope`]) shared by
+//!   [`parallel_map`] and the engine's shard lanes — see [`pool`];
 //! - crash-safe artifact emission ([`atomic_write`]) and the injectable
 //!   [`ArtifactIo`] layer for chaos testing — see [`io`];
 //! - the [`Merge`] trait unifying statistics aggregation — see [`merge`].
@@ -55,6 +57,7 @@ pub mod merge;
 // `--features proptest`.
 #[cfg(all(test, feature = "proptest"))]
 mod proptests;
+pub mod pool;
 pub mod rng;
 pub mod sync;
 

@@ -1,0 +1,319 @@
+//! A process-global, lazily-built worker pool with a scoped fork-join API.
+//!
+//! The workspace has two distinct fan-out consumers — [`parallel_map`]'s
+//! pre-decode of per-thread trace streams and the engine's intra-point
+//! shard lanes — and before this module each spawned fresh OS threads per
+//! call. The pool amortizes thread creation across the whole process:
+//! threads are spawned on demand (counted in [`spinups`], surfaced through
+//! `RunnerStats`), capped at the host's available parallelism, and parked
+//! idle between bursts.
+//!
+//! # Scoped API
+//!
+//! [`scope`] is a miniature `std::thread::scope` built on pooled threads:
+//! closures spawned inside the scope may borrow from the enclosing stack
+//! frame, and `scope` does not return until every spawned closure has
+//! finished. Two properties make it deadlock-free even when the pool is
+//! saturated by *other* scopes:
+//!
+//! - **The joining caller participates.** While waiting, the scope's own
+//!   still-queued closures are stolen back and run inline on the joining
+//!   thread, so a scope always makes progress with zero free pool threads.
+//! - **Jobs are tagged per scope**, so the steal never runs another
+//!   scope's work on a stack it might outlive.
+//!
+//! Panics inside a spawned closure are caught at the task boundary and
+//! re-raised from [`scope`] after every task has settled, mirroring the
+//! `std::thread::scope` contract.
+//!
+//! [`parallel_map`]: crate::parallel_map
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::sync::lock_unpoisoned;
+
+/// A queued unit of work: the owning scope's tag plus the erased closure.
+/// The closure is claimed-`'static` via [`Scope::spawn`]'s lifetime
+/// erasure; the scope's join barrier is what actually upholds the claim.
+type Job = (u64, Box<dyn FnOnce() + Send + 'static>);
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    /// Workers currently parked in `wait` with nothing to run.
+    idle: usize,
+    /// OS threads ever spawned and still alive (workers never exit).
+    spawned: usize,
+}
+
+/// The process-global pool. Private: all access goes through [`scope`].
+struct Pool {
+    state: Mutex<PoolState>,
+    work: Condvar,
+    limit: usize,
+    spinups: AtomicU64,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+static NEXT_TAG: AtomicU64 = AtomicU64::new(1);
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState { queue: VecDeque::new(), idle: 0, spawned: 0 }),
+        work: Condvar::new(),
+        limit: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(1),
+        spinups: AtomicU64::new(0),
+    })
+}
+
+/// How many OS threads the global pool has ever spawned. Threads are
+/// reused across calls, so a steady workload converges to a constant
+/// spin-up count no matter how many scopes it opens; `RunnerStats`
+/// reports this to make the reuse visible.
+pub fn spinups() -> u64 {
+    POOL.get().map(|p| p.spinups.load(Ordering::Relaxed)).unwrap_or(0)
+}
+
+impl Pool {
+    fn submit(&'static self, tag: u64, job: Box<dyn FnOnce() + Send + 'static>) {
+        let mut st = lock_unpoisoned(&self.state);
+        st.queue.push_back((tag, job));
+        // Spawn a worker only when nobody is parked to take the job and
+        // the cap leaves headroom; otherwise an existing worker (or the
+        // joining caller, via steal) will get to it.
+        if st.idle == 0 && st.spawned < self.limit {
+            st.spawned += 1;
+            self.spinups.fetch_add(1, Ordering::Relaxed);
+            std::thread::Builder::new()
+                .name("slicc-pool".into())
+                .spawn(move || self.worker_loop())
+                .expect("spawning a pool worker");
+        }
+        drop(st);
+        self.work.notify_one();
+    }
+
+    fn worker_loop(&'static self) {
+        loop {
+            let job = {
+                let mut st = lock_unpoisoned(&self.state);
+                loop {
+                    if let Some(job) = st.queue.pop_front() {
+                        break job;
+                    }
+                    st.idle += 1;
+                    st = self.work.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+                    st.idle -= 1;
+                }
+            };
+            // Task panics were already caught by the scope wrapper; a Job
+            // never unwinds into the worker loop.
+            (job.1)();
+        }
+    }
+
+    /// Removes and returns one still-queued job belonging to `tag`, if any.
+    fn steal_tagged(&'static self, tag: u64) -> Option<Box<dyn FnOnce() + Send + 'static>> {
+        let mut st = lock_unpoisoned(&self.state);
+        let pos = st.queue.iter().position(|(t, _)| *t == tag)?;
+        st.queue.remove(pos).map(|(_, job)| job)
+    }
+}
+
+#[derive(Default)]
+struct ScopeStatus {
+    outstanding: usize,
+    panicked: bool,
+}
+
+#[derive(Default)]
+struct ScopeSync {
+    status: Mutex<ScopeStatus>,
+    done: Condvar,
+}
+
+/// A handle for spawning borrowing closures onto the global pool; created
+/// by [`scope`], joined before [`scope`] returns.
+pub struct Scope<'env> {
+    sync: Arc<ScopeSync>,
+    tag: u64,
+    // Invariant in 'env, like std::thread::scope: the compiler may not
+    // shrink the lifetime the spawned closures were checked against.
+    _marker: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    /// Queues `f` on the global pool. `f` may borrow anything that lives
+    /// for `'env`; the enclosing [`scope`] call joins every spawned
+    /// closure before returning, which is what makes the borrow sound.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        lock_unpoisoned(&self.sync.status).outstanding += 1;
+        let boxed: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
+        // SAFETY: the closure only runs before `scope` returns (the join
+        // barrier in `scope` waits for `outstanding == 0` and steals
+        // queued jobs back), so every `'env` borrow it captures is still
+        // live whenever it executes. Lifetime erasure to 'static is how
+        // the job crosses into the process-global queue.
+        let boxed: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(boxed) };
+        let sync = Arc::clone(&self.sync);
+        pool().submit(
+            self.tag,
+            Box::new(move || {
+                if catch_unwind(AssertUnwindSafe(boxed)).is_err() {
+                    lock_unpoisoned(&sync.status).panicked = true;
+                }
+                lock_unpoisoned(&sync.status).outstanding -= 1;
+                sync.done.notify_all();
+            }),
+        );
+    }
+
+    /// Blocks until every closure spawned on this scope has finished,
+    /// running the scope's own still-queued closures inline while waiting.
+    fn join(&self) {
+        loop {
+            // Caller participation: drain our queued jobs on this thread
+            // so the scope completes even when every pool worker is busy
+            // with other scopes' work.
+            while let Some(job) = pool().steal_tagged(self.tag) {
+                job();
+            }
+            let status = lock_unpoisoned(&self.sync.status);
+            if status.outstanding == 0 {
+                return;
+            }
+            // A short timeout re-arms the steal loop: a job can land in
+            // the queue after our drain but find no free worker, and no
+            // completion signal would ever wake us for it.
+            let (status, _) = self
+                .sync
+                .done
+                .wait_timeout(status, Duration::from_millis(1))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            drop(status);
+        }
+    }
+}
+
+/// Runs `f` with a [`Scope`] whose spawned closures execute on the global
+/// worker pool, then joins them all before returning. Panics from spawned
+/// closures are re-raised here after the join; a panic from `f` itself
+/// still joins every already-spawned closure before propagating.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let scope = Scope {
+        sync: Arc::new(ScopeSync::default()),
+        tag: NEXT_TAG.fetch_add(1, Ordering::Relaxed),
+        _marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    scope.join();
+    let panicked = lock_unpoisoned(&scope.sync.status).panicked;
+    match result {
+        Err(payload) => resume_unwind(payload),
+        Ok(value) => {
+            if panicked {
+                panic!("a closure spawned on a pool scope panicked");
+            }
+            value
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scope_runs_every_spawned_closure_and_joins() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64, "join must wait for all closures");
+    }
+
+    #[test]
+    fn scoped_closures_may_borrow_the_stack() {
+        let data = [1u64, 2, 3, 4];
+        let sum = Mutex::new(0u64);
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|| {
+                    *lock_unpoisoned(&sum) += chunk.iter().sum::<u64>();
+                });
+            }
+        });
+        assert_eq!(*lock_unpoisoned(&sum), 10);
+    }
+
+    #[test]
+    fn nested_scopes_complete_even_when_saturated() {
+        // Open more concurrent scopes than the pool has threads; caller
+        // participation must keep every scope finishing.
+        let total = AtomicUsize::new(0);
+        scope(|outer| {
+            for _ in 0..4 {
+                outer.spawn(|| {
+                    scope(|inner| {
+                        for _ in 0..8 {
+                            inner.spawn(|| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn panics_propagate_after_the_join() {
+        let survivor = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|| panic!("boom"));
+                s.spawn(|| {
+                    survivor.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }));
+        assert!(result.is_err(), "the task panic must re-raise from scope()");
+        assert_eq!(survivor.load(Ordering::Relaxed), 1, "sibling tasks still run to completion");
+    }
+
+    #[test]
+    fn spinups_are_counted_and_bounded_by_the_host() {
+        // 100 sequential one-task scopes would naively cost 100 thread
+        // spawns; the pool must reuse workers, so the lifetime spin-up
+        // count stays under the hard cap (available parallelism), which
+        // is also shared with every other test in this binary.
+        for _ in 0..100 {
+            scope(|s| {
+                s.spawn(|| {});
+            });
+        }
+        let cap = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as u64;
+        assert!(spinups() >= 1, "at least one worker must have spun up");
+        assert!(
+            spinups() <= cap,
+            "spin-ups ({}) must never exceed the worker cap ({cap})",
+            spinups()
+        );
+    }
+}

@@ -55,8 +55,9 @@ impl CancelToken {
     }
 }
 
-/// Runs `f(i)` for every index in `0..n` across up to `workers` scoped OS
-/// threads and returns the results in index order.
+/// Runs `f(i)` for every index in `0..n` across up to `workers` threads
+/// drawn from the process-global [`pool`](crate::pool) and returns the
+/// results in index order.
 ///
 /// Work is shared through an atomic next-index counter, so uneven items
 /// load-balance naturally. The output is **deterministic by
@@ -67,9 +68,13 @@ impl CancelToken {
 /// per-thread trace streams in parallel without letting scheduling
 /// nondeterminism anywhere near simulated results.
 ///
+/// The calling thread always participates as one of the `workers`, so the
+/// map completes (at reduced parallelism) even when the pool is saturated
+/// by other work.
+///
 /// # Panics
 ///
-/// Propagates a panic from `f` after the scope unwinds.
+/// Propagates a panic from `f` after the scope joins.
 pub fn parallel_map<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -80,29 +85,30 @@ where
         return (0..n).map(f).collect();
     }
     let next = AtomicUsize::new(0);
-    let chunks: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut produced = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        produced.push((i, f(i)));
-                    }
-                    produced
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel_map worker panicked"))
-            .collect()
+    let chunks: Mutex<Vec<Vec<(usize, T)>>> = Mutex::new(Vec::with_capacity(workers));
+    let claim_loop = |produced: &mut Vec<(usize, T)>| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        produced.push((i, f(i)));
+    };
+    crate::pool::scope(|scope| {
+        for _ in 0..workers - 1 {
+            scope.spawn(|| {
+                let mut produced = Vec::new();
+                claim_loop(&mut produced);
+                lock_unpoisoned(&chunks).push(produced);
+            });
+        }
+        // Caller participation: this thread is the last worker.
+        let mut produced = Vec::new();
+        claim_loop(&mut produced);
+        lock_unpoisoned(&chunks).push(produced);
     });
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for (i, value) in chunks.into_iter().flatten() {
+    for (i, value) in chunks.into_inner().unwrap_or_else(PoisonError::into_inner).into_iter().flatten()
+    {
         slots[i] = Some(value);
     }
     slots.into_iter().map(|s| s.expect("every index 0..n is claimed exactly once")).collect()

@@ -38,7 +38,7 @@ pub use progress::{
 };
 pub use ring::EventRing;
 pub use series::{Epoch, IntervalSampler, IntervalSeries, ObsCounters};
-pub use sink::EventSink;
+pub use sink::{CoreSink, EventSink};
 
 use slicc_common::Cycle;
 

@@ -45,9 +45,16 @@ OPTIONS:
                           scheduling and report speedup
     --fuel-steps N        abort the run after N event-loop steps
                           (forward-progress watchdog)
-    --threads-per-point N worker threads used inside each point to
+    --decode-threads N    worker threads used inside each point to
                           pre-decode trace streams in parallel
-                          (default 1; never changes results)
+                          (default 1; never changes results;
+                          --threads-per-point is a deprecated alias)
+    --point-threads N|auto
+                          worker threads for one point's parallel
+                          event loop: a committer plus N-1 shard
+                          lanes (default 1; auto = simulated
+                          cores/8, clamped to the host; never
+                          changes results)
     --fuel-cycles N       abort the run once any core passes cycle N
     --deadline-ms N       abort any point still simulating after N
                           wall-clock milliseconds (reported with a
@@ -99,6 +106,13 @@ first Ctrl-C cancels outstanding points cooperatively — completed
 points are flushed to the checkpoint and a resume hint is printed; a
 second Ctrl-C exits immediately.";
 
+/// Staged `--point-threads` value; `auto` resolves against the built
+/// config's core count and the host's parallelism.
+enum PointThreads {
+    Exact(usize),
+    Auto,
+}
+
 /// A rejected command line: which option went wrong, and why.
 #[derive(Debug)]
 struct CliError {
@@ -149,6 +163,7 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut obs_events: Option<usize> = None;
     let mut obs_sample: Option<u64> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut point_threads = None;
     let mut retries: u32 = 0;
     let mut inject: Option<InjectedFault> = None;
     let mut cache_bytes: Option<u64> = None;
@@ -222,8 +237,17 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--fuel-cycles" => {
                 builder = builder.watchdog_cycles(number(&opt, &value(args, &mut i, &opt)?)?)
             }
-            "--threads-per-point" => {
-                builder = builder.threads_per_point(number(&opt, &value(args, &mut i, &opt)?)?)
+            "--decode-threads" | "--threads-per-point" => {
+                // The old name survives one release as an alias.
+                builder = builder.decode_threads(number(&opt, &value(args, &mut i, &opt)?)?)
+            }
+            "--point-threads" => {
+                let raw = value(args, &mut i, &opt)?;
+                point_threads = Some(if raw == "auto" {
+                    PointThreads::Auto
+                } else {
+                    PointThreads::Exact(number(&opt, &raw)?)
+                });
             }
             "--deadline-ms" => deadline_ms = Some(number(&opt, &value(args, &mut i, &opt)?)?),
             "--retries" => retries = number(&opt, &value(args, &mut i, &opt)?)?,
@@ -256,10 +280,21 @@ fn parse_args(args: &[String]) -> Result<Command, CliError> {
     // --mode is applied last: the PIF helpers default to baseline
     // scheduling, but an explicit (or default) --mode always wins, matching
     // the original CLI's behaviour.
-    let config = builder
+    let mut config = builder
         .mode(mode)
         .build()
         .map_err(|e| CliError::new("configuration", e.to_string()))?;
+    // `auto` scales lanes with the simulated machine (one committer per
+    // ~8 simulated cores) without oversubscribing the host.
+    match point_threads {
+        Some(PointThreads::Exact(n)) => config.point_threads = n,
+        Some(PointThreads::Auto) => {
+            let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+            config.point_threads = (config.cores / 8).clamp(1, host);
+        }
+        None => {}
+    }
+    config.try_validate().map_err(|e| CliError::new("configuration", e.to_string()))?;
     let mut request = RunRequest::new(workload, scale, config);
     if let Some(t) = tasks {
         request = request.with_tasks(t);
@@ -725,15 +760,45 @@ mod tests {
     }
 
     #[test]
-    fn threads_per_point_reaches_the_config_and_rejects_zero() {
-        match parse(&["--threads-per-point", "4"]).unwrap() {
+    fn decode_threads_reaches_the_config_and_rejects_zero() {
+        match parse(&["--decode-threads", "4"]).unwrap() {
             Command::Run { request, .. } => {
-                assert_eq!(request.config.threads_per_point, 4);
+                assert_eq!(request.config.decode_threads, 4);
             }
             Command::Help => panic!("expected a run"),
         }
-        let err = parse(&["--threads-per-point", "0"]).unwrap_err();
+        // The pre-rename flag survives one release as an alias.
+        match parse(&["--threads-per-point", "3"]).unwrap() {
+            Command::Run { request, .. } => {
+                assert_eq!(request.config.decode_threads, 3);
+            }
+            Command::Help => panic!("expected a run"),
+        }
+        let err = parse(&["--decode-threads", "0"]).unwrap_err();
         assert!(err.message.contains("at least one"), "got {}", err.message);
+    }
+
+    #[test]
+    fn point_threads_parses_exact_auto_and_rejects_zero() {
+        match parse(&["--point-threads", "4"]).unwrap() {
+            Command::Run { request, .. } => {
+                assert_eq!(request.config.point_threads, 4);
+            }
+            Command::Help => panic!("expected a run"),
+        }
+        match parse(&["--point-threads", "auto"]).unwrap() {
+            Command::Run { request, .. } => {
+                let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+                // The default machine has 16 cores: auto asks for 2 lanes
+                // unless the host is smaller.
+                assert_eq!(request.config.point_threads, 2usize.min(host));
+            }
+            Command::Help => panic!("expected a run"),
+        }
+        let err = parse(&["--point-threads", "0"]).unwrap_err();
+        assert!(err.message.contains("committer"), "got {}", err.message);
+        let err = parse(&["--point-threads", "soon"]).unwrap_err();
+        assert_eq!(err.option, "--point-threads");
     }
 
     #[test]

@@ -396,11 +396,20 @@ pub struct SimConfig {
     /// Deterministic fault injection (none by default).
     pub fault_injection: Option<InjectedFault>,
     /// Worker threads used *inside* one simulation point to pre-decode
-    /// independent threads' trace streams in parallel (the coherent event
-    /// loop itself stays single-threaded). Must be ≥ 1; the default of 1
-    /// decodes lazily on the simulating thread. Never changes simulated
-    /// results, so it is excluded from the stable run-cache key.
-    pub threads_per_point: usize,
+    /// independent threads' trace streams in parallel. Must be ≥ 1; the
+    /// default of 1 decodes lazily on the simulating thread. Never
+    /// changes simulated results, so it is excluded from the stable
+    /// run-cache key. (Renamed from `threads_per_point`, which survives
+    /// one release as a deprecated builder/CLI alias.)
+    pub decode_threads: usize,
+    /// Worker threads used to parallelize one point's *event loop*:
+    /// 1 (the default) commits every split step inline; `P > 1` runs one
+    /// committer plus `P − 1` shard lanes that speculatively execute
+    /// private segments (see DESIGN §13). Must be ≥ 1. Never changes
+    /// simulated results — metrics are byte-identical for any value — so
+    /// it is excluded from the stable run-cache key. `exact_search`
+    /// forces the sequential schedule regardless of this knob.
+    pub point_threads: usize,
 }
 
 impl SimConfig {
@@ -449,7 +458,8 @@ impl SimConfig {
             seed: 0x5eed,
             watchdog: WatchdogConfig::disabled(),
             fault_injection: None,
-            threads_per_point: 1,
+            decode_threads: 1,
+            point_threads: 1,
         }
     }
 
@@ -576,8 +586,11 @@ impl SimConfig {
         if self.bloom_bits < 1 {
             return Err(ConfigError::ZeroBloomBits);
         }
-        if self.threads_per_point < 1 {
-            return Err(ConfigError::ZeroThreadsPerPoint);
+        if self.decode_threads < 1 {
+            return Err(ConfigError::ZeroDecodeThreads);
+        }
+        if self.point_threads < 1 {
+            return Err(ConfigError::ZeroPointThreads);
         }
         check_cache_shape("l1i", self.l1i_size, self.l1i_assoc)?;
         check_cache_shape("l1d", self.l1d_size, self.l1d_assoc)?;
@@ -650,9 +663,12 @@ pub enum ConfigError {
     ZeroL2Banks,
     /// `bloom_bits` is zero: remote searches would have no signature.
     ZeroBloomBits,
-    /// `threads_per_point` is zero: every point needs at least the
+    /// `decode_threads` is zero: every point needs at least the
     /// simulating thread itself.
-    ZeroThreadsPerPoint,
+    ZeroDecodeThreads,
+    /// `point_threads` is zero: every point needs at least the committer
+    /// thread itself.
+    ZeroPointThreads,
     /// A cache is configured with zero ways.
     ZeroWayCache {
         /// Which cache field group (`l1i`, `l1d`, or `l2`).
@@ -710,8 +726,11 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroBloomBits => {
                 write!(f, "bloom_bits: bloom signatures need at least one bit")
             }
-            ConfigError::ZeroThreadsPerPoint => {
-                write!(f, "threads_per_point: a point needs at least one worker thread")
+            ConfigError::ZeroDecodeThreads => {
+                write!(f, "decode_threads: a point needs at least one decode worker thread")
+            }
+            ConfigError::ZeroPointThreads => {
+                write!(f, "point_threads: a point needs at least the committer thread")
             }
             ConfigError::ZeroWayCache { cache } => {
                 write!(f, "{cache}_assoc: zero-way caches cannot hold blocks")
@@ -790,10 +809,15 @@ impl StableHash for SimConfig {
         self.seed.stable_hash(h);
         self.watchdog.stable_hash(h);
         self.fault_injection.stable_hash(h);
-        // `threads_per_point` is deliberately EXCLUDED: it only parallelizes
+        // `decode_threads` is deliberately EXCLUDED: it only parallelizes
         // trace pre-decoding, never the coherent event loop, so any worker
         // count produces byte-identical metrics (asserted by the golden
         // determinism test) and must share a run-cache slot.
+        // `point_threads` is EXCLUDED for the same reason: shard lanes
+        // only *speculate* deterministic segments whose commit order and
+        // inputs are fixed by the committer, so any worker count produces
+        // byte-identical metrics (asserted by the golden scaling test)
+        // and must share a run-cache slot.
     }
 }
 
@@ -998,8 +1022,22 @@ impl SimConfigBuilder {
     /// Sets the worker-thread count for intra-point trace pre-decoding
     /// (validated ≥ 1 by [`SimConfigBuilder::build`]; never changes
     /// simulated results).
-    pub fn threads_per_point(mut self, threads: usize) -> Self {
-        self.cfg.threads_per_point = threads;
+    pub fn decode_threads(mut self, threads: usize) -> Self {
+        self.cfg.decode_threads = threads;
+        self
+    }
+
+    /// Deprecated alias for [`SimConfigBuilder::decode_threads`], kept
+    /// for one release under the knob's pre-rename name.
+    pub fn threads_per_point(self, threads: usize) -> Self {
+        self.decode_threads(threads)
+    }
+
+    /// Sets the worker-thread count for one point's parallel event loop
+    /// (validated ≥ 1 by [`SimConfigBuilder::build`]; never changes
+    /// simulated results — see DESIGN §13).
+    pub fn point_threads(mut self, threads: usize) -> Self {
+        self.cfg.point_threads = threads;
         self
     }
 
@@ -1164,16 +1202,33 @@ mod tests {
     }
 
     #[test]
-    fn threads_per_point_is_validated_and_excluded_from_the_stable_hash() {
+    fn decode_threads_is_validated_and_excluded_from_the_stable_hash() {
         use slicc_common::stable_hash_of;
-        let err = SimConfigBuilder::paper_baseline().threads_per_point(0).build().unwrap_err();
-        assert_eq!(err, ConfigError::ZeroThreadsPerPoint);
-        assert!(err.to_string().contains("threads_per_point"), "got: {err}");
+        let err = SimConfigBuilder::paper_baseline().decode_threads(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroDecodeThreads);
+        assert!(err.to_string().contains("decode_threads"), "got: {err}");
         // Decode parallelism never changes results, so it must alias into
         // the same run-cache slot as the single-threaded point.
         let base = SimConfig::paper_baseline();
-        let wide = SimConfigBuilder::paper_baseline().threads_per_point(8).build().unwrap();
-        assert_eq!(wide.threads_per_point, 8);
+        let wide = SimConfigBuilder::paper_baseline().decode_threads(8).build().unwrap();
+        assert_eq!(wide.decode_threads, 8);
+        assert_eq!(stable_hash_of(&base), stable_hash_of(&wide));
+        // The pre-rename builder name still lands on the same knob.
+        let alias = SimConfigBuilder::paper_baseline().threads_per_point(6).build().unwrap();
+        assert_eq!(alias.decode_threads, 6);
+    }
+
+    #[test]
+    fn point_threads_is_validated_and_excluded_from_the_stable_hash() {
+        use slicc_common::stable_hash_of;
+        let err = SimConfigBuilder::paper_baseline().point_threads(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroPointThreads);
+        assert!(err.to_string().contains("point_threads"), "got: {err}");
+        // Shard lanes only speculate committer-ordered segments, so any
+        // worker count shares the single-threaded point's cache slot.
+        let base = SimConfig::paper_baseline();
+        let wide = SimConfigBuilder::paper_baseline().point_threads(8).build().unwrap();
+        assert_eq!(wide.point_threads, 8);
         assert_eq!(stable_hash_of(&base), stable_hash_of(&wide));
     }
 

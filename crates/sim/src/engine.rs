@@ -5,6 +5,23 @@
 //! of trace records, so cross-core cache interactions resolve in
 //! near-global time order while each thread's own accounting stays exact.
 //!
+//! # Split steps and intra-point parallelism (DESIGN §13)
+//!
+//! Every step is split into a **private segment** — records that provably
+//! touch only the core's own site, executed by [`crate::shard::run_segment`]
+//! — followed by at most one **blocking record** that needs shared state,
+//! executed inline by the committer through the full `System` paths.
+//! Cross-core coherence effects queue in per-core mailboxes and drain at
+//! step barriers (see [`crate::system`]). Because a core's site and its
+//! running thread's stream cannot change between that core's steps, the
+//! committer may *speculatively* dispatch a core's next segment to a
+//! shard lane (`point_threads > 1`) while committing other cores, pacing
+//! dispatch with a conservative quantum derived from the minimum
+//! cross-core interaction latency; collecting the result at the core's
+//! next pop yields byte-identical metrics to running it inline, for any
+//! worker count, partition, or quantum. `point_threads = 1` runs the
+//! exact same split-step semantics with every segment inline.
+//!
 //! The engine implements the four scheduling modes:
 //!
 //! - **Baseline**: up to N concurrent threads, one per core, run to
@@ -27,26 +44,21 @@
 use crate::config::{InjectedFault, SchedulerMode, SimConfig, WatchdogConfig};
 use crate::error::{HotThread, LivelockSnapshot, SimError};
 use crate::metrics::RunMetrics;
-use crate::system::System;
+use crate::shard::{
+    run_segment, CollectKind, LaneSet, ShutdownGuard, SpecTask, StopReason, ThreadStream,
+};
+use crate::system::{SegmentParams, System};
 use slicc_cache::MissClass;
 use slicc_common::{BlockAddr, CancelToken, CoreId, Cycle, RingFifo, ThreadId, TxnTypeId};
 use slicc_obs::{
     EventKind, EventSink, IntervalSampler, MigrationReason, MissKind, MissLevel, ObsConfig,
-    Observation, ThreeC,
+    ObsCounters, Observation, ThreeC,
 };
-use slicc_core::{CoreMask, MigrationAdvice, ScoutHasher, SliccAgent, TeamFormer, TeamKind, TypeRegistry};
-use slicc_trace::{Record, ThreadTrace, WorkloadSpec};
+use slicc_core::{CoreMask, MigrationAdvice, ScoutHasher, TeamFormer, TeamKind, TypeRegistry};
+use slicc_trace::{Record, WorkloadSpec};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
-
-/// Records processed per engine step before re-entering the heap.
-const BATCH: usize = 100;
-
-/// Records decoded per refill of a thread's reusable ring. Larger than
-/// [`BATCH`] so one refill feeds several heap steps; any value is
-/// semantics-preserving (the ring replays the generator's exact stream).
-const DECODE_BATCH: usize = 256;
 
 /// Heap steps between external-control checks in a controlled session:
 /// the cancellation flag (a relaxed atomic load) and the wall-clock
@@ -105,23 +117,17 @@ enum ThreadState {
 
 /// Per-thread scheduler state in struct-of-arrays layout. The event loop
 /// touches different subsets of this state at very different rates — the
-/// decode ring on every record, `ready_at`/`state` on every dispatch
+/// record stream on every record, `ready_at`/`state` on every dispatch
 /// decision, `team`/`is_stray` only at formation — so each concern lives
 /// in its own dense array instead of one padded record per thread, and
 /// the hot arrays stay resident while the cold ones stay out of the way.
 struct Threads<'a> {
-    /// Lazy trace generators, batch-drained into `pending`. Empty when
-    /// `decoded`: every stream was pre-decoded at construction.
-    traces: Vec<ThreadTrace<'a>>,
-    /// Per-thread reusable decode rings (or the whole stream when
-    /// `decoded`). A thread's unconsumed tail survives migration: the
-    /// ring is positional state, not a per-core cache.
-    pending: Vec<Vec<Record>>,
-    /// Consume cursor into each `pending` ring.
-    pos: Vec<usize>,
-    /// Records actually executed per thread (diagnostics; equals the old
-    /// `ThreadTrace::emitted` exactly, which batching would overcount).
-    executed: Vec<u64>,
+    /// Per-thread record streams (decode ring over the lazy generator, or
+    /// the whole pre-decoded stream). A thread's unconsumed tail survives
+    /// migration: the stream is positional state, not a per-core cache.
+    /// `None` exactly while checked out to a speculated segment; streams
+    /// of completed threads stay in place so diagnostics can read them.
+    streams: Vec<Option<ThreadStream<'a>>>,
     state: Vec<ThreadState>,
     /// Earliest cycle the thread may start at its queued core (migration
     /// arrival or scout completion).
@@ -136,37 +142,37 @@ struct Threads<'a> {
     team: Vec<Option<usize>>,
     cores_visited: Vec<CoreMask>,
     is_stray: Vec<bool>,
-    /// Whether every stream was fully pre-decoded (threads_per_point > 1).
-    decoded: bool,
 }
 
-impl Threads<'_> {
+impl<'a> Threads<'a> {
     fn len(&self) -> usize {
         self.state.len()
     }
 
-    /// The next record of thread `t`'s stream, refilling its ring in
-    /// [`DECODE_BATCH`]es. Returns `None` exactly when the lazy
-    /// generator would: the ring changes decode locality, never content.
+    /// The next record of thread `t`'s stream, consumed.
     #[inline]
     fn next_record(&mut self, t: usize) -> Option<Record> {
-        let pos = self.pos[t];
-        if let Some(&rec) = self.pending[t].get(pos) {
-            self.pos[t] = pos + 1;
-            self.executed[t] += 1;
-            return Some(rec);
-        }
-        if self.decoded {
-            return None;
-        }
-        self.pending[t].clear();
-        self.pos[t] = 0;
-        if self.traces[t].fill(&mut self.pending[t], DECODE_BATCH) == 0 {
-            return None;
-        }
-        self.pos[t] = 1;
-        self.executed[t] += 1;
-        Some(self.pending[t][0])
+        self.stream_mut(t).next()
+    }
+
+    /// Records thread `t` has executed so far (diagnostics).
+    fn executed(&self, t: usize) -> u64 {
+        self.streams[t].as_ref().expect("thread stream is checked out").executed()
+    }
+
+    fn stream_mut(&mut self, t: usize) -> &mut ThreadStream<'a> {
+        self.streams[t].as_mut().expect("thread stream is checked out")
+    }
+
+    /// Lends thread `t`'s stream out for one speculated segment.
+    fn checkout_stream(&mut self, t: usize) -> ThreadStream<'a> {
+        self.streams[t].take().expect("thread stream double checkout")
+    }
+
+    /// Restores a stream lent by [`Threads::checkout_stream`].
+    fn checkin_stream(&mut self, t: usize, stream: ThreadStream<'a>) {
+        debug_assert!(self.streams[t].is_none(), "thread stream double checkin");
+        self.streams[t] = Some(stream);
     }
 }
 
@@ -210,6 +216,12 @@ fn three_c(class: MissClass) -> ThreeC {
 /// The simulation engine. Most callers should use [`crate::RunSession`]
 /// (or the [`crate::Runner`] above it); the engine is public for tests
 /// and custom experiment loops that need intermediate state access.
+/// Dispatches per throttle measurement window.
+const SPEC_WINDOW: u32 = 256;
+/// Steps to run without priming after a starved window. Long relative
+/// to the window so a hopeless host spends ~1.5% of steps probing.
+const SPEC_PAUSE_STEPS: u32 = 16_384;
+
 pub struct Engine<'a> {
     sys: System,
     spec: &'a WorkloadSpec,
@@ -217,7 +229,6 @@ pub struct Engine<'a> {
     threads: Threads<'a>,
     queues: Vec<RingFifo<ThreadId>>,
     running: Vec<Option<ThreadId>>,
-    agents: Vec<SliccAgent>,
     heap: BinaryHeap<Reverse<(Cycle, u64, usize)>>,
     stamps: Vec<u64>,
     /// Whether each core's freshest stamp is present in the heap, plus the
@@ -249,10 +260,6 @@ pub struct Engine<'a> {
     stray_cursor: usize,
     exec_cores: CoreMask,
     scout_core: Option<CoreId>,
-    /// Per-core last-fetched instruction block: the fetch buffer holds a
-    /// line's worth of instructions, so the L1-I (and the SLICC agent)
-    /// see one access per block *transition*, not per instruction.
-    last_iblock: Vec<Option<BlockAddr>>,
     migration_queue_limit: usize,
     work_stealing: bool,
     steps_switch_cycles: u64,
@@ -282,9 +289,43 @@ pub struct Engine<'a> {
     /// Interval-series sampler (`None` unless the run is observed with
     /// epoch sampling on).
     sampler: Option<IntervalSampler>,
-    /// Per-core code segment of the last fetched block, for
-    /// segment-boundary events. Reset alongside `last_iblock`.
-    last_segment: Vec<Option<u32>>,
+    /// Effective intra-point worker count: 1 means every segment runs
+    /// inline; `exact_search` forces 1 (remote searches read other cores'
+    /// L1-Is, which may be checked out under speculation).
+    point_threads: usize,
+    /// Speculation pacing quantum: a core may be primed while its clock
+    /// is within this many cycles of the heap floor. Defaults to the
+    /// minimum cross-core interaction latency (nearest NoC hop + L2 bank
+    /// hit), the soonest any other core's commit could affect this one.
+    quantum: Cycle,
+    /// Core → lane assignment for speculated segments; semantics never
+    /// depend on it (values are taken modulo the lane count).
+    partition: Vec<usize>,
+    /// Precomputed constants private segments need.
+    params: SegmentParams,
+    /// Whether each core currently has a speculated segment outstanding.
+    primed: Vec<bool>,
+    /// Cores whose priming was deferred by the quantum check, re-examined
+    /// against each new heap floor.
+    deferred_primes: CoreMask,
+    /// Mirror of each core's clock at its last step barrier, readable
+    /// while the core's site (and timer) is checked out to a lane.
+    committed_now: Vec<Cycle>,
+    /// Priming throttle: dispatches and genuinely-overlapped collects
+    /// in the current measurement window, and the remaining pause steps.
+    /// When a window shows almost no dispatch finishing ahead of the
+    /// committer (an oversubscribed host ping-ponging with its lanes),
+    /// speculation pauses — pure prefetch, so pacing never changes
+    /// results.
+    spec_window_dispatched: u32,
+    spec_window_overlapped: u32,
+    spec_pause: u32,
+    /// Mirror of the machine-wide [`System::obs_counters`] at the last
+    /// commit barrier, maintained incrementally so the interval sampler
+    /// never reads a checked-out site. Exact: private segments change
+    /// only instruction counts (reported per segment) and the inline
+    /// blocking record is accounted as it executes.
+    obs_cum: ObsCounters,
 }
 
 impl<'a> Engine<'a> {
@@ -313,7 +354,10 @@ impl<'a> Engine<'a> {
         cfg: &SimConfig,
         obs: &ObsConfig,
     ) -> Result<Self, SimError> {
-        let sys = System::try_new(cfg)?;
+        let mut sys = System::try_new(cfg)?;
+        // Mailbox semantics are the one semantics: sequential and sharded
+        // runs both defer cross-core effects to step barriers.
+        sys.set_deferred_effects(true);
         let n = cfg.cores;
         let mode = cfg.mode;
         let scout_core = (mode == SchedulerMode::SliccPp).then(|| CoreId::new((n - 1) as u16));
@@ -324,31 +368,25 @@ impl<'a> Engine<'a> {
 
         let thread_ids: Vec<ThreadId> = spec.threads().collect();
         let total = thread_ids.len();
-        let decoded = cfg.threads_per_point > 1;
-        let (traces, pending) = if decoded {
-            // Intra-point parallelism: independent threads' streams are
-            // pure functions of (spec, thread id), so pre-decoding them
-            // across workers is free of scheduling nondeterminism — any
-            // worker count yields byte-identical records, and the
-            // coherent event loop below stays single-threaded.
-            let full = slicc_common::parallel_map(total, cfg.threads_per_point, |i| {
+        let streams: Vec<Option<ThreadStream<'a>>> = if cfg.decode_threads > 1 {
+            // Decode parallelism: independent threads' streams are pure
+            // functions of (spec, thread id), so pre-decoding them across
+            // workers is free of scheduling nondeterminism — any worker
+            // count yields byte-identical records.
+            slicc_common::parallel_map(total, cfg.decode_threads, |i| {
                 spec.thread_trace(thread_ids[i]).collect::<Vec<Record>>()
-            });
-            (Vec::new(), full)
+            })
+            .into_iter()
+            .map(|records| Some(ThreadStream::decoded(records)))
+            .collect()
         } else {
-            (
-                thread_ids.iter().map(|&t| spec.thread_trace(t)).collect(),
-                vec![Vec::new(); total],
-            )
+            thread_ids.iter().map(|&t| Some(ThreadStream::lazy(spec.thread_trace(t)))).collect()
         };
         // Transactions arrive spaced out, not in lockstep.
         let arrivals: Vec<Cycle> =
             thread_ids.iter().map(|t| t.raw() as Cycle * cfg.arrival_stagger_cycles).collect();
         let threads = Threads {
-            traces,
-            pending,
-            pos: vec![0; total],
-            executed: vec![0; total],
+            streams,
             state: vec![ThreadState::Pending; total],
             ready_at: arrivals.clone(),
             completed_at: vec![None; total],
@@ -357,7 +395,6 @@ impl<'a> Engine<'a> {
             team: vec![None; total],
             cores_visited: vec![CoreMask::empty(); total],
             is_stray: vec![false; total],
-            decoded,
         };
 
         let pool_limit = match mode {
@@ -369,6 +406,22 @@ impl<'a> Engine<'a> {
         let half_a: CoreMask = exec_list[..exec_list.len() / 2].iter().copied().collect();
         let half_b: CoreMask = exec_list[exec_list.len() / 2..].iter().copied().collect();
 
+        // Exact search reads other cores' L1-I contents, which may be
+        // checked out under speculation: force the sequential schedule
+        // (semantics are identical either way; this is purely a policy
+        // restriction).
+        let point_threads = if cfg.exact_search { 1 } else { cfg.point_threads.max(1) };
+        let lanes_n = point_threads.saturating_sub(1).max(1);
+        // The conservative quantum: the soonest a commit on any core can
+        // affect another is one nearest-neighbour NoC traversal plus an
+        // L2 bank hit.
+        let quantum = (1..n)
+            .map(|i| sys.noc().latency(CoreId::new(0), CoreId::new(i as u16)))
+            .min()
+            .unwrap_or(0)
+            + cfg.l2_hit_latency;
+        let params = sys.segment_params(mode.uses_agents());
+
         let mut engine = Engine {
             sys,
             spec,
@@ -376,7 +429,6 @@ impl<'a> Engine<'a> {
             threads,
             queues: (0..n).map(|_| RingFifo::new(cfg.thread_queue_capacity)).collect(),
             running: vec![None; n],
-            agents: CoreId::all(n).map(|c| SliccAgent::new(c, cfg.slicc)).collect(),
             heap: BinaryHeap::new(),
             stamps: vec![0; n],
             in_heap: vec![false; n],
@@ -399,7 +451,6 @@ impl<'a> Engine<'a> {
             stray_cursor: 0,
             exec_cores,
             scout_core,
-            last_iblock: vec![None; n],
             migration_queue_limit: cfg.migration_queue_limit,
             work_stealing: cfg.work_stealing,
             steps_switch_cycles: cfg.steps_switch_cycles,
@@ -420,7 +471,17 @@ impl<'a> Engine<'a> {
                 EventSink::disabled()
             },
             sampler: obs.epoch_cycles.map(IntervalSampler::new),
-            last_segment: vec![None; n],
+            point_threads,
+            quantum,
+            partition: (0..n).map(|c| c % lanes_n).collect(),
+            params,
+            primed: vec![false; n],
+            deferred_primes: CoreMask::empty(),
+            spec_window_dispatched: 0,
+            spec_window_overlapped: 0,
+            spec_pause: 0,
+            committed_now: vec![0; n],
+            obs_cum: ObsCounters::default(),
         };
 
         match mode {
@@ -440,6 +501,12 @@ impl<'a> Engine<'a> {
                 engine.form_steps_groups(&types);
             }
         }
+        // Seed the clock and counter mirrors after formation (the scout
+        // phase advances its core's clock and counters).
+        for i in 0..n {
+            engine.committed_now[i] = engine.sys.timer(CoreId::new(i as u16)).now();
+        }
+        engine.obs_cum = engine.sys.obs_counters();
         Ok(engine)
     }
 
@@ -563,6 +630,26 @@ impl<'a> Engine<'a> {
         self.deadline = ctrl.deadline;
     }
 
+    /// Overrides the core → lane partition for speculated segments
+    /// (values are taken modulo the lane count). Public for tests: any
+    /// partition must yield byte-identical metrics, because priming is a
+    /// pure prefetch of deterministic work.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `partition` has one entry per core.
+    pub fn set_partition(&mut self, partition: Vec<usize>) {
+        assert_eq!(partition.len(), self.sys.num_cores(), "one lane assignment per core");
+        self.partition = partition;
+    }
+
+    /// Overrides the speculation pacing quantum. Public for tests: any
+    /// width must yield byte-identical metrics — the quantum only decides
+    /// *when* a segment is dispatched, never what it computes.
+    pub fn set_quantum(&mut self, quantum: Cycle) {
+        self.quantum = quantum;
+    }
+
     /// Lowers the run configuration into plain loop bounds (see
     /// [`EpochPlan`]).
     fn epoch_plan(&self) -> EpochPlan {
@@ -584,30 +671,53 @@ impl<'a> Engine<'a> {
     /// state accessors still work, which is what lets the livelock
     /// snapshot describe the stuck machine.
     pub fn try_execute(&mut self) -> Result<(), SimError> {
-        // Quiescent-mode specialization: each arm monomorphizes its own
-        // loop body, so an uncontrolled session compiles to a loop with
-        // no atomic loads, no clock reads, and no `Option` unwraps.
-        if self.controlled {
-            self.run_loop::<true>()
-        } else {
-            self.run_loop::<false>()
-        }
-    }
-
-    fn run_loop<const CONTROLLED: bool>(&mut self) -> Result<(), SimError> {
         if let Some(InjectedFault::Panic) = self.fault {
             panic!("injected fault: panic on execute (SimConfig::fault_injection)");
         }
+        // Quiescent-mode specialization: each arm monomorphizes its own
+        // loop body, so an uncontrolled session compiles to a loop with
+        // no atomic loads, no clock reads, and no `Option` unwraps.
+        if self.point_threads <= 1 {
+            return if self.controlled {
+                self.run_loop::<true>(None)
+            } else {
+                self.run_loop::<false>(None)
+            };
+        }
+        let lanes = LaneSet::new(self.sys.num_cores(), self.point_threads - 1);
+        let spec = self.spec;
+        let params = self.params;
+        slicc_common::pool::scope(|scope| {
+            let lanes = &lanes;
+            for lane in 0..lanes.lane_count() {
+                scope.spawn(move || lanes.drive(lane, spec, &params));
+            }
+            // Shut the lanes down even if the committer panics, so the
+            // pool scope's join barrier can never hang.
+            let _guard = ShutdownGuard(lanes);
+            if self.controlled {
+                self.run_loop::<true>(Some(lanes))
+            } else {
+                self.run_loop::<false>(Some(lanes))
+            }
+        })
+    }
+
+    fn run_loop<const CONTROLLED: bool>(
+        &mut self,
+        lanes: Option<&LaneSet<'a>>,
+    ) -> Result<(), SimError> {
         let plan = self.epoch_plan();
         let total = self.threads.len();
         let mut heap_steps: u64 = 0;
         self.try_dispatch();
         while self.completed < total {
-            let Some(core) = self.pop_next_core() else {
+            let Some((core, floor)) = self.pop_next_core() else {
                 self.try_dispatch();
                 if self.pop_next_core_peek() {
                     continue;
                 }
+                self.settle_speculation(lanes);
                 return Err(SimError::Stalled {
                     completed: self.completed as u64,
                     total: total as u64,
@@ -617,9 +727,11 @@ impl<'a> Engine<'a> {
             heap_steps += 1;
             // Watchdog fuel: a heap-step budget of N admits exactly N
             // steps (so zero trips immediately); the cycle cap compares
-            // the popped core's local clock, which is the global
-            // progress floor under the min-heap discipline.
-            if heap_steps >= plan.fuel_trip || self.sys.timer(core).now() > plan.cycle_cap {
+            // the popped core's committed clock, which is the global
+            // progress floor under the min-heap discipline (and readable
+            // even while the core's site is speculated out).
+            if heap_steps >= plan.fuel_trip || self.committed_now[core.index()] > plan.cycle_cap {
+                self.settle_speculation(lanes);
                 if self.sink.is_enabled() {
                     let now = self.sys.timer(core).now();
                     self.sink.record(core, now, EventKind::WatchdogFired { heap_steps });
@@ -628,12 +740,14 @@ impl<'a> Engine<'a> {
             }
             if CONTROLLED && heap_steps & CONTROL_CHECK_MASK == 1 {
                 if self.cancel.is_cancelled() {
+                    self.settle_speculation(lanes);
                     return Err(SimError::Cancelled(Box::new(
                         self.livelock_snapshot(heap_steps, core),
                     )));
                 }
                 if let Some(deadline) = self.deadline {
                     if Instant::now() >= deadline {
+                        self.settle_speculation(lanes);
                         return Err(SimError::DeadlineExceeded(Box::new(
                             self.livelock_snapshot(heap_steps, core),
                         )));
@@ -644,21 +758,27 @@ impl<'a> Engine<'a> {
                 // Injected stall: re-queue the core at its current time
                 // without executing, so the loop spins until the
                 // watchdog or a deadline puts it down.
-                let now = self.sys.timer(core).now();
+                let now = self.committed_now[core.index()];
                 self.push_core(core, now);
                 continue;
             }
-            self.step(core);
+            self.step(core, lanes);
             // Epoch sampling off the popped core's clock: under the
             // min-heap discipline it is the global progress floor, so
-            // every epoch closes at an honest machine-wide time.
+            // every epoch closes at an honest machine-wide time. The
+            // counters come from the committed mirror, which is exact at
+            // step barriers — identical under any point_threads.
             if self.sampler.as_ref().is_some_and(|s| s.due(self.sys.timer(core).now())) {
                 let now = self.sys.timer(core).now();
-                let mut cum = self.sys.obs_counters();
+                let mut cum = self.obs_cum;
                 cum.migrations = self.migrations;
                 self.sampler.as_mut().expect("sampler checked above").sample(now, cum);
             }
             self.try_dispatch();
+            if let Some(lanes) = lanes {
+                self.prime_due_cores(lanes, floor);
+                self.try_prime(core, lanes, floor);
+            }
         }
         Ok(())
     }
@@ -668,11 +788,11 @@ impl<'a> Engine<'a> {
     /// thread that has executed the most instructions.
     fn livelock_snapshot(&self, heap_steps: u64, core: CoreId) -> LivelockSnapshot {
         let hottest_thread = (0..self.threads.len())
-            .filter(|&t| self.threads.state[t] != ThreadState::Done && self.threads.executed[t] > 0)
-            .max_by_key(|&t| (self.threads.executed[t], std::cmp::Reverse(t)))
+            .filter(|&t| self.threads.state[t] != ThreadState::Done && self.threads.executed(t) > 0)
+            .max_by_key(|&t| (self.threads.executed(t), std::cmp::Reverse(t)))
             .map(|t| HotThread {
                 thread: t as u32,
-                instructions: self.threads.executed[t],
+                instructions: self.threads.executed(t),
                 cores_visited: self.threads.cores_visited[t].len() as usize,
             });
         LivelockSnapshot {
@@ -694,12 +814,32 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn pop_next_core(&mut self) -> Option<CoreId> {
-        while let Some(Reverse((_, stamp, core))) = self.heap.pop() {
+    /// Reclaims every outstanding speculation before an error-path exit:
+    /// queued tasks come back unrun (their state is exactly the last
+    /// commit barrier), running ones are waited out. After this, all
+    /// sites, streams, and sink rings are back in place and every state
+    /// accessor is coherent.
+    fn settle_speculation(&mut self, lanes: Option<&LaneSet<'a>>) {
+        let Some(lanes) = lanes else {
+            return;
+        };
+        for (task, _report) in lanes.settle() {
+            let c = task.core.index();
+            debug_assert!(self.primed[c], "settled a task for an unprimed core");
+            self.primed[c] = false;
+            self.sys.checkin_site(task.core, task.site);
+            self.threads.checkin_stream(task.thread.index(), task.stream);
+            self.sink.put_core(task.core, task.sink);
+        }
+        self.deferred_primes = CoreMask::empty();
+    }
+
+    fn pop_next_core(&mut self) -> Option<(CoreId, Cycle)> {
+        while let Some(Reverse((at, stamp, core))) = self.heap.pop() {
             if self.stamps[core] == stamp {
                 self.in_heap[core] = false;
                 self.live_heap -= 1;
-                return Some(CoreId::new(core as u16));
+                return Some((CoreId::new(core as u16), at));
             }
         }
         None
@@ -750,54 +890,103 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Advances one core: start a queued thread if idle, then execute up
-    /// to [`BATCH`] records, handling migration and completion.
-    fn step(&mut self, core: CoreId) {
+    /// Advances one core by one split step: start a queued thread if
+    /// idle, run (or collect) one private segment, execute the trailing
+    /// blocking record inline if the segment stopped on one, then drain
+    /// the core's effect mailbox and refresh the commit mirrors. The
+    /// mailbox drains at the end of *every* step — including empty ones —
+    /// so deferred effects land at the same barriers under any
+    /// `point_threads`.
+    fn step(&mut self, core: CoreId, lanes: Option<&LaneSet<'a>>) {
         let c = core.index();
-        if self.running[c].is_none() && !self.start_next_thread(core) {
-            return; // nothing to do; dispatcher will wake us
-        }
+        // A pop supersedes any pending prime decision for this core.
+        self.deferred_primes.remove(core);
+        let report = if self.primed[c] {
+            self.primed[c] = false;
+            let lanes = lanes.expect("a core was primed without lanes");
+            let (task, report, kind) = lanes.collect(c, self.spec, &self.params);
+            self.spec_window_overlapped += u32::from(kind == CollectKind::Overlapped);
+            self.sys.checkin_site(core, task.site);
+            self.threads.checkin_stream(task.thread.index(), task.stream);
+            self.sink.put_core(core, task.sink);
+            report
+        } else {
+            if self.running[c].is_none() && !self.start_next_thread(core) {
+                self.sys.drain_mailbox(core);
+                return; // nothing to do; dispatcher will wake us
+            }
+            let tid = self.running[c].expect("core has a running thread");
+            let mut site = self.sys.checkout_site(core);
+            let mut stream = self.threads.checkout_stream(tid.index());
+            let mut sink = self.sink.take_core(core);
+            let report =
+                run_segment(&mut site, &mut stream, &mut sink, core, tid, self.spec, &self.params);
+            self.sys.checkin_site(core, site);
+            self.threads.checkin_stream(tid.index(), stream);
+            self.sink.put_core(core, sink);
+            report
+        };
         let tid = self.running[c].expect("core has a running thread");
-        let t = tid.index();
+        self.obs_cum.instructions += report.records as u64;
+        match report.stop {
+            StopReason::Exhausted => self.complete_thread(core, tid),
+            StopReason::Blocking => self.exec_blocking_record(core, tid),
+            StopReason::BatchCap => {}
+        }
+        self.sys.drain_mailbox(core);
+        self.committed_now[c] = self.sys.timer(core).now();
+        self.push_core_if_work(core);
+    }
 
-        for _ in 0..BATCH {
-            let Some(rec) = self.threads.next_record(t) else {
-                self.complete_thread(core, tid);
-                break;
-            };
-            self.sys.timer_mut(core).retire_instruction();
-            let block = rec.pc.block_default();
-            // Fetch-buffer model: instructions within the current block
-            // are fed from the fetch buffer; the L1-I (and SLICC agent)
-            // see one access per block transition.
-            let mut hit = true;
-            let mut accessed = false;
-            if self.last_iblock[c] != Some(block) {
-                self.last_iblock[c] = Some(block);
-                accessed = true;
-                let fetch_start =
-                    if self.sink.is_enabled() { self.sys.timer(core).now() } else { 0 };
-                hit = self.sys.ifetch(core, block);
-                if self.mode.uses_agents() {
-                    if hit {
-                        self.agents[c].on_fetch(true, None);
-                    } else {
-                        // The remote search only serves migration; STEPS
-                        // switches locally and never broadcasts.
-                        let mask = (self.mode.is_slicc()
-                            && self.agents[c].wants_remote_search())
-                        .then(|| self.sys.remote_search(core, block));
-                        self.agents[c].on_fetch(false, mask);
-                    }
-                }
-                if self.sink.is_enabled() {
-                    self.observe_fetch(core, tid, block, hit, fetch_start);
+    /// Executes the blocking record a private segment stopped on, through
+    /// the full shared-state paths: L2/directory fetch, agent policy with
+    /// optional remote search, observation, and the migration or
+    /// context-switch reaction to an L1-I miss. Mirrors the sequential
+    /// per-record body exactly.
+    fn exec_blocking_record(&mut self, core: CoreId, tid: ThreadId) {
+        let rec = self
+            .threads
+            .stream_mut(tid.index())
+            .next()
+            .expect("segment stopped on a blocking record");
+        self.obs_cum.instructions += 1;
+        self.sys.timer_mut(core).retire_instruction();
+        let block = rec.pc.block_default();
+        // Fetch-buffer model: instructions within the current block are
+        // fed from the fetch buffer; the L1-I (and SLICC agent) see one
+        // access per block transition.
+        let mut hit = true;
+        let mut accessed = false;
+        if self.sys.core_site(core).last_iblock != Some(block) {
+            self.sys.core_site_mut(core).last_iblock = Some(block);
+            accessed = true;
+            let fetch_start = if self.sink.is_enabled() { self.sys.timer(core).now() } else { 0 };
+            hit = self.sys.ifetch(core, block);
+            if self.mode.uses_agents() {
+                if hit {
+                    self.sys.core_site_mut(core).agent.on_fetch(true, None);
+                } else {
+                    // The remote search only serves migration; STEPS
+                    // switches locally and never broadcasts.
+                    let mask = (self.mode.is_slicc()
+                        && self.sys.core_site(core).agent.wants_remote_search())
+                    .then(|| self.sys.remote_search(core, block));
+                    self.sys.core_site_mut(core).agent.on_fetch(false, mask);
                 }
             }
+            if !hit {
+                self.obs_cum.i_misses += 1;
+            }
+            if self.sink.is_enabled() {
+                self.observe_fetch(core, tid, block, hit, fetch_start);
+            }
+        }
 
-            if let Some(d) = rec.data {
-                let d_hit = self.sys.data_access(core, d.addr.block_default(), d.is_store);
-                if !d_hit && self.sink.is_enabled() {
+        if let Some(d) = rec.data {
+            let d_hit = self.sys.data_access(core, d.addr.block_default(), d.is_store);
+            if !d_hit {
+                self.obs_cum.d_misses += 1;
+                if self.sink.is_enabled() {
                     let kind = if d.is_store { MissKind::Store } else { MissKind::Load };
                     let class = self.sys.last_d_miss_class().map(three_c);
                     let now = self.sys.timer(core).now();
@@ -808,19 +997,19 @@ impl<'a> Engine<'a> {
                     );
                 }
             }
+        }
 
-            if accessed && !hit {
-                let moved = match self.mode {
-                    SchedulerMode::Steps => self.try_context_switch(core, tid),
-                    m if m.is_slicc() => self.try_migrate(core, tid),
-                    _ => false,
-                };
-                if moved {
-                    break;
+        if accessed && !hit {
+            match self.mode {
+                SchedulerMode::Steps => {
+                    self.try_context_switch(core, tid);
                 }
+                m if m.is_slicc() => {
+                    self.try_migrate(core, tid);
+                }
+                _ => {}
             }
         }
-        self.push_core_if_work(core);
     }
 
     /// Post-ifetch observation: segment-boundary crossings, sampled
@@ -835,10 +1024,9 @@ impl<'a> Engine<'a> {
         hit: bool,
         fetch_start: Cycle,
     ) {
-        let c = core.index();
         let segment = self.spec.pool.segment_of_block(block);
-        if segment != self.last_segment[c] {
-            self.last_segment[c] = segment;
+        if segment != self.sys.core_site(core).last_segment {
+            self.sys.core_site_mut(core).last_segment = segment;
             if let Some(segment) = segment {
                 self.sink.record(
                     core,
@@ -885,8 +1073,11 @@ impl<'a> Engine<'a> {
         self.threads.state[t] = ThreadState::Running;
         self.threads.cores_visited[t].insert(core);
         self.running[c] = Some(tid);
-        self.last_iblock[c] = None;
-        self.last_segment[c] = None;
+        {
+            let site = self.sys.core_site_mut(core);
+            site.last_iblock = None;
+            site.last_segment = None;
+        }
         self.refresh_core_sets(core);
         if self.sink.is_enabled() {
             let now = self.sys.timer(core).now();
@@ -898,8 +1089,7 @@ impl<'a> Engine<'a> {
     /// Figure-5 migration attempt for the running thread after an L1-I
     /// miss. Returns true if the thread left this core.
     fn try_migrate(&mut self, core: CoreId, tid: ThreadId) -> bool {
-        let c = core.index();
-        let advice = self.agents[c].advice();
+        let advice = self.sys.core_site_mut(core).agent.advice();
         let allowed = self.threads.allowed[tid.index()];
         let (target, matched) = match advice {
             MigrationAdvice::Stay => (None, false),
@@ -908,7 +1098,9 @@ impl<'a> Engine<'a> {
                 let limit = self.migration_queue_limit;
                 match self.pick_nearest(
                     core,
-                    candidates.iter().filter(|&t| !self.queue_full(t) && self.queues[t.index()].len() <= limit),
+                    candidates
+                        .iter()
+                        .filter(|&t| !self.queue_full(t) && self.queues[t.index()].len() <= limit),
                 ) {
                     Some(t) => (Some(t), true),
                     None => (self.pick_idle(core, allowed), false),
@@ -933,7 +1125,7 @@ impl<'a> Engine<'a> {
                 from: core,
                 to: target,
                 at: self.sys.timer(core).now(),
-                thread_instructions: self.threads.executed[tid.index()],
+                thread_instructions: self.threads.executed(tid.index()),
                 matched,
             });
         }
@@ -955,7 +1147,10 @@ impl<'a> Engine<'a> {
     /// the chunk it just loaded (time-domain pipelining, §6).
     fn try_context_switch(&mut self, core: CoreId, tid: ThreadId) -> bool {
         let c = core.index();
-        if !self.agents[c].chunk_boundary() || self.queues[c].is_empty() || self.queues[c].is_full() {
+        if !self.sys.core_site_mut(core).agent.chunk_boundary()
+            || self.queues[c].is_empty()
+            || self.queues[c].is_full()
+        {
             return false;
         }
         self.sys.timer_mut(core).migration(self.steps_switch_cycles);
@@ -963,7 +1158,7 @@ impl<'a> Engine<'a> {
         self.threads.state[t] = ThreadState::Queued;
         self.threads.ready_at[t] = self.sys.timer(core).now();
         self.queues[c].push(tid);
-        self.agents[c].on_thread_departed();
+        self.sys.core_site_mut(core).agent.on_thread_departed();
         self.running[c] = None;
         self.refresh_core_sets(core);
         self.context_switches += 1;
@@ -978,7 +1173,11 @@ impl<'a> Engine<'a> {
         self.queues[core.index()].is_full()
     }
 
-    fn pick_nearest(&self, from: CoreId, candidates: impl Iterator<Item = CoreId>) -> Option<CoreId> {
+    fn pick_nearest(
+        &self,
+        from: CoreId,
+        candidates: impl Iterator<Item = CoreId>,
+    ) -> Option<CoreId> {
         candidates.min_by_key(|&c| (self.sys.noc().hops(from, c), c.index()))
     }
 
@@ -1045,22 +1244,27 @@ impl<'a> Engine<'a> {
         self.threads.state[t] = ThreadState::Queued;
         self.threads.ready_at[t] = ready;
         self.queues[to.index()].push(tid);
-        self.agents[from.index()].on_thread_departed();
+        self.sys.core_site_mut(from).agent.on_thread_departed();
         self.running[from.index()] = None;
-        self.last_iblock[from.index()] = None;
-        self.last_segment[from.index()] = None;
+        {
+            let site = self.sys.core_site_mut(from);
+            site.last_iblock = None;
+            site.last_segment = None;
+        }
         // §4.2.1 + §5.7: the running thread is the queue's first entry, so
         // the "thread queue becomes empty" reset fires when the core is
         // left with no threads at all.
         if self.queues[from.index()].is_empty() {
-            self.agents[from.index()].on_queue_empty();
+            self.sys.core_site_mut(from).agent.on_queue_empty();
             self.mark_vacated(from);
         }
         self.refresh_core_sets(from);
         self.refresh_core_sets(to);
 
-        let wake = self.sys.timer(to).now().max(ready);
+        // Reading the target's clock is only safe when it cannot be
+        // primed: a core with nothing running never speculates.
         if self.running[to.index()].is_none() && self.queues[to.index()].len() == 1 {
+            let wake = self.sys.timer(to).now().max(ready);
             self.push_core(to, wake);
         } else if self.queues[to.index()].len() > 1 {
             // Surplus work exists: idle cores may steal it.
@@ -1096,9 +1300,9 @@ impl<'a> Engine<'a> {
             self.wake_idle_cores(0);
         }
         if self.mode.uses_agents() {
-            self.agents[c].on_thread_departed();
+            self.sys.core_site_mut(core).agent.on_thread_departed();
             if self.queues[c].is_empty() {
-                self.agents[c].on_queue_empty();
+                self.sys.core_site_mut(core).agent.on_queue_empty();
                 self.mark_vacated(core);
             }
         }
@@ -1114,11 +1318,13 @@ impl<'a> Engine<'a> {
                 }
                 // §4.3.2: when a team completes, reset all MCs, MTQs,
                 // MSVs (STEPS groups are per-core: reset only theirs).
+                // Other cores' resets ride the mailboxes so they land at
+                // the same step barrier under any point_threads.
                 if self.mode == SchedulerMode::Steps {
-                    self.agents[c].reset_all();
+                    self.sys.core_site_mut(core).agent.reset_all();
                 } else {
-                    for agent in &mut self.agents {
-                        agent.reset_all();
+                    for i in 0..self.sys.num_cores() {
+                        self.sys.reset_agent(CoreId::new(i as u16), core);
                     }
                 }
             }
@@ -1141,6 +1347,71 @@ impl<'a> Engine<'a> {
         } else if self.queues[core.index()].len() > 1 {
             // Surplus work exists: idle cores may steal it.
             self.wake_idle_cores(ready);
+        }
+    }
+
+    /// Speculatively dispatches the just-stepped core's next segment if
+    /// its clock is within the quantum of the heap floor; defers it for
+    /// later floors otherwise. Priming is pure prefetch — the segment's
+    /// input state is fixed at this barrier — so the pacing policy can
+    /// never change results, only overlap.
+    fn try_prime(&mut self, core: CoreId, lanes: &LaneSet<'a>, floor: Cycle) {
+        if self.spec_pause > 0 {
+            self.spec_pause -= 1;
+            return;
+        }
+        let c = core.index();
+        if self.primed[c] || self.running[c].is_none() {
+            return;
+        }
+        if self.committed_now[c] <= floor.saturating_add(self.quantum) {
+            self.dispatch_prime(core, lanes);
+        } else {
+            self.deferred_primes.insert(core);
+        }
+    }
+
+    /// Re-examines deferred primes against a new heap floor.
+    fn prime_due_cores(&mut self, lanes: &LaneSet<'a>, floor: Cycle) {
+        if self.spec_pause > 0 || self.deferred_primes.is_empty() {
+            return;
+        }
+        let horizon = floor.saturating_add(self.quantum);
+        let due: Vec<CoreId> = self
+            .deferred_primes
+            .iter()
+            .filter(|&cc| self.committed_now[cc.index()] <= horizon)
+            .collect();
+        for cc in due {
+            self.deferred_primes.remove(cc);
+            self.dispatch_prime(cc, lanes);
+        }
+    }
+
+    fn dispatch_prime(&mut self, core: CoreId, lanes: &LaneSet<'a>) {
+        let c = core.index();
+        let tid = self.running[c].expect("primed cores have a running thread");
+        let task = SpecTask {
+            core,
+            thread: tid,
+            site: self.sys.checkout_site(core),
+            stream: self.threads.checkout_stream(tid.index()),
+            sink: self.sink.take_core(core),
+        };
+        lanes.dispatch(c, self.partition[c] % lanes.lane_count(), task);
+        self.primed[c] = true;
+        self.spec_window_dispatched += 1;
+        if self.spec_window_dispatched >= SPEC_WINDOW {
+            // Only collects that found the segment already finished
+            // bought any wall-clock; a window where under 1/4 did (an
+            // oversubscribed host ping-ponging with its lanes) means the
+            // dispatch + wake overhead is pure loss — commit inline for
+            // a while instead.
+            if self.spec_window_overlapped < SPEC_WINDOW / 4 {
+                self.spec_pause = SPEC_PAUSE_STEPS;
+            }
+            self.spec_window_dispatched = 0;
+            self.spec_window_overlapped = 0;
         }
     }
 

@@ -64,6 +64,7 @@ pub mod metrics;
 pub mod runner;
 pub mod service;
 pub mod session;
+mod shard;
 pub mod system;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointLoad, OpenedCheckpoint};

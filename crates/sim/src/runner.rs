@@ -436,6 +436,12 @@ pub struct RunnerStats {
     /// Total CPU time spent inside fresh simulations (sums across worker
     /// threads, so it can exceed wall-clock time).
     pub busy_nanos: u64,
+    /// OS threads ever spawned by the process-global worker pool
+    /// ([`slicc_common::pool`]) that backs `parallel_map` pre-decode and
+    /// the engine's intra-point shard lanes. Threads are parked and
+    /// reused, so a steady workload converges to a constant here no
+    /// matter how many points it runs.
+    pub pool_spinups: u64,
 }
 
 impl RunnerStats {
@@ -923,6 +929,7 @@ impl Runner {
             spec_builds: self.spec_builds.load(Ordering::Relaxed),
             simulated_instructions: self.simulated_instructions.load(Ordering::Relaxed),
             busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
+            pool_spinups: slicc_common::pool::spinups(),
         }
     }
 

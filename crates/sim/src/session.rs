@@ -136,9 +136,9 @@ mod tests {
     fn invalid_configurations_fail_at_the_boundary() {
         let (spec, _) = tiny();
         let mut cfg = SimConfig::tiny_test();
-        cfg.threads_per_point = 0;
+        cfg.decode_threads = 0;
         match RunSession::new(&spec, &cfg) {
-            Err(SimError::Config(ConfigError::ZeroThreadsPerPoint)) => {}
+            Err(SimError::Config(ConfigError::ZeroDecodeThreads)) => {}
             other => panic!("expected a boundary config error, got {:?}", other.err()),
         }
     }

@@ -7,6 +7,27 @@
 //! invalidations, dirty downgrades, inclusive back-invalidation), bloom
 //! signature maintenance, optional next-line prefetching, and optional 3C
 //! classification.
+//!
+//! # Site split and deferred cross-core effects (DESIGN §13)
+//!
+//! Per-core state lives in a [`CoreSite`] box that the engine can check
+//! out ([`System::checkout_site`]) and hand to a shard lane for the
+//! duration of one speculated private segment. Everything that is not
+//! per-core — the NoC, the L2 NUCA + directory, DRAM, and the bloom
+//! signatures (read cross-core by `remote_search`) — stays behind
+//! `&mut System` and is only ever touched by the committer thread.
+//!
+//! In deferred mode ([`System::set_deferred_effects`], which the engine
+//! always enables for both `point_threads = 1` and `> 1` so the two are
+//! identical by construction), cross-core coherence side effects do not
+//! mutate the victim core directly. They are queued as typed
+//! [`CrossEffect`] messages in a per-core mailbox and applied by
+//! [`System::drain_mailbox`] at the end of every step of the target core
+//! — the quantum barrier of the conservative parallel schedule. Effects
+//! whose target is the requesting core itself apply immediately (its site
+//! is in hand). The L2 directory tolerates the stale window this opens:
+//! an eviction notice for a block the directory no longer tracks is a
+//! no-op.
 
 use crate::config::SimConfig;
 use crate::metrics::RunMetrics;
@@ -15,23 +36,99 @@ use slicc_cache::{
     Pif, SignatureAccuracy, ThreeCClassifier,
 };
 use slicc_common::{BlockAddr, CoreId, Cycle, Merge};
-use slicc_core::CoreMask;
+use slicc_core::{CoreMask, SliccAgent};
 use slicc_cpu::{CoreStats, CoreTimer, Tlb};
 use slicc_mem::{Dram, L2AccessKind, L2Nuca, L2Response};
 use slicc_noc::{NocStats, Torus};
 
-/// Per-core hardware state.
-struct CoreCtx {
-    l1i: Cache,
-    l1d: Cache,
-    bloom: BloomSignature,
-    timer: CoreTimer,
-    itlb: Tlb,
-    dtlb: Tlb,
-    prefetcher: Option<NextLinePrefetcher>,
-    pif: Option<Pif>,
-    i_classifier: Option<ThreeCClassifier>,
-    d_classifier: Option<ThreeCClassifier>,
+/// Per-core hardware state, boxed so the engine can lend it to a shard
+/// lane for one speculated private segment and take it back unchanged.
+///
+/// The SLICC agent and the engine's fetch-block/segment cursors ride in
+/// the site because a private segment advances them; the bloom signature
+/// does *not* — remote searches read every core's bloom from the
+/// committer thread, and private segments (all L1-I hits) never change
+/// bloom contents.
+pub(crate) struct CoreSite {
+    pub(crate) l1i: Cache,
+    pub(crate) l1d: Cache,
+    pub(crate) timer: CoreTimer,
+    pub(crate) itlb: Tlb,
+    pub(crate) dtlb: Tlb,
+    pub(crate) prefetcher: Option<NextLinePrefetcher>,
+    pub(crate) pif: Option<Pif>,
+    pub(crate) i_classifier: Option<ThreeCClassifier>,
+    pub(crate) d_classifier: Option<ThreeCClassifier>,
+    pub(crate) agent: SliccAgent,
+    /// The block the core fetched from last; a record in the same block
+    /// costs no fetch (it comes from the fetch buffer).
+    pub(crate) last_iblock: Option<BlockAddr>,
+    /// The code segment of the last fetch, for segment-boundary events.
+    pub(crate) last_segment: Option<u32>,
+}
+
+/// The per-segment constants a private segment needs from the config,
+/// precomputed once so shard lanes never read `SimConfig`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SegmentParams {
+    pub(crate) tlb_walk_cycles: Cycle,
+    pub(crate) l1i_latency: Cycle,
+    /// When a prefetcher, the PIF comparator, or the bloom-accuracy probe
+    /// is configured, every fetch-block transition has shared side
+    /// effects and must take the blocking path.
+    pub(crate) fetch_transition_blocks: bool,
+    /// Whether the scheduler mode consults SLICC agents on fetches.
+    pub(crate) uses_agents: bool,
+}
+
+impl CoreSite {
+    /// One private instruction-fetch block transition. Callers guarantee
+    /// `l1i.contains(block)` and `!fetch_transition_blocks`; this mirrors
+    /// the hit path of [`System::ifetch`] exactly — TLB, L1-I access
+    /// (recency update, no eviction possible), 3C observation, timer
+    /// charge — and must stay in lockstep with it.
+    pub(crate) fn private_ifetch_hit(&mut self, block: BlockAddr, p: &SegmentParams) {
+        if !self.itlb.access(block.base_addr(64)) {
+            self.timer.tlb_walk(p.tlb_walk_cycles, true);
+        }
+        let result = self.l1i.access(block, AccessKind::Read);
+        debug_assert!(result.is_hit(), "private fetch classified as hit must hit");
+        if let Some(c) = &mut self.i_classifier {
+            c.observe(block);
+        }
+        self.timer.ifetch_hit(p.l1i_latency);
+    }
+
+    /// One private data access. Callers guarantee the L1-D holds the
+    /// block (dirty, for stores); mirrors the hit path of
+    /// [`System::data_access`] — TLB, L1-D access, 3C observation, no
+    /// timer charge — and must stay in lockstep with it.
+    pub(crate) fn private_data_hit(&mut self, block: BlockAddr, is_store: bool, p: &SegmentParams) {
+        if !self.dtlb.access(block.base_addr(64)) {
+            self.timer.tlb_walk(p.tlb_walk_cycles, false);
+        }
+        let kind = if is_store { AccessKind::Write } else { AccessKind::Read };
+        let result = self.l1d.access(block, kind);
+        debug_assert!(result.is_hit(), "private data access classified as hit must hit");
+        if let Some(c) = &mut self.d_classifier {
+            c.observe(block);
+        }
+    }
+}
+
+/// One cross-core coherence side effect, queued in the victim core's
+/// mailbox and applied when that core's site is next in hand.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum CrossEffect {
+    /// Inclusive back-invalidation of an L1-I copy. Bloom upkeep rides
+    /// with the application (it reads the victim's L1-I set contents).
+    InvalI(BlockAddr),
+    /// L1-D invalidation (store exclusivity or inclusive back-inval).
+    InvalD(BlockAddr),
+    /// Dirty-owner downgrade: the line stays, loses dirtiness.
+    CleanD(BlockAddr),
+    /// SLICC agent reset broadcast at team completion.
+    AgentReset,
 }
 
 /// The full simulated machine.
@@ -41,7 +138,16 @@ pub struct System {
     noc_stats: NocStats,
     l2: L2Nuca,
     dram: Dram,
-    cores: Vec<CoreCtx>,
+    sites: Vec<Option<Box<CoreSite>>>,
+    /// Bloom signatures live outside the sites: `remote_search` reads
+    /// every core's signature from the committer thread while sites may
+    /// be checked out, and private segments never touch them.
+    blooms: Vec<BloomSignature>,
+    /// Deferred cross-core effects, drained at each core's step barrier.
+    mailboxes: Vec<Vec<CrossEffect>>,
+    /// Whether cross-core effects defer to mailboxes (the engine) or
+    /// apply immediately (standalone `System` users).
+    deferred: bool,
     l1i_latency: Cycle,
     bloom_accuracy: SignatureAccuracy,
     /// Reusable eviction buffer for the fetch path: filled and drained
@@ -73,18 +179,26 @@ impl System {
         cfg.try_validate()?;
         let l1i_geom = cfg.l1i_geometry();
         let l1d_geom = cfg.l1d_geometry();
-        let cores = (0..cfg.cores)
-            .map(|i| CoreCtx {
-                l1i: Cache::new(l1i_geom, cfg.l1_policy, cfg.seed ^ (i as u64) << 1),
-                l1d: Cache::new(l1d_geom, cfg.l1_policy, cfg.seed ^ (i as u64) << 1 ^ 1),
-                bloom: BloomSignature::new(cfg.bloom_bits.max(l1i_geom.num_sets()), l1i_geom),
-                timer: CoreTimer::new(cfg.timing),
-                itlb: Tlb::with_page_bytes(cfg.itlb_entries, cfg.itlb_page_bytes),
-                dtlb: Tlb::new(cfg.dtlb_entries),
-                prefetcher: cfg.next_line_prefetch.map(NextLinePrefetcher::new),
-                pif: cfg.pif_prefetch.map(Pif::new),
-                i_classifier: cfg.classify_3c.then(|| ThreeCClassifier::new(l1i_geom.num_blocks() as usize)),
-                d_classifier: cfg.classify_3c.then(|| ThreeCClassifier::new(l1d_geom.num_blocks() as usize)),
+        let sites = (0..cfg.cores)
+            .map(|i| {
+                Some(Box::new(CoreSite {
+                    l1i: Cache::new(l1i_geom, cfg.l1_policy, cfg.seed ^ (i as u64) << 1),
+                    l1d: Cache::new(l1d_geom, cfg.l1_policy, cfg.seed ^ (i as u64) << 1 ^ 1),
+                    timer: CoreTimer::new(cfg.timing),
+                    itlb: Tlb::with_page_bytes(cfg.itlb_entries, cfg.itlb_page_bytes),
+                    dtlb: Tlb::new(cfg.dtlb_entries),
+                    prefetcher: cfg.next_line_prefetch.map(NextLinePrefetcher::new),
+                    pif: cfg.pif_prefetch.map(Pif::new),
+                    i_classifier: cfg
+                        .classify_3c
+                        .then(|| ThreeCClassifier::new(l1i_geom.num_blocks() as usize)),
+                    d_classifier: cfg
+                        .classify_3c
+                        .then(|| ThreeCClassifier::new(l1d_geom.num_blocks() as usize)),
+                    agent: SliccAgent::new(CoreId::new(i as u16), cfg.slicc),
+                    last_iblock: None,
+                    last_segment: None,
+                }))
             })
             .collect();
         Ok(System {
@@ -97,7 +211,12 @@ impl System {
                 cfg.seed ^ 0x12,
             ),
             dram: Dram::new(cfg.dram),
-            cores,
+            sites,
+            blooms: (0..cfg.cores)
+                .map(|_| BloomSignature::new(cfg.bloom_bits.max(l1i_geom.num_sets()), l1i_geom))
+                .collect(),
+            mailboxes: (0..cfg.cores).map(|_| Vec::new()).collect(),
+            deferred: false,
             l1i_latency: cfg.l1i_latency(),
             bloom_accuracy: SignatureAccuracy::default(),
             evict_scratch: Vec::new(),
@@ -119,33 +238,118 @@ impl System {
 
     /// Number of cores.
     pub fn num_cores(&self) -> usize {
-        self.cores.len()
+        self.sites.len()
+    }
+
+    fn site(&self, i: usize) -> &CoreSite {
+        self.sites[i].as_deref().expect("core site is checked out to a shard lane")
+    }
+
+    fn site_mut(&mut self, i: usize) -> &mut CoreSite {
+        self.sites[i].as_deref_mut().expect("core site is checked out to a shard lane")
+    }
+
+    /// The core's per-core hardware state (engine internal).
+    pub(crate) fn core_site(&self, core: CoreId) -> &CoreSite {
+        self.site(core.index())
+    }
+
+    /// Mutable per-core hardware state (engine internal).
+    pub(crate) fn core_site_mut(&mut self, core: CoreId) -> &mut CoreSite {
+        self.site_mut(core.index())
+    }
+
+    /// Lends a core's site out for one speculated private segment.
+    pub(crate) fn checkout_site(&mut self, core: CoreId) -> Box<CoreSite> {
+        self.sites[core.index()].take().expect("core site double checkout")
+    }
+
+    /// Restores a site lent by [`System::checkout_site`].
+    pub(crate) fn checkin_site(&mut self, core: CoreId, site: Box<CoreSite>) {
+        debug_assert!(self.sites[core.index()].is_none(), "core site double checkin");
+        self.sites[core.index()] = Some(site);
+    }
+
+    /// Switches cross-core coherence effects from immediate application
+    /// to per-core mailboxes drained at step barriers. The engine always
+    /// turns this on — sequential and sharded runs share one semantics.
+    pub(crate) fn set_deferred_effects(&mut self, deferred: bool) {
+        self.deferred = deferred;
+    }
+
+    /// The precomputed constants a private segment needs.
+    pub(crate) fn segment_params(&self, uses_agents: bool) -> SegmentParams {
+        SegmentParams {
+            tlb_walk_cycles: self.cfg.tlb_walk_cycles,
+            l1i_latency: self.l1i_latency,
+            fetch_transition_blocks: self.cfg.next_line_prefetch.is_some()
+                || self.cfg.pif_prefetch.is_some()
+                || self.cfg.measure_bloom_accuracy,
+            uses_agents,
+        }
+    }
+
+    /// Applies every queued cross-core effect for `core`, in arrival
+    /// order (= canonical commit order: effects are queued by the
+    /// committer as it retires blocking records). Called at the end of
+    /// every step of `core`, with its site in place.
+    pub(crate) fn drain_mailbox(&mut self, core: CoreId) {
+        if self.mailboxes[core.index()].is_empty() {
+            return;
+        }
+        let mut pending = std::mem::take(&mut self.mailboxes[core.index()]);
+        for effect in pending.drain(..) {
+            match effect {
+                CrossEffect::InvalI(block) => self.apply_inval_i(core, block),
+                CrossEffect::InvalD(block) => {
+                    self.site_mut(core.index()).l1d.invalidate(block);
+                }
+                CrossEffect::CleanD(block) => {
+                    self.site_mut(core.index()).l1d.clean(block);
+                }
+                CrossEffect::AgentReset => self.site_mut(core.index()).agent.reset_all(),
+            }
+        }
+        // Hand the drained buffer back to reuse its allocation; drains
+        // run on the committer thread, so nothing raced new effects in.
+        self.mailboxes[core.index()] = pending;
+    }
+
+    /// Resets `core`'s SLICC agent: immediately when its site is in hand
+    /// (it is the stepping core, or effects are immediate), deferred to
+    /// its mailbox otherwise.
+    pub(crate) fn reset_agent(&mut self, core: CoreId, stepping: CoreId) {
+        if self.deferred && core != stepping {
+            self.mailboxes[core.index()].push(CrossEffect::AgentReset);
+        } else {
+            self.site_mut(core.index()).agent.reset_all();
+        }
     }
 
     /// The core's local clock.
     pub fn timer(&self, core: CoreId) -> &CoreTimer {
-        &self.cores[core.index()].timer
+        &self.site(core.index()).timer
     }
 
     /// Mutable access to the core's local clock (the engine charges
     /// migration, idling, and instruction retirement through this).
     pub fn timer_mut(&mut self, core: CoreId) -> &mut CoreTimer {
-        &mut self.cores[core.index()].timer
+        &mut self.site_mut(core.index()).timer
     }
 
     /// Read access to a core's L1-I (tests, diagnostics).
     pub fn l1i(&self, core: CoreId) -> &Cache {
-        &self.cores[core.index()].l1i
+        &self.site(core.index()).l1i
     }
 
     /// Read access to a core's L1-D (tests, diagnostics).
     pub fn l1d(&self, core: CoreId) -> &Cache {
-        &self.cores[core.index()].l1d
+        &self.site(core.index()).l1d
     }
 
     /// Read access to a core's bloom signature (tests, diagnostics).
     pub fn bloom(&self, core: CoreId) -> &BloomSignature {
-        &self.cores[core.index()].bloom
+        &self.blooms[core.index()]
     }
 
     /// The effective L1-I hit latency.
@@ -160,17 +364,18 @@ impl System {
 
         // Address translation precedes the cache.
         {
-            let ctx = &mut self.cores[i];
-            if !ctx.itlb.access(block.base_addr(64)) {
-                ctx.timer.tlb_walk(self.cfg.tlb_walk_cycles, true);
+            let walk = self.cfg.tlb_walk_cycles;
+            let site = self.site_mut(i);
+            if !site.itlb.access(block.base_addr(64)) {
+                site.timer.tlb_walk(walk, true);
             }
         }
 
         if self.cfg.measure_bloom_accuracy {
             // §5.3's accuracy metric: does the signature agree with the
             // cache on hit/miss, for every access?
-            let ctx = &self.cores[i];
-            self.bloom_accuracy.record(ctx.bloom.maybe_contains(block), ctx.l1i.contains(block));
+            let holds = self.site(i).l1i.contains(block);
+            self.bloom_accuracy.record(self.blooms[i].maybe_contains(block), holds);
         }
 
         // L1 lookup (with optional next-line prefetch), classification,
@@ -179,24 +384,25 @@ impl System {
         let mut evictions = std::mem::take(&mut self.evict_scratch);
         evictions.clear();
         let result = {
-            let ctx = &mut self.cores[i];
-            let result = match &mut ctx.prefetcher {
+            let site = self.sites[i].as_deref_mut().expect("core site is checked out");
+            let bloom = &mut self.blooms[i];
+            let result = match &mut site.prefetcher {
                 Some(pf) => {
                     let degree = pf.degree();
-                    let out = pf.access_into(&mut ctx.l1i, block, &mut evictions);
+                    let out = pf.access_into(&mut site.l1i, block, &mut evictions);
                     // Prefetch-filled blocks are cached: the bloom
                     // signature must cover them for remote searches.
                     for d in 1..=degree {
                         let target = block.offset(d);
-                        if ctx.l1i.contains(target) {
-                            ctx.bloom.insert(target);
+                        if site.l1i.contains(target) {
+                            bloom.insert(target);
                         }
                     }
                     out
                 }
-                None => ctx.l1i.access(block, AccessKind::Read),
+                None => site.l1i.access(block, AccessKind::Read),
             };
-            if let Some(c) = &mut ctx.i_classifier {
+            if let Some(c) = &mut site.i_classifier {
                 if result.is_hit() {
                     c.observe(block);
                 } else {
@@ -218,9 +424,9 @@ impl System {
         // streams prefetch fills into the L1-I (same scratch, drained).
         evictions.clear();
         {
-            let ctx = &mut self.cores[i];
-            if let Some(pif) = &mut ctx.pif {
-                pif.on_fetch_into(&mut ctx.l1i, block, result.is_hit(), &mut evictions);
+            let site = self.site_mut(i);
+            if let Some(pif) = &mut site.pif {
+                pif.on_fetch_into(&mut site.l1i, block, result.is_hit(), &mut evictions);
             }
         }
         for ev in &evictions {
@@ -229,17 +435,17 @@ impl System {
         self.evict_scratch = evictions;
 
         if result.is_hit() {
-            self.cores[i].timer.ifetch_hit(self.l1i_latency);
+            let latency = self.l1i_latency;
+            self.site_mut(i).timer.ifetch_hit(latency);
             return true;
         }
 
         // Miss path: request to the home L2 bank over the torus.
-        let now = self.cores[i].timer.now();
+        let now = self.site(i).timer.now();
         let (resp, round_trip) = self.l2_request(core, block, L2AccessKind::IFetch, now);
-        self.apply_back_invalidations(&resp);
-        let ctx = &mut self.cores[i];
-        ctx.bloom.insert(block);
-        ctx.timer.ifetch_miss(round_trip);
+        self.apply_back_invalidations(core, &resp);
+        self.blooms[i].insert(block);
+        self.site_mut(i).timer.ifetch_miss(round_trip);
         false
     }
 
@@ -250,17 +456,18 @@ impl System {
         let kind = if is_store { AccessKind::Write } else { AccessKind::Read };
 
         {
-            let ctx = &mut self.cores[i];
-            if !ctx.dtlb.access(block.base_addr(64)) {
-                ctx.timer.tlb_walk(self.cfg.tlb_walk_cycles, false);
+            let walk = self.cfg.tlb_walk_cycles;
+            let site = self.site_mut(i);
+            if !site.dtlb.access(block.base_addr(64)) {
+                site.timer.tlb_walk(walk, false);
             }
         }
 
         let (result, was_dirty) = {
-            let ctx = &mut self.cores[i];
-            let was_dirty = ctx.l1d.contains_dirty(block);
-            let result = ctx.l1d.access(block, kind);
-            if let Some(c) = &mut ctx.d_classifier {
+            let site = self.site_mut(i);
+            let was_dirty = site.l1d.contains_dirty(block);
+            let result = site.l1d.access(block, kind);
+            if let Some(c) = &mut site.d_classifier {
                 if result.is_hit() {
                     c.observe(block);
                 } else {
@@ -284,16 +491,16 @@ impl System {
             // A store to a clean (potentially shared) line needs
             // exclusivity: an upgrade transaction at the directory.
             if is_store && !was_dirty {
-                let now = self.cores[i].timer.now();
+                let now = self.site(i).timer.now();
                 let (resp, round_trip) = self.l2_request(core, block, L2AccessKind::DataWrite, now);
                 self.apply_coherence(core, block, &resp);
-                self.apply_back_invalidations(&resp);
-                self.cores[i].timer.data_miss(block, round_trip, true);
+                self.apply_back_invalidations(core, &resp);
+                self.site_mut(i).timer.data_miss(block, round_trip, true);
             }
             return true;
         }
 
-        let now = self.cores[i].timer.now();
+        let now = self.site(i).timer.now();
         let l2_kind = if is_store { L2AccessKind::DataWrite } else { L2AccessKind::DataRead };
         let (resp, mut round_trip) = self.l2_request(core, block, l2_kind, now);
         // A dirty remote copy must be downgraded before the data returns.
@@ -303,8 +510,8 @@ impl System {
             self.noc_stats.record_unicast(self.noc.hops(home, owner));
         }
         self.apply_coherence(core, block, &resp);
-        self.apply_back_invalidations(&resp);
-        self.cores[i].timer.data_miss(block, round_trip, is_store);
+        self.apply_back_invalidations(core, &resp);
+        self.site_mut(i).timer.data_miss(block, round_trip, is_store);
         false
     }
 
@@ -313,11 +520,13 @@ impl System {
     pub fn remote_search(&mut self, core: CoreId, block: BlockAddr) -> CoreMask {
         self.noc_stats.record_broadcast();
         let mut mask = CoreMask::empty();
-        for (i, ctx) in self.cores.iter().enumerate() {
+        for i in 0..self.sites.len() {
             let holds = if self.cfg.exact_search {
-                ctx.l1i.contains(block)
+                // Exact search reads other cores' L1-Is directly, which
+                // is why the engine forces point_threads = 1 for it.
+                self.site(i).l1i.contains(block)
             } else {
-                ctx.bloom.maybe_contains(block)
+                self.blooms[i].maybe_contains(block)
             };
             if i != core.index() && holds {
                 mask.insert(CoreId::new(i as u16));
@@ -369,29 +578,54 @@ impl System {
     }
 
     /// Applies store-invalidations and downgrades to the victim L1-Ds.
+    /// NoC messages are charged at request time either way; in deferred
+    /// mode the cache mutations queue to the victims' mailboxes.
     fn apply_coherence(&mut self, requester: CoreId, block: BlockAddr, resp: &L2Response) {
         for victim in resp.invalidate_data.iter() {
             debug_assert_ne!(victim, requester);
-            self.cores[victim.index()].l1d.invalidate(block);
+            if self.deferred {
+                self.mailboxes[victim.index()].push(CrossEffect::InvalD(block));
+            } else {
+                self.site_mut(victim.index()).l1d.invalidate(block);
+            }
             self.noc_stats.record_unicast(self.noc.hops(requester, victim));
         }
         if let Some(owner) = resp.downgrade {
-            self.cores[owner.index()].l1d.clean(block);
+            if self.deferred && owner != requester {
+                self.mailboxes[owner.index()].push(CrossEffect::CleanD(block));
+            } else {
+                self.site_mut(owner.index()).l1d.clean(block);
+            }
         }
     }
 
-    /// Applies inclusive-L2 back-invalidations to all L1 copies.
-    fn apply_back_invalidations(&mut self, resp: &L2Response) {
+    /// Applies inclusive-L2 back-invalidations to all L1 copies. The
+    /// requester's own copy (its site is in hand) applies immediately;
+    /// other sharers defer to their mailboxes in deferred mode.
+    fn apply_back_invalidations(&mut self, requester: CoreId, resp: &L2Response) {
         if let Some(bi) = resp.back_invalidate {
             for c in bi.i_sharers.iter() {
-                let removed = self.cores[c.index()].l1i.invalidate(bi.block).is_some();
-                if removed {
-                    self.remove_from_bloom(c, bi.block);
+                if self.deferred && c != requester {
+                    self.mailboxes[c.index()].push(CrossEffect::InvalI(bi.block));
+                } else {
+                    self.apply_inval_i(c, bi.block);
                 }
             }
             for c in bi.d_sharers.iter() {
-                self.cores[c.index()].l1d.invalidate(bi.block);
+                if self.deferred && c != requester {
+                    self.mailboxes[c.index()].push(CrossEffect::InvalD(bi.block));
+                } else {
+                    self.site_mut(c.index()).l1d.invalidate(bi.block);
+                }
             }
+        }
+    }
+
+    /// Invalidates an L1-I copy with bloom upkeep (needs the victim's
+    /// site in hand: bloom removal reads the L1-I set contents).
+    fn apply_inval_i(&mut self, core: CoreId, block: BlockAddr) {
+        if self.site_mut(core.index()).l1i.invalidate(block).is_some() {
+            self.remove_from_bloom(core, block);
         }
     }
 
@@ -402,14 +636,14 @@ impl System {
     }
 
     fn remove_from_bloom(&mut self, core: CoreId, block: BlockAddr) {
-        let ctx = &mut self.cores[core.index()];
-        let set = ctx.l1i.geometry().set_index(block);
-        ctx.bloom.remove(block, ctx.l1i.blocks_in_set(set));
+        let site = self.sites[core.index()].as_deref().expect("core site is checked out");
+        let set = site.l1i.geometry().set_index(block);
+        self.blooms[core.index()].remove(block, site.l1i.blocks_in_set(set));
     }
 
     /// The completion time of the machine: the latest core clock.
     pub fn makespan(&self) -> Cycle {
-        self.cores.iter().map(|c| c.timer.now()).max().unwrap_or(0)
+        (0..self.sites.len()).map(|i| self.site(i).timer.now()).max().unwrap_or(0)
     }
 
     /// 3C class of the most recent L1-I miss, if 3C classification is on.
@@ -426,10 +660,11 @@ impl System {
     /// `migrations` is owned by the engine and left zero here.
     pub fn obs_counters(&self) -> slicc_obs::ObsCounters {
         let mut cum = slicc_obs::ObsCounters::default();
-        for ctx in &self.cores {
-            cum.instructions += ctx.timer.stats().instructions;
-            cum.i_misses += ctx.l1i.stats().misses;
-            cum.d_misses += ctx.l1d.stats().misses;
+        for i in 0..self.sites.len() {
+            let site = self.site(i);
+            cum.instructions += site.timer.stats().instructions;
+            cum.i_misses += site.l1i.stats().misses;
+            cum.d_misses += site.l1d.stats().misses;
         }
         cum
     }
@@ -440,19 +675,20 @@ impl System {
         let mut core_stats = CoreStats::default();
         let mut i_bd = MissBreakdown::default();
         let mut d_bd = MissBreakdown::default();
-        for ctx in &self.cores {
-            out.i_tlb_misses += ctx.itlb.misses();
-            out.d_tlb_misses += ctx.dtlb.misses();
-            out.instructions += ctx.timer.stats().instructions;
-            out.i_misses += ctx.l1i.stats().misses;
-            out.d_misses += ctx.l1d.stats().misses;
-            out.i_accesses += ctx.l1i.stats().accesses;
-            out.d_accesses += ctx.l1d.stats().accesses;
-            core_stats.merge(ctx.timer.stats());
-            if let Some(c) = &ctx.i_classifier {
+        for i in 0..self.sites.len() {
+            let site = self.site(i);
+            out.i_tlb_misses += site.itlb.misses();
+            out.d_tlb_misses += site.dtlb.misses();
+            out.instructions += site.timer.stats().instructions;
+            out.i_misses += site.l1i.stats().misses;
+            out.d_misses += site.l1d.stats().misses;
+            out.i_accesses += site.l1i.stats().accesses;
+            out.d_accesses += site.l1d.stats().accesses;
+            core_stats.merge(site.timer.stats());
+            if let Some(c) = &site.i_classifier {
                 i_bd.merge(&c.breakdown());
             }
-            if let Some(c) = &ctx.d_classifier {
+            if let Some(c) = &site.d_classifier {
                 d_bd.merge(&c.breakdown());
             }
         }

@@ -11,14 +11,18 @@
 use slicc_sim::{ObsConfig, RunControl, RunRequest, RunSession, SchedulerMode, SimConfig};
 use slicc_trace::{TraceScale, Workload};
 
-/// Pre-optimization digests of the full metrics struct, one per mode, on
-/// the tiny TPC-C-1 workload under `SimConfig::tiny_test()`.
+/// Golden digests of the full metrics struct, one per mode, on the tiny
+/// TPC-C-1 workload under `SimConfig::tiny_test()`. Re-captured once for
+/// the split-step engine (DESIGN.md §13): deferring cross-core coherence
+/// effects to step barriers is a deliberate, uniformly-applied model
+/// change, so the digests moved exactly once — and are now required to be
+/// identical for every `point_threads` value.
 const GOLDEN: [(SchedulerMode, u64); 5] = [
-    (SchedulerMode::Baseline, 0x20819f2156f06c11),
-    (SchedulerMode::Slicc, 0xd6a44727ba7303fc),
-    (SchedulerMode::SliccSw, 0xd95c19ac39746962),
-    (SchedulerMode::SliccPp, 0x3c04dada01c073dc),
-    (SchedulerMode::Steps, 0xf5a0e22ab81e5504),
+    (SchedulerMode::Baseline, 0xbd28ed3fc9c55726),
+    (SchedulerMode::Slicc, 0x33c3295a1792268b),
+    (SchedulerMode::SliccSw, 0x6e9bc22167b0a6a7),
+    (SchedulerMode::SliccPp, 0xc8ff72fac95fc811),
+    (SchedulerMode::Steps, 0xe8e91436bdd53261),
 ];
 
 fn digest_of(mode: SchedulerMode) -> u64 {
@@ -119,16 +123,36 @@ fn governed_runners_reproduce_the_golden_digests() {
     assert!(runner.stats().cache_bytes <= 64, "the byte budget must hold");
 }
 
-/// `threads_per_point` parallelizes trace *decoding*, never the
+/// `decode_threads` parallelizes trace *decoding*, never the
 /// simulation itself: a multi-threaded point must be byte-identical to
 /// its single-threaded twin (and to the golden capture) in every mode.
 #[test]
-fn threads_per_point_never_changes_simulated_results() {
+fn decode_threads_never_change_simulated_results() {
     for (mode, want) in GOLDEN {
         let spec = Workload::TpcC1.spec(TraceScale::tiny());
         let mut cfg = SimConfig::tiny_test().with_mode(mode);
-        cfg.threads_per_point = 4;
+        cfg.decode_threads = 4;
         let wide = RunSession::new(&spec, &cfg).unwrap().run().unwrap().metrics.digest();
         assert_eq!(wide, want, "{mode:?}: 4 decode threads drifted from the golden digest");
+    }
+}
+
+/// `point_threads` parallelizes the event loop *within* one point, and
+/// the shard lanes only ever *speculate* segments whose inputs and
+/// commit order the committer fixes — so every worker count must land on
+/// the golden digest exactly, in every mode (DESIGN.md §13).
+#[test]
+fn point_threads_never_change_simulated_results() {
+    for (mode, want) in GOLDEN {
+        for threads in [1usize, 2, 4, 8] {
+            let spec = Workload::TpcC1.spec(TraceScale::tiny());
+            let mut cfg = SimConfig::tiny_test().with_mode(mode);
+            cfg.point_threads = threads;
+            let got = RunSession::new(&spec, &cfg).unwrap().run().unwrap().metrics.digest();
+            assert_eq!(
+                got, want,
+                "{mode:?}: point_threads={threads} drifted from the golden digest"
+            );
+        }
     }
 }

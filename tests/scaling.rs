@@ -1,0 +1,101 @@
+//! Scaling gates for the split-step parallel engine (DESIGN.md §13).
+//!
+//! The contract under test: `point_threads` — and every internal degree
+//! of freedom behind it (the core → lane partition, the pacing quantum)
+//! — may change only *when* work executes, never *what* it computes.
+//! The golden suite pins `point_threads ∈ {1, 2, 4, 8}` to the golden
+//! digests; this suite walks the internal knobs through randomized
+//! schedules with a hand-rolled SplitMix64 driver (the external
+//! `proptest` crate is feature-gated off in this workspace).
+
+use slicc_common::SplitMix64;
+use slicc_sim::{Engine, RunSession, SchedulerMode, SimConfig, SimConfigBuilder};
+use slicc_trace::{TraceScale, Workload};
+
+/// The sequential reference digest for one mode on the tiny point.
+fn sequential_digest(mode: SchedulerMode) -> u64 {
+    let spec = Workload::TpcC1.spec(TraceScale::tiny());
+    let cfg = SimConfig::tiny_test().with_mode(mode);
+    RunSession::new(&spec, &cfg).unwrap().run().unwrap().metrics.digest()
+}
+
+/// Random core → shard partitions and random pacing quantum widths must
+/// never change digests: the committer fixes every segment's inputs and
+/// commit order, so lane placement and dispatch timing are pure
+/// scheduling. Each trial draws a fresh partition (arbitrary lane
+/// indices — dispatch reduces them modulo the lane count) and a quantum
+/// anywhere from lockstep (0) to far beyond any real latency.
+#[test]
+fn random_partitions_and_quantums_never_change_digests() {
+    let mut rng = SplitMix64::new(0x51cc_5ca1e);
+    for mode in [SchedulerMode::Baseline, SchedulerMode::SliccSw, SchedulerMode::Steps] {
+        let want = sequential_digest(mode);
+        let spec = Workload::TpcC1.spec(TraceScale::tiny());
+        for trial in 0..8 {
+            let point_threads = 2 + rng.next_below(7) as usize; // 2..=8
+            let cfg = SimConfigBuilder::tiny_test()
+                .mode(mode)
+                .point_threads(point_threads)
+                .build()
+                .unwrap();
+            let cores = cfg.cores;
+            let mut engine = Engine::try_new(&spec, &cfg).unwrap();
+            let partition: Vec<usize> =
+                (0..cores).map(|_| rng.next_below(64) as usize).collect();
+            let quantum = rng.next_below(2_000);
+            engine.set_partition(partition.clone());
+            engine.set_quantum(quantum);
+            engine.try_execute().unwrap();
+            let got = engine.into_metrics().digest();
+            assert_eq!(
+                got, want,
+                "{mode:?} trial {trial}: P={point_threads} quantum={quantum} \
+                 partition={partition:?} changed the digest"
+            );
+        }
+    }
+}
+
+/// The degenerate schedules: a quantum of zero (only heap-floor cores
+/// ever dispatch ahead) and a saturating quantum (every running core is
+/// primed the moment it steps) bracket the pacing policy's range.
+#[test]
+fn extreme_quantums_never_change_digests() {
+    let spec = Workload::TpcC1.spec(TraceScale::tiny());
+    for mode in [SchedulerMode::Slicc, SchedulerMode::SliccPp] {
+        let want = sequential_digest(mode);
+        for quantum in [0, u64::MAX] {
+            let cfg = SimConfigBuilder::tiny_test().mode(mode).point_threads(4).build().unwrap();
+            let mut engine = Engine::try_new(&spec, &cfg).unwrap();
+            engine.set_quantum(quantum);
+            engine.try_execute().unwrap();
+            assert_eq!(
+                engine.into_metrics().digest(),
+                want,
+                "{mode:?}: quantum={quantum} changed the digest"
+            );
+        }
+    }
+}
+
+/// Everything-on-one-lane and one-core-per-lane partitions are the
+/// contention extremes of the lane queues; both must be invisible in
+/// the results.
+#[test]
+fn degenerate_partitions_never_change_digests() {
+    let spec = Workload::TpcC1.spec(TraceScale::tiny());
+    let mode = SchedulerMode::SliccSw;
+    let want = sequential_digest(mode);
+    let cfg = SimConfigBuilder::tiny_test().mode(mode).point_threads(8).build().unwrap();
+    let cores = cfg.cores;
+    for partition in [vec![0; cores], (0..cores).collect::<Vec<_>>()] {
+        let mut engine = Engine::try_new(&spec, &cfg).unwrap();
+        engine.set_partition(partition.clone());
+        engine.try_execute().unwrap();
+        assert_eq!(
+            engine.into_metrics().digest(),
+            want,
+            "partition {partition:?} changed the digest"
+        );
+    }
+}
